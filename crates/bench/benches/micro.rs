@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the hot data structures: the reservation tables
+//! (consulted on every control-flit scheduling decision), the PRNG, links
+//! and buffer pools. These bound the cost of the flit-reservation
+//! mechanism itself, independent of any workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flit_reservation::{InputReservationTable, OutputReservationTable};
+use noc_engine::{Cycle, Rng};
+use noc_flow::{BufferPool, DataFlit, Link};
+use noc_topology::{NodeId, Port};
+use noc_traffic::PacketId;
+use std::hint::black_box;
+
+fn flit(seq: u32) -> DataFlit {
+    DataFlit {
+        packet: PacketId::new(0),
+        seq,
+        length: 5,
+        dest: NodeId::new(0),
+        created_at: Cycle::ZERO,
+    }
+}
+
+fn bench_output_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("output_table");
+    g.bench_function("schedule_reserve_credit", |b| {
+        let mut table = OutputReservationTable::new(32, Some(6), 4);
+        let mut now = Cycle::ZERO;
+        table.advance_to(now);
+        b.iter(|| {
+            now = now.next();
+            table.advance_to(now);
+            if let Some(t_d) = table.find_departure(black_box(now), now, |_| true) {
+                table.reserve(t_d);
+                table.credit(t_d + 5, now);
+            }
+        });
+    });
+    g.bench_function("find_departure_miss", |b| {
+        // Fully busy horizon: the search scans all 32 candidates.
+        let mut table = OutputReservationTable::new(32, Some(6), 4);
+        let now = Cycle::ZERO;
+        table.advance_to(now);
+        for t in 1..=32u64 {
+            table.reserve(Cycle::new(t));
+            table.credit(Cycle::new(t + 5), now);
+        }
+        b.iter(|| black_box(table.find_departure(Cycle::ZERO, now, |_| true)));
+    });
+    g.finish();
+}
+
+fn bench_input_table(c: &mut Criterion) {
+    c.bench_function("input_table/reserve_arrive_depart", |b| {
+        let mut table = InputReservationTable::new(32, 6, 4);
+        let mut now = Cycle::ZERO;
+        table.advance_to(now);
+        b.iter(|| {
+            now = now.next();
+            table.advance_to(now);
+            table.apply_reservation(now + 2, now + 5, Port::East, now);
+            // fast-forward: arrival then departure
+            now = now + 2;
+            table.advance_to(now);
+            table.on_data_arrival(flit(0), now);
+            now = now + 3;
+            table.advance_to(now);
+            black_box(table.take_departure(now));
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("next_u64", |b| {
+        let mut rng = Rng::from_seed(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+    g.bench_function("below_5", |b| {
+        let mut rng = Rng::from_seed(1);
+        b.iter(|| black_box(rng.below(5)));
+    });
+    g.finish();
+}
+
+fn bench_link(c: &mut Criterion) {
+    c.bench_function("link/push_take", |b| {
+        let mut link: Link<DataFlit> = Link::new(4, 1);
+        let mut now = Cycle::ZERO;
+        b.iter(|| {
+            link.push(now, flit(0)).expect("bandwidth free");
+            now = now.next();
+            black_box(link.take_arrivals(now).len());
+        });
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    c.bench_function("buffer_pool/insert_take", |b| {
+        let mut pool = BufferPool::new(6);
+        b.iter(|| {
+            let id = pool.insert(flit(1)).expect("space");
+            black_box(pool.take(id));
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_output_table,
+    bench_input_table,
+    bench_rng,
+    bench_link,
+    bench_pool
+);
+criterion_main!(benches);

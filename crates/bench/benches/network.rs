@@ -1,0 +1,52 @@
+//! Whole-network throughput benchmarks: simulated cycles per second for
+//! each flow control at a moderate load — the figure of merit for the
+//! simulator itself (how long the paper's figures take to regenerate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flit_reservation::{FrConfig, FrRouter};
+use noc_engine::Rng;
+use noc_flow::LinkTiming;
+use noc_network::Network;
+use noc_topology::Mesh;
+use noc_traffic::{LoadSpec, TrafficGenerator};
+use noc_vc::{VcConfig, VcRouter};
+
+const CYCLES: u64 = 2_000;
+
+fn bench_networks(c: &mut Criterion) {
+    let mesh = Mesh::new(8, 8);
+    let mut g = c.benchmark_group("network_cycles");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("vc8", "50%"), |b| {
+        b.iter(|| {
+            let root = Rng::from_seed(1);
+            let load = LoadSpec::fraction_of_capacity(0.5, 5);
+            let generator = TrafficGenerator::uniform(mesh, load, root.fork(9));
+            let mut net = Network::new(mesh, LinkTiming::fast_control(), 2, generator, |n| {
+                VcRouter::new(mesh, n, VcConfig::vc8(), root.fork(n.raw() as u64))
+            });
+            net.run_cycles(CYCLES);
+            net.tracker().delivered_flits()
+        });
+    });
+
+    g.bench_function(BenchmarkId::new("fr6", "50%"), |b| {
+        b.iter(|| {
+            let root = Rng::from_seed(1);
+            let load = LoadSpec::fraction_of_capacity(0.5, 5);
+            let generator = TrafficGenerator::uniform(mesh, load, root.fork(9));
+            let cfg = FrConfig::fr6();
+            let mut net = Network::new(mesh, cfg.timing, cfg.control_lanes, generator, |n| {
+                FrRouter::new(mesh, n, cfg, root.fork(n.raw() as u64))
+            });
+            net.run_cycles(CYCLES);
+            net.tracker().delivered_flits()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_networks);
+criterion_main!(benches);

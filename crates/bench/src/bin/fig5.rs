@@ -1,0 +1,32 @@
+//! Regenerates paper Figure 5: latency versus offered traffic for
+//! virtual-channel (VC8, VC16) and flit-reservation (FR6, FR13) flow
+//! control with 5-flit packets under fast control.
+
+use flit_reservation::FrConfig;
+use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
+use noc_flow::LinkTiming;
+use noc_network::{sweep_loads, FlowControl};
+use noc_topology::Mesh;
+use noc_vc::VcConfig;
+
+fn main() {
+    let mesh = Mesh::new(8, 8);
+    let sim = Scale::from_env().sim(seed_from_env());
+    let loads = default_loads();
+    let t = LinkTiming::fast_control();
+    let configs = [
+        FlowControl::VirtualChannel(VcConfig::vc8(), t),
+        FlowControl::VirtualChannel(VcConfig::vc16(), t),
+        FlowControl::FlitReservation(FrConfig::fr6()),
+        FlowControl::FlitReservation(FrConfig::fr13()),
+    ];
+    println!("Figure 5: latency vs offered traffic, 5-flit packets, fast control");
+    println!("(paper saturation: VC8 63%, VC16 80%, FR6 77%, FR13 85%; base latency VC 32, FR 27)");
+    let mut curves = Vec::new();
+    for fc in &configs {
+        let curve = sweep_loads(fc, mesh, 5, &loads, &sim, 1);
+        print_curve(&curve);
+        curves.push(curve);
+    }
+    print_summary(&curves);
+}

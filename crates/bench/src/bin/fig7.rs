@@ -1,0 +1,25 @@
+//! Regenerates paper Figure 7: FR6 latency-throughput with the scheduling
+//! horizon swept from 16 to 128 cycles — throughput should be relatively
+//! insensitive beyond 32 cycles.
+
+use flit_reservation::FrConfig;
+use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
+use noc_network::{sweep_loads, FlowControl};
+use noc_topology::Mesh;
+
+fn main() {
+    let mesh = Mesh::new(8, 8);
+    let sim = Scale::from_env().sim(seed_from_env());
+    let loads = default_loads();
+    println!("Figure 7: FR6 with scheduling horizon 16/32/64/128, 5-flit packets");
+    println!("(paper: within 10% of optimum at 16; little gain beyond 32)");
+    let mut curves = Vec::new();
+    for horizon in [16u64, 32, 64, 128] {
+        let fc = FlowControl::FlitReservation(FrConfig::fr6().with_horizon(horizon));
+        let mut curve = sweep_loads(&fc, mesh, 5, &loads, &sim, 1);
+        curve.label = format!("FR6/s={horizon}");
+        print_curve(&curve);
+        curves.push(curve);
+    }
+    print_summary(&curves);
+}

@@ -1,0 +1,36 @@
+//! Regenerates paper Figure 9: flit-reservation with a 1-cycle leading
+//! control versus virtual-channel flow control, on 1-cycle wires with
+//! 5-flit packets.
+
+use flit_reservation::FrConfig;
+use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
+use noc_flow::LinkTiming;
+use noc_network::{sweep_loads, FlowControl};
+use noc_topology::Mesh;
+use noc_vc::VcConfig;
+
+fn main() {
+    let mesh = Mesh::new(8, 8);
+    let sim = Scale::from_env().sim(seed_from_env());
+    let loads = default_loads();
+    let wires = LinkTiming::leading_control(1);
+    let vc_wires = wires.vc_baseline_of();
+    let configs = [
+        FlowControl::VirtualChannel(VcConfig::vc8(), vc_wires),
+        FlowControl::VirtualChannel(VcConfig::vc16(), vc_wires),
+        FlowControl::FlitReservation(FrConfig::fr6().with_timing(wires)),
+        FlowControl::FlitReservation(FrConfig::fr13().with_timing(wires)),
+    ];
+    println!("Figure 9: FR (1-cycle leading control) vs VC, 1-cycle wires, 5-flit packets");
+    println!("(paper: equal base latency 15; FR6 75% vs VC8 65%; latency 19 vs 21 at 50%)");
+    let mut curves = Vec::new();
+    for fc in &configs {
+        let mut curve = sweep_loads(fc, mesh, 5, &loads, &sim, 1);
+        if matches!(fc, FlowControl::FlitReservation(_)) {
+            curve.label = format!("{}/lead=1", curve.label);
+        }
+        print_curve(&curve);
+        curves.push(curve);
+    }
+    print_summary(&curves);
+}

@@ -1,0 +1,51 @@
+//! Quick health check: base latencies and knee positions for the four
+//! headline configurations (internal validation harness).
+
+use flit_reservation::FrConfig;
+use noc_network::{FlowControl, SimConfig};
+use noc_flow::LinkTiming;
+use noc_topology::Mesh;
+use noc_traffic::LoadSpec;
+use noc_vc::VcConfig;
+
+fn main() {
+    let mesh = Mesh::new(8, 8);
+    let mut sim = SimConfig::quick(7);
+    sim.sample_packets = 1500;
+    let fast = LinkTiming::fast_control();
+    let lead = LinkTiming::leading_control(1);
+    println!("fast control, 5-flit (paper base: VC 32, FR 27):");
+    for (name, fc) in [
+        ("VC8", FlowControl::VirtualChannel(VcConfig::vc8(), fast)),
+        ("VC16", FlowControl::VirtualChannel(VcConfig::vc16(), fast)),
+        ("FR6", FlowControl::FlitReservation(FrConfig::fr6())),
+        ("FR13", FlowControl::FlitReservation(FrConfig::fr13())),
+    ] {
+        print!("{name}:");
+        for frac in [0.05, 0.5, 0.63, 0.70, 0.77, 0.85] {
+            let r = fc.run(mesh, LoadSpec::fraction_of_capacity(frac, 5), &sim);
+            if r.completed {
+                print!("  {:.0}%:{:.0}", frac * 100.0, r.mean_latency());
+            } else {
+                print!("  {:.0}%:SAT", frac * 100.0);
+            }
+        }
+        println!();
+    }
+    println!("leading control lead=1, 5-flit (paper base: both 15; 50%: FR 19 VC 21):");
+    for (name, fc) in [
+        ("VC8", FlowControl::VirtualChannel(VcConfig::vc8(), lead.vc_baseline_of())),
+        ("FR6", FlowControl::FlitReservation(FrConfig::fr6().with_timing(lead))),
+    ] {
+        print!("{name}:");
+        for frac in [0.05, 0.5, 0.65, 0.75] {
+            let r = fc.run(mesh, LoadSpec::fraction_of_capacity(frac, 5), &sim);
+            if r.completed {
+                print!("  {:.0}%:{:.0}", frac * 100.0, r.mean_latency());
+            } else {
+                print!("  {:.0}%:SAT", frac * 100.0);
+            }
+        }
+        println!();
+    }
+}

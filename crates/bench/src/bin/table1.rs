@@ -1,0 +1,103 @@
+//! Regenerates paper Table 1: storage overhead of virtual-channel and
+//! flit-reservation flow control.
+
+use noc_overhead::{FrStorage, Params, VcStorage};
+
+fn main() {
+    let p = Params::paper();
+    let vc = [
+        ("VC8", VcStorage::compute(&p, 2, 8)),
+        ("VC16", VcStorage::compute(&p, 4, 16)),
+        ("VC32", VcStorage::compute(&p, 8, 32)),
+    ];
+    let fr = [
+        ("FR6", FrStorage::compute(&p, 2, 6, 6)),
+        ("FR13", FrStorage::compute(&p, 4, 13, 12)),
+    ];
+
+    println!("Table 1: storage overhead (bits per node; f=256, t=2, s=32, d=1)\n");
+    println!(
+        "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "VC8", "VC16", "VC32", "FR6", "FR13"
+    );
+    let row = |name: &str, vals: [String; 5]| {
+        println!(
+            "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            name, vals[0], vals[1], vals[2], vals[3], vals[4]
+        );
+    };
+    row(
+        "Data buffers",
+        [
+            vc[0].1.data_buffer_bits.to_string(),
+            vc[1].1.data_buffer_bits.to_string(),
+            vc[2].1.data_buffer_bits.to_string(),
+            fr[0].1.data_buffer_bits.to_string(),
+            fr[1].1.data_buffer_bits.to_string(),
+        ],
+    );
+    row(
+        "Control buffers",
+        [
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            fr[0].1.control_buffer_bits.to_string(),
+            fr[1].1.control_buffer_bits.to_string(),
+        ],
+    );
+    row(
+        "Queue pointers",
+        [
+            vc[0].1.queue_pointer_bits.to_string(),
+            vc[1].1.queue_pointer_bits.to_string(),
+            vc[2].1.queue_pointer_bits.to_string(),
+            fr[0].1.queue_pointer_bits.to_string(),
+            fr[1].1.queue_pointer_bits.to_string(),
+        ],
+    );
+    row(
+        "Output reservation table",
+        [
+            vc[0].1.output_table_bits.to_string(),
+            vc[1].1.output_table_bits.to_string(),
+            vc[2].1.output_table_bits.to_string(),
+            fr[0].1.output_table_bits.to_string(),
+            fr[1].1.output_table_bits.to_string(),
+        ],
+    );
+    row(
+        "Input reservation table",
+        [
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            fr[0].1.input_table_bits.to_string(),
+            fr[1].1.input_table_bits.to_string(),
+        ],
+    );
+    row(
+        "Bits per node",
+        [
+            vc[0].1.total_bits().to_string(),
+            vc[1].1.total_bits().to_string(),
+            vc[2].1.total_bits().to_string(),
+            fr[0].1.total_bits().to_string(),
+            fr[1].1.total_bits().to_string(),
+        ],
+    );
+    row(
+        "Flits per input channel",
+        [
+            format!("{:.2}", vc[0].1.flits_per_input(&p)),
+            format!("{:.2}", vc[1].1.flits_per_input(&p)),
+            format!("{:.2}", vc[2].1.flits_per_input(&p)),
+            format!("{:.2}", fr[0].1.flits_per_input(&p)),
+            format!("{:.2}", fr[1].1.flits_per_input(&p)),
+        ],
+    );
+    println!(
+        "\nnote: the paper prints 1,980 bits for FR13's input reservation table;\n\
+         its own formula gives 2,620 (so 20,600 total, 16.09 flits) — see EXPERIMENTS.md."
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates paper Table 2: bandwidth overhead per data flit.
+
+use noc_overhead::{Bandwidth, Params};
+
+fn main() {
+    let p = Params::paper();
+    println!("Table 2: bandwidth overhead per data flit (bits; n=6, s=32, d=1)\n");
+    println!(
+        "{:<16} {:>6} {:>22} {:>26}",
+        "", "L", "Virtual-Channel", "Flit-Reservation"
+    );
+    for (v, l) in [(2u64, 5u64), (4, 5), (2, 21), (4, 21)] {
+        let vc = Bandwidth::virtual_channel(&p, v, l);
+        let fr = Bandwidth::flit_reservation(&p, v, l);
+        println!(
+            "v={v}            {l:>6} {:>12.2} ({:>4.1}%) {:>16.2} ({:>4.1}%)",
+            vc.total(),
+            vc.fraction_of_flit(&p) * 100.0,
+            fr.total(),
+            fr.fraction_of_flit(&p) * 100.0,
+        );
+    }
+    let vc = Bandwidth::virtual_channel(&p, 2, 5);
+    let fr = Bandwidth::flit_reservation(&p, 2, 5);
+    println!(
+        "\nbreakdown at v=2, L=5:  VC: dest {:.2} + vcid {:.2}\n\
+         \x20                       FR: dest {:.2} + vcid {:.2} + arrival times {:.2}",
+        vc.destination, vc.vcid, fr.destination, fr.vcid, fr.arrival_times
+    );
+    println!(
+        "\nextra FR cost = log2(s) = {:.0} bits = {:.1}% of a 256-bit flit (paper: 2%)",
+        fr.arrival_times,
+        fr.arrival_times / 256.0 * 100.0
+    );
+}

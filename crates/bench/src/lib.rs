@@ -1,0 +1,136 @@
+//! # noc-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper. Each `[[bin]]` target prints the same rows/series the paper
+//! reports; `cargo run -p noc-bench --release --bin fig5` etc.
+//!
+//! All simulation harnesses honour two environment variables:
+//!
+//! * `FRFC_SCALE` — `tiny` (seconds, CI), `quick` (default, ~minutes) or
+//!   `paper` (the paper's 10k-cycle warm-up / 100k-packet samples; hours
+//!   on one core);
+//! * `FRFC_SEED` — root seed (default 2000, the publication year).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use noc_engine::warmup::WarmupConfig;
+use noc_network::{Curve, SimConfig};
+
+/// Measurement scale selected by `FRFC_SCALE`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Hundreds of packets; shapes only. Seconds per figure.
+    Tiny,
+    /// Thousands of packets; good curves. Default.
+    Quick,
+    /// The paper's methodology (10k-cycle warm-up, 100k packets).
+    Paper,
+}
+
+impl Scale {
+    /// Reads `FRFC_SCALE` (default `quick`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value.
+    pub fn from_env() -> Scale {
+        match std::env::var("FRFC_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("paper") => Scale::Paper,
+            Ok("quick") | Err(_) => Scale::Quick,
+            Ok(other) => panic!("FRFC_SCALE must be tiny|quick|paper, got {other}"),
+        }
+    }
+
+    /// The corresponding measurement configuration.
+    pub fn sim(self, seed: u64) -> SimConfig {
+        match self {
+            Scale::Tiny => SimConfig {
+                seed,
+                warmup: WarmupConfig {
+                    min_cycles: 1_000,
+                    max_cycles: 6_000,
+                    window: 8,
+                    tolerance: 0.08,
+                },
+                sample_packets: 800,
+                drain_cap: 20_000,
+                warmup_probe_period: 32,
+            },
+            Scale::Quick => SimConfig::quick(seed),
+            Scale::Paper => SimConfig::paper_scale(seed),
+        }
+    }
+}
+
+/// Reads the root seed from `FRFC_SEED` (default 2000).
+pub fn seed_from_env() -> u64 {
+    std::env::var("FRFC_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000)
+}
+
+/// Default offered-load sweep (fractions of capacity) used by the
+/// latency-throughput figures.
+pub fn default_loads() -> Vec<f64> {
+    vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9]
+}
+
+/// Prints one curve in the fixed-width format shared by all figures.
+pub fn print_curve(curve: &Curve) {
+    println!("\n{}", curve.label);
+    println!("{:>10} {:>12} {:>10} {:>10} {:>10}", "offered", "latency", "ci95", "accepted", "status");
+    for p in &curve.points {
+        let status = if p.result.completed { "ok" } else { "saturated" };
+        let lat = if p.result.completed {
+            format!("{:.1}", p.result.mean_latency())
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:>9.0}% {:>12} {:>10.2} {:>9.1}% {:>10}",
+            p.offered * 100.0,
+            lat,
+            p.result.latency.ci95_half_width(),
+            p.result.accepted_fraction * 100.0,
+            status
+        );
+    }
+}
+
+/// Prints a one-line per-curve summary: base latency and saturation
+/// throughput under a `3 × base` latency knee criterion.
+pub fn print_summary(curves: &[Curve]) {
+    println!("\n{:>8} {:>14} {:>22}", "config", "base latency", "saturation throughput");
+    for c in curves {
+        let base = c.base_latency();
+        let sat = c.saturation_throughput(base * 3.0);
+        println!("{:>8} {:>13.1}c {:>21.0}%", c.label, base, sat * 100.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_sims_are_ordered() {
+        let tiny = Scale::Tiny.sim(1);
+        let quick = Scale::Quick.sim(1);
+        let paper = Scale::Paper.sim(1);
+        assert!(tiny.sample_packets < quick.sample_packets);
+        assert!(quick.sample_packets < paper.sample_packets);
+        assert_eq!(paper.sample_packets, 100_000);
+        assert_eq!(paper.warmup.min_cycles, 10_000);
+    }
+
+    #[test]
+    fn default_loads_cover_both_saturation_points() {
+        let loads = default_loads();
+        assert!(loads.iter().any(|&l| (l - 0.6).abs() < 0.06));
+        assert!(loads.iter().any(|&l| l > 0.8));
+        assert!(loads.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,220 @@
+//! Simulation time, measured in clock cycles.
+//!
+//! All components of the simulator share one synchronous clock. Time is
+//! represented by [`Cycle`], a newtype over `u64` that only supports the
+//! operations that are meaningful for a point in time (adding/subtracting a
+//! duration, taking the difference of two points). This keeps cycle
+//! arithmetic explicit and prevents accidentally mixing times with other
+//! integer quantities such as buffer indices.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulation time, in clock cycles since the start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use noc_engine::Cycle;
+///
+/// let departure = Cycle::new(12);
+/// let propagation = 4;
+/// let arrival = departure + propagation;
+/// assert_eq!(arrival, Cycle::new(16));
+/// assert_eq!(arrival - departure, 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero, the first simulated cycle.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next cycle (`self + 1`).
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Cycle(self.0 + 1)
+    }
+
+    /// Saturating subtraction of a duration; clamps at time zero.
+    #[inline]
+    #[must_use]
+    pub const fn saturating_sub(self, dur: u64) -> Self {
+        Cycle(self.0.saturating_sub(dur))
+    }
+
+    /// Difference `self - earlier`, or `None` if `earlier` is later than
+    /// `self`.
+    #[inline]
+    pub const fn checked_since(self, earlier: Cycle) -> Option<u64> {
+        self.0.checked_sub(earlier.0)
+    }
+
+    /// Returns the larger of two cycles.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two cycles.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Cycle) -> Cycle {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, dur: u64) -> Cycle {
+        Cycle(self.0 + dur)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, dur: u64) {
+        self.0 += dur;
+    }
+}
+
+impl Sub<u64> for Cycle {
+    type Output = Cycle;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if the subtraction would go before time zero.
+    #[inline]
+    fn sub(self, dur: u64) -> Cycle {
+        Cycle(self.0 - dur)
+    }
+}
+
+impl SubAssign<u64> for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, dur: u64) {
+        self.0 -= dur;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Duration between two points in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+        assert_eq!(Cycle::ZERO.raw(), 0);
+    }
+
+    #[test]
+    fn add_and_subtract_durations() {
+        let t = Cycle::new(10);
+        assert_eq!((t + 5).raw(), 15);
+        assert_eq!((t - 5).raw(), 5);
+        let mut u = t;
+        u += 3;
+        assert_eq!(u.raw(), 13);
+        u -= 13;
+        assert_eq!(u, Cycle::ZERO);
+    }
+
+    #[test]
+    fn difference_of_points_is_duration() {
+        assert_eq!(Cycle::new(16) - Cycle::new(12), 4);
+    }
+
+    #[test]
+    fn checked_since_none_when_negative() {
+        assert_eq!(Cycle::new(3).checked_since(Cycle::new(5)), None);
+        assert_eq!(Cycle::new(5).checked_since(Cycle::new(3)), Some(2));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        assert_eq!(Cycle::new(3).saturating_sub(10), Cycle::ZERO);
+        assert_eq!(Cycle::new(10).saturating_sub(3), Cycle::new(7));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Cycle::new(2);
+        let b = Cycle::new(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn next_advances_by_one() {
+        assert_eq!(Cycle::ZERO.next(), Cycle::new(1));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle::new(7).to_string(), "cycle 7");
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let t: Cycle = 42u64.into();
+        let raw: u64 = t.into();
+        assert_eq!(raw, 42);
+    }
+}

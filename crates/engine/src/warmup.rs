@@ -1,0 +1,197 @@
+//! Warm-up detection.
+//!
+//! The paper runs "a warm-up phase of a minimum of 10,000 cycles till
+//! average queue lengths have stabilized" before opening the measurement
+//! window. [`WarmupDetector`] reproduces that policy: it observes a scalar
+//! signal (average queue length) sampled periodically and declares the
+//! system warm once a minimum duration has elapsed *and* the relative
+//! change between two consecutive windowed means falls below a tolerance.
+//! A hard cap bounds the wait so that saturated (non-stabilizing) loads
+//! still terminate — at saturation the network never stabilizes, and the
+//! measurement then simply records the divergent latencies the paper's
+//! latency-throughput curves show as the vertical asymptote.
+
+use crate::stats::WindowedMean;
+use crate::Cycle;
+
+/// Policy knobs for [`WarmupDetector`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WarmupConfig {
+    /// Never declare warm before this many cycles (paper: 10,000).
+    pub min_cycles: u64,
+    /// Always declare warm after this many cycles, even if the signal has
+    /// not stabilized (saturated loads never do).
+    pub max_cycles: u64,
+    /// Number of samples in each comparison window.
+    pub window: usize,
+    /// Relative difference between consecutive window means below which
+    /// the signal counts as stable.
+    pub tolerance: f64,
+}
+
+impl Default for WarmupConfig {
+    fn default() -> Self {
+        WarmupConfig {
+            min_cycles: 10_000,
+            max_cycles: 50_000,
+            window: 16,
+            tolerance: 0.05,
+        }
+    }
+}
+
+/// Detects when a sampled signal (e.g. mean queue length) has stabilized.
+///
+/// # Examples
+///
+/// ```
+/// use noc_engine::warmup::{WarmupConfig, WarmupDetector};
+/// use noc_engine::Cycle;
+///
+/// let cfg = WarmupConfig { min_cycles: 100, max_cycles: 1000, window: 4, tolerance: 0.05 };
+/// let mut det = WarmupDetector::new(cfg);
+/// let mut warm_at = None;
+/// for t in (0..2000u64).step_by(10) {
+///     // A signal that has converged to 5.0:
+///     if det.observe(Cycle::new(t), 5.0) {
+///         warm_at = Some(t);
+///         break;
+///     }
+/// }
+/// let t = warm_at.expect("signal should stabilize");
+/// assert!(t >= 100 && t < 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WarmupDetector {
+    config: WarmupConfig,
+    current: WindowedMean,
+    previous: Option<f64>,
+    samples_in_window: usize,
+    warm: bool,
+}
+
+impl WarmupDetector {
+    /// Creates a detector with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `max_cycles < min_cycles`.
+    pub fn new(config: WarmupConfig) -> Self {
+        assert!(
+            config.max_cycles >= config.min_cycles,
+            "max_cycles must be at least min_cycles"
+        );
+        WarmupDetector {
+            current: WindowedMean::new(config.window),
+            previous: None,
+            samples_in_window: 0,
+            config,
+            warm: false,
+        }
+    }
+
+    /// Feeds one sample of the signal at time `now`; returns `true` once
+    /// the system is considered warm (and keeps returning `true` after).
+    pub fn observe(&mut self, now: Cycle, signal: f64) -> bool {
+        if self.warm {
+            return true;
+        }
+        if now.raw() >= self.config.max_cycles {
+            self.warm = true;
+            return true;
+        }
+        self.current.record(signal);
+        self.samples_in_window += 1;
+        if self.samples_in_window >= self.config.window {
+            self.samples_in_window = 0;
+            let mean = self.current.mean().unwrap_or(0.0);
+            if let Some(prev) = self.previous {
+                let scale = prev.abs().max(1e-9);
+                let rel = (mean - prev).abs() / scale;
+                if rel <= self.config.tolerance && now.raw() >= self.config.min_cycles {
+                    self.warm = true;
+                }
+            }
+            self.previous = Some(mean);
+        }
+        self.warm
+    }
+
+    /// Whether the detector has already declared warm.
+    pub fn is_warm(&self) -> bool {
+        self.warm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WarmupConfig {
+        WarmupConfig {
+            min_cycles: 100,
+            max_cycles: 10_000,
+            window: 4,
+            tolerance: 0.05,
+        }
+    }
+
+    #[test]
+    fn stable_signal_warms_after_min_cycles() {
+        let mut det = WarmupDetector::new(cfg());
+        let mut warm_at = None;
+        for t in (0..10_000u64).step_by(10) {
+            if det.observe(Cycle::new(t), 3.0) {
+                warm_at = Some(t);
+                break;
+            }
+        }
+        let t = warm_at.unwrap();
+        assert!(t >= 100, "warmed too early at {t}");
+        assert!(t < 500, "warmed too late at {t}");
+    }
+
+    #[test]
+    fn growing_signal_waits_for_cap() {
+        let mut det = WarmupDetector::new(cfg());
+        let mut warm_at = None;
+        for (i, t) in (0..20_000u64).step_by(10).enumerate() {
+            // Queue growing geometrically: the relative change per window
+            // stays far above the tolerance, so only the cap fires.
+            if det.observe(Cycle::new(t), 1.25f64.powi(i as i32).min(1e300)) {
+                warm_at = Some(t);
+                break;
+            }
+        }
+        assert_eq!(warm_at, Some(10_000));
+    }
+
+    #[test]
+    fn stays_warm_once_warm() {
+        let mut det = WarmupDetector::new(cfg());
+        for t in (0..10_000u64).step_by(10) {
+            if det.observe(Cycle::new(t), 1.0) {
+                break;
+            }
+        }
+        assert!(det.is_warm());
+        // Even a wild signal no longer changes the verdict.
+        assert!(det.observe(Cycle::new(9_999), 1e9));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_cycles must be at least min_cycles")]
+    fn invalid_config_panics() {
+        WarmupDetector::new(WarmupConfig {
+            min_cycles: 10,
+            max_cycles: 5,
+            window: 2,
+            tolerance: 0.1,
+        });
+    }
+
+    #[test]
+    fn default_config_matches_paper_minimum() {
+        assert_eq!(WarmupConfig::default().min_cycles, 10_000);
+    }
+}

@@ -1,0 +1,513 @@
+//! The input reservation table and schedule list (paper Figure 4c).
+//!
+//! One table per input channel orchestrates every data flit's movement
+//! through the router: which buffer an arriving flit is written to, and
+//! which buffer is driven onto which output channel each cycle. The
+//! reservation (departure time + output channel) is filled in by the input
+//! scheduler when the output scheduler reports success; the concrete
+//! buffer is bound only when the flit actually arrives (the paper binds it
+//! one cycle earlier; both choices avoid the buffer-interchange problem of
+//! Figure 10 — the `AtReservation` ablation in `transfers.rs` quantifies
+//! the alternative).
+//!
+//! Data flits that arrive before their control flit has completed
+//! scheduling ("a data flit arrives at a node before its control flit has
+//! completed its schedule") are parked in the buffer pool and tracked in a
+//! logical *schedule list* keyed by arrival time; at most one flit arrives
+//! per cycle per input channel, so the arrival time identifies the flit
+//! unambiguously.
+
+use noc_engine::Cycle;
+use noc_flow::{BufferId, BufferPool, DataFlit};
+use noc_topology::Port;
+
+/// A reservation produced by the output scheduler for one data flit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// Cycle the flit departs this router.
+    pub depart: Cycle,
+    /// Output channel it departs by (`Port::Local` = ejection).
+    pub out_port: Port,
+}
+
+/// Departure-row entry: output channel plus the buffer bound at arrival.
+#[derive(Clone, Copy, Debug)]
+struct Departure {
+    out_port: Port,
+    buffer: Option<BufferId>,
+    /// Same-cycle bypass: the flit never enters the pool; the arrival
+    /// logic forwards it straight to the output.
+    bypass: bool,
+}
+
+/// What happened when a data flit arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalOutcome {
+    /// The reservation was already in the table; the flit was buffered and
+    /// will leave at the recorded departure time.
+    Scheduled(Reservation),
+    /// The reservation departs *this* cycle: the flit bypasses the buffer
+    /// pool and the caller must forward it to `out_port` immediately.
+    Bypass {
+        /// Output channel the flit leaves by right now.
+        out_port: Port,
+    },
+    /// No reservation yet: the flit was parked in the pool and appended to
+    /// the schedule list.
+    Parked,
+}
+
+/// Input reservation table, buffer pool and schedule list for one input
+/// channel.
+///
+/// # Examples
+///
+/// ```
+/// use flit_reservation::{ArrivalOutcome, InputReservationTable};
+/// use noc_engine::Cycle;
+/// use noc_flow::DataFlit;
+/// use noc_topology::{NodeId, Port};
+/// use noc_traffic::PacketId;
+///
+/// let mut table = InputReservationTable::new(32, 6, 4);
+/// let now = Cycle::ZERO;
+/// table.advance_to(now);
+/// // The input scheduler records: arrives at 9, departs east at 12.
+/// table.apply_reservation(Cycle::new(9), Cycle::new(12), Port::East, now);
+/// // ... the flit arrives at cycle 9 ...
+/// let flit = DataFlit {
+///     packet: PacketId::new(0), seq: 0, length: 1,
+///     dest: NodeId::new(5), created_at: Cycle::ZERO,
+/// };
+/// table.advance_to(Cycle::new(9));
+/// assert!(matches!(
+///     table.on_data_arrival(flit, Cycle::new(9)),
+///     ArrivalOutcome::Scheduled(_)
+/// ));
+/// // ... and leaves at cycle 12.
+/// table.advance_to(Cycle::new(12));
+/// let (departed, port) = table.take_departure(Cycle::new(12)).unwrap();
+/// assert_eq!(port, Port::East);
+/// assert_eq!(departed.seq, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InputReservationTable {
+    window: usize,
+    base: Cycle,
+    /// Keyed by arrival time: reservations made before the flit arrived.
+    incoming: Vec<Option<Reservation>>,
+    /// Keyed by departure time: what leaves and where to.
+    outgoing: Vec<Option<Departure>>,
+    pool: BufferPool,
+    /// Schedule list: (arrival time, buffer) of parked, unscheduled flits.
+    early: Vec<(Cycle, BufferId)>,
+}
+
+impl InputReservationTable {
+    /// Creates a table for an input channel with `pool_size` data buffers,
+    /// scheduling horizon `horizon` and downstream propagation delay
+    /// `prop_delay` (which bounds how far ahead reservations can land).
+    pub fn new(horizon: u64, pool_size: usize, prop_delay: u64) -> Self {
+        let window = (horizon + prop_delay + 2) as usize;
+        InputReservationTable {
+            window,
+            base: Cycle::ZERO,
+            incoming: vec![None; window],
+            outgoing: vec![None; window],
+            pool: BufferPool::new(pool_size),
+            early: Vec::new(),
+        }
+    }
+
+    fn slot(&self, t: Cycle) -> usize {
+        (t.raw() % self.window as u64) as usize
+    }
+
+    fn in_window(&self, t: Cycle) -> bool {
+        t >= self.base && t.raw() < self.base.raw() + self.window as u64
+    }
+
+    /// Slides the window start to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if time moves backwards or if an expired slot still holds a
+    /// reservation (a scheduled flit that never arrived / never departed —
+    /// a conservation violation).
+    pub fn advance_to(&mut self, now: Cycle) {
+        assert!(now >= self.base, "input table time went backwards");
+        let steps = (now - self.base).min(self.window as u64);
+        for i in 0..steps {
+            let t = self.base + i;
+            let s = self.slot(t);
+            assert!(
+                self.incoming[s].is_none(),
+                "reserved arrival at {t} never materialised"
+            );
+            assert!(
+                self.outgoing[s].is_none(),
+                "scheduled departure at {t} never executed"
+            );
+        }
+        self.base = now;
+    }
+
+    /// `true` if a departure is already booked for cycle `t` — the
+    /// single-read-port constraint the output scheduler consults.
+    pub fn departure_booked(&self, t: Cycle) -> bool {
+        self.in_window(t) && self.outgoing[self.slot(t)].is_some()
+    }
+
+    /// Records a reservation `(t_a, t_d, out_port)` from the output
+    /// scheduler. If the data flit already arrived (schedule list), binds
+    /// its buffer immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the departure row at `t_d` is already booked, `t_d` is
+    /// not in the future window, or a duplicate reservation exists for
+    /// `t_a`.
+    pub fn apply_reservation(&mut self, t_a: Cycle, t_d: Cycle, out_port: Port, now: Cycle) {
+        assert!(self.in_window(t_d), "departure {t_d} outside window");
+        assert!(t_d > now, "departure must be in the future");
+        assert!(t_d >= t_a, "departure cannot precede arrival");
+        let ds = self.slot(t_d);
+        assert!(
+            self.outgoing[ds].is_none(),
+            "input read port double-booked at {t_d}"
+        );
+        // Has the flit already arrived? (Arrivals happen before control
+        // processing within a cycle, so `t_a <= now` means it is parked.)
+        if t_a <= now {
+            let pos = self
+                .early
+                .iter()
+                .position(|&(a, _)| a == t_a)
+                .unwrap_or_else(|| panic!("no parked flit with arrival time {t_a}"));
+            let (_, buffer) = self.early.swap_remove(pos);
+            self.outgoing[ds] = Some(Departure {
+                out_port,
+                buffer: Some(buffer),
+                bypass: false,
+            });
+        } else {
+            assert!(self.in_window(t_a), "arrival {t_a} outside window");
+            let s = self.slot(t_a);
+            assert!(
+                self.incoming[s].is_none(),
+                "duplicate arrival reservation at {t_a}"
+            );
+            self.incoming[s] = Some(Reservation {
+                depart: t_d,
+                out_port,
+            });
+            self.outgoing[ds] = Some(Departure {
+                out_port,
+                buffer: None,
+                bypass: t_d == t_a,
+            });
+        }
+    }
+
+    /// Handles a data flit arriving on this input channel at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer pool is full — the upstream output scheduler's
+    /// accounting guarantees a buffer, so exhaustion is a protocol bug.
+    pub fn on_data_arrival(&mut self, flit: DataFlit, now: Cycle) -> ArrivalOutcome {
+        let s = self.slot(now);
+        // Same-cycle bypass: consume the departure row and never touch
+        // the pool.
+        if let Some(res) = self.incoming[s] {
+            if res.depart == now {
+                self.incoming[s] = None;
+                let ds = self.slot(now);
+                let dep = self.outgoing[ds]
+                    .take()
+                    .expect("bypass reservation without departure row");
+                debug_assert!(dep.bypass, "same-cycle departure must be a bypass");
+                return ArrivalOutcome::Bypass {
+                    out_port: dep.out_port,
+                };
+            }
+        }
+        let buffer = self
+            .pool
+            .insert(flit)
+            .expect("buffer pool exhausted despite advance reservation");
+        match self.incoming[s].take() {
+            Some(res) => {
+                let ds = self.slot(res.depart);
+                let dep = self.outgoing[ds]
+                    .as_mut()
+                    .expect("incoming reservation without departure row");
+                debug_assert!(dep.buffer.is_none(), "departure buffer already bound");
+                dep.buffer = Some(buffer);
+                ArrivalOutcome::Scheduled(res)
+            }
+            None => {
+                self.early.push((now, buffer));
+                ArrivalOutcome::Parked
+            }
+        }
+    }
+
+    /// Executes the departure booked for cycle `now`, if any, returning
+    /// the flit and its output channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a departure is booked but its buffer was never bound
+    /// (the data flit did not arrive in time — a protocol bug).
+    pub fn take_departure(&mut self, now: Cycle) -> Option<(DataFlit, Port)> {
+        let s = self.slot(now);
+        // Bypass departures are executed by the arrival logic, not here.
+        if self.outgoing[s].map(|d| d.bypass).unwrap_or(false) {
+            return None;
+        }
+        let dep = self.outgoing[s].take()?;
+        let buffer = dep
+            .buffer
+            .expect("departure due but data flit never arrived");
+        let flit = self.pool.take(buffer);
+        Some((flit, dep.out_port))
+    }
+
+    /// Buffers currently occupied.
+    pub fn occupied(&self) -> usize {
+        self.pool.occupied_count()
+    }
+
+    /// Pool capacity.
+    pub fn capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// `true` when every buffer is occupied (the Section 4.2 probe).
+    pub fn is_full(&self) -> bool {
+        self.pool.is_full()
+    }
+
+    /// Number of parked (arrived-but-unscheduled) flits.
+    pub fn parked(&self) -> usize {
+        self.early.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::NodeId;
+    use noc_traffic::PacketId;
+
+    fn flit(seq: u32) -> DataFlit {
+        DataFlit {
+            packet: PacketId::new(3),
+            seq,
+            length: 5,
+            dest: NodeId::new(0),
+            created_at: Cycle::ZERO,
+        }
+    }
+
+    fn table() -> InputReservationTable {
+        InputReservationTable::new(32, 6, 4)
+    }
+
+    #[test]
+    fn reservation_then_arrival_then_departure() {
+        let mut t = table();
+        t.advance_to(Cycle::ZERO);
+        t.apply_reservation(Cycle::new(5), Cycle::new(8), Port::East, Cycle::ZERO);
+        assert!(t.departure_booked(Cycle::new(8)));
+        assert!(!t.departure_booked(Cycle::new(7)));
+        t.advance_to(Cycle::new(5));
+        let outcome = t.on_data_arrival(flit(0), Cycle::new(5));
+        assert_eq!(
+            outcome,
+            ArrivalOutcome::Scheduled(Reservation {
+                depart: Cycle::new(8),
+                out_port: Port::East
+            })
+        );
+        assert_eq!(t.occupied(), 1);
+        t.advance_to(Cycle::new(8));
+        let (f, port) = t.take_departure(Cycle::new(8)).unwrap();
+        assert_eq!(f.seq, 0);
+        assert_eq!(port, Port::East);
+        assert_eq!(t.occupied(), 0);
+    }
+
+    #[test]
+    fn early_arrival_parks_then_matches() {
+        let mut t = table();
+        t.advance_to(Cycle::new(4));
+        assert_eq!(t.on_data_arrival(flit(1), Cycle::new(4)), ArrivalOutcome::Parked);
+        assert_eq!(t.parked(), 1);
+        t.advance_to(Cycle::new(6));
+        // Control flit catches up two cycles later.
+        t.apply_reservation(Cycle::new(4), Cycle::new(9), Port::South, Cycle::new(6));
+        assert_eq!(t.parked(), 0);
+        t.advance_to(Cycle::new(9));
+        let (f, port) = t.take_departure(Cycle::new(9)).unwrap();
+        assert_eq!(f.seq, 1);
+        assert_eq!(port, Port::South);
+    }
+
+    #[test]
+    fn no_departure_when_nothing_booked() {
+        let mut t = table();
+        t.advance_to(Cycle::ZERO);
+        assert_eq!(t.take_departure(Cycle::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-booked")]
+    fn conflicting_departures_panic() {
+        let mut t = table();
+        t.advance_to(Cycle::ZERO);
+        t.apply_reservation(Cycle::new(2), Cycle::new(6), Port::East, Cycle::ZERO);
+        t.apply_reservation(Cycle::new(3), Cycle::new(6), Port::West, Cycle::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "no parked flit")]
+    fn reservation_for_missing_parked_flit_panics() {
+        let mut t = table();
+        t.advance_to(Cycle::new(5));
+        t.apply_reservation(Cycle::new(3), Cycle::new(8), Port::East, Cycle::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "pool exhausted")]
+    fn pool_overflow_panics() {
+        let mut t = InputReservationTable::new(32, 2, 4);
+        t.advance_to(Cycle::ZERO);
+        t.on_data_arrival(flit(0), Cycle::ZERO);
+        t.advance_to(Cycle::new(1));
+        t.on_data_arrival(flit(1), Cycle::new(1));
+        t.advance_to(Cycle::new(2));
+        t.on_data_arrival(flit(2), Cycle::new(2));
+    }
+
+    #[test]
+    fn occupancy_probe() {
+        let mut t = table();
+        t.advance_to(Cycle::ZERO);
+        assert!(!t.is_full());
+        for i in 0..6u64 {
+            t.advance_to(Cycle::new(i));
+            t.on_data_arrival(flit(i as u32), Cycle::new(i));
+        }
+        assert!(t.is_full());
+        assert_eq!(t.capacity(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "never executed")]
+    fn expired_departure_panics() {
+        let mut t = table();
+        t.advance_to(Cycle::ZERO);
+        t.apply_reservation(Cycle::new(2), Cycle::new(3), Port::East, Cycle::ZERO);
+        t.advance_to(Cycle::new(2));
+        t.on_data_arrival(flit(0), Cycle::new(2));
+        // Skip past the departure without executing it.
+        t.advance_to(Cycle::new(10));
+    }
+
+    #[test]
+    fn multiple_parked_flits_match_by_arrival_time() {
+        let mut t = table();
+        for i in 0..3u64 {
+            t.advance_to(Cycle::new(i));
+            t.on_data_arrival(flit(i as u32), Cycle::new(i));
+        }
+        t.advance_to(Cycle::new(3));
+        // Schedule the middle one first.
+        t.apply_reservation(Cycle::new(1), Cycle::new(5), Port::North, Cycle::new(3));
+        t.apply_reservation(Cycle::new(0), Cycle::new(4), Port::East, Cycle::new(3));
+        t.apply_reservation(Cycle::new(2), Cycle::new(6), Port::West, Cycle::new(3));
+        t.advance_to(Cycle::new(4));
+        assert_eq!(t.take_departure(Cycle::new(4)).unwrap().0.seq, 0);
+        t.advance_to(Cycle::new(5));
+        assert_eq!(t.take_departure(Cycle::new(5)).unwrap().0.seq, 1);
+        t.advance_to(Cycle::new(6));
+        assert_eq!(t.take_departure(Cycle::new(6)).unwrap().0.seq, 2);
+    }
+}
+
+#[cfg(test)]
+mod bypass_tests {
+    use super::*;
+    use noc_topology::NodeId;
+    use noc_traffic::PacketId;
+
+    fn flit(seq: u32) -> DataFlit {
+        DataFlit {
+            packet: PacketId::new(7),
+            seq,
+            length: 2,
+            dest: NodeId::new(1),
+            created_at: Cycle::ZERO,
+        }
+    }
+
+    #[test]
+    fn same_cycle_reservation_bypasses_the_pool() {
+        let mut t = InputReservationTable::new(32, 6, 4);
+        t.advance_to(Cycle::ZERO);
+        // Reservation made ahead of time with t_d == t_a.
+        t.apply_reservation(Cycle::new(5), Cycle::new(5), Port::East, Cycle::ZERO);
+        assert!(t.departure_booked(Cycle::new(5)));
+        // The data path must not try to read the pool at cycle 5.
+        t.advance_to(Cycle::new(5));
+        assert_eq!(t.take_departure(Cycle::new(5)), None);
+        // The arrival consumes both rows and never touches a buffer.
+        let outcome = t.on_data_arrival(flit(0), Cycle::new(5));
+        assert_eq!(
+            outcome,
+            ArrivalOutcome::Bypass {
+                out_port: Port::East
+            }
+        );
+        assert_eq!(t.occupied(), 0);
+        assert!(!t.departure_booked(Cycle::new(5)));
+        // The table is clean: advancing past cycle 5 does not panic.
+        t.advance_to(Cycle::new(10));
+    }
+
+    #[test]
+    fn bypass_and_buffered_flits_coexist() {
+        let mut t = InputReservationTable::new(32, 6, 4);
+        t.advance_to(Cycle::ZERO);
+        // Flit A: buffered stay [3, 7); flit B: bypass at 5.
+        t.apply_reservation(Cycle::new(3), Cycle::new(7), Port::North, Cycle::ZERO);
+        t.apply_reservation(Cycle::new(5), Cycle::new(5), Port::East, Cycle::ZERO);
+        t.advance_to(Cycle::new(3));
+        assert!(matches!(
+            t.on_data_arrival(flit(0), Cycle::new(3)),
+            ArrivalOutcome::Scheduled(_)
+        ));
+        assert_eq!(t.occupied(), 1);
+        t.advance_to(Cycle::new(5));
+        assert!(matches!(
+            t.on_data_arrival(flit(1), Cycle::new(5)),
+            ArrivalOutcome::Bypass { .. }
+        ));
+        assert_eq!(t.occupied(), 1, "bypass leaves the buffered flit alone");
+        t.advance_to(Cycle::new(7));
+        let (f, port) = t.take_departure(Cycle::new(7)).unwrap();
+        assert_eq!(f.seq, 0);
+        assert_eq!(port, Port::North);
+        assert_eq!(t.occupied(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot precede arrival")]
+    fn departure_before_arrival_panics() {
+        let mut t = InputReservationTable::new(32, 6, 4);
+        t.advance_to(Cycle::ZERO);
+        t.apply_reservation(Cycle::new(6), Cycle::new(5), Port::East, Cycle::ZERO);
+    }
+}

@@ -1,0 +1,1211 @@
+//! The flit-reservation router (paper Figure 3).
+//!
+//! The upper half is the control network: control flits arrive in per-VC
+//! queues, are routed (heads) or follow their VC's route (bodies), and are
+//! presented to the output scheduler of their output port. The output
+//! scheduler books each led data flit into the output reservation table;
+//! every successful booking is reported to the input scheduler of the
+//! originating input port, which fills the input reservation table and
+//! returns an advance credit upstream. Once all of a control flit's data
+//! flits are scheduled, the control flit is forwarded (or consumed, at the
+//! destination, after scheduling the ejection).
+//!
+//! The lower half is the data network: each cycle the input reservation
+//! tables *direct* the data path — which buffer to write the arriving flit
+//! to and which buffer to drive onto which output channel. "There are no
+//! decisions to be made as all of the work has been done ahead of time by
+//! the control flits."
+
+use crate::transfers::TransferCounter;
+use crate::{
+    BufferAllocPolicy, FrConfig, InputReservationTable, OutputReservationTable, SchedulingPolicy,
+};
+use noc_engine::{Cycle, Rng};
+use noc_engine::stats::RunningStats;
+use noc_flow::{
+    ControlFlit, ControlKind, DataFlit, LedFlit, LinkEvent, Router, StepOutputs,
+};
+use noc_topology::{xy_route, Mesh, NodeId, Port, PortMap};
+use noc_traffic::Packet;
+use std::collections::VecDeque;
+
+/// A control flit waiting in an input control-VC queue.
+#[derive(Clone, Debug)]
+struct QueuedControl {
+    flit: ControlFlit,
+    arrived: Cycle,
+}
+
+/// Per-input control VC state.
+#[derive(Clone, Debug)]
+struct ControlVc {
+    queue: VecDeque<QueuedControl>,
+    /// Output port of the packet currently flowing through this VC.
+    route: Option<Port>,
+    /// Downstream control VC granted to that packet.
+    out_vc: Option<u8>,
+}
+
+impl ControlVc {
+    fn new() -> Self {
+        ControlVc {
+            queue: VecDeque::new(),
+            route: None,
+            out_vc: None,
+        }
+    }
+}
+
+/// Network-interface state: packet staging, the injection reservation
+/// table and data flits awaiting their scheduled injection cycle.
+#[derive(Clone, Debug)]
+struct FrNi {
+    pending: VecDeque<Packet>,
+    /// Control flits of the packet currently being injected.
+    staged: VecDeque<ControlFlit>,
+    /// Local control VC carrying the current packet.
+    current_vc: Option<u8>,
+    /// Output reservation table of the NI→router injection channel.
+    inject_table: OutputReservationTable,
+    /// Data flits scheduled for injection, keyed by injection cycle.
+    data_ready: Vec<(Cycle, DataFlit)>,
+}
+
+/// Aggregate statistics a flit-reservation router collects.
+#[derive(Clone, Debug, Default)]
+pub struct FrStats {
+    /// Lead (in cycles) of ejection-scheduling control flits over their
+    /// data flits at this node, sampled when the reservation is made.
+    pub dest_lead: RunningStats,
+    /// Data flit reservations committed by this router's output schedulers.
+    pub scheduled_flits: u64,
+    /// Data flits that arrived before their reservation (schedule list).
+    pub parked_arrivals: u64,
+    /// Data flits that crossed the router in their arrival cycle.
+    pub bypassed_flits: u64,
+}
+
+/// A flit-reservation flow-control router.
+///
+/// # Examples
+///
+/// ```
+/// use flit_reservation::{FrConfig, FrRouter};
+/// use noc_engine::Rng;
+/// use noc_topology::{Mesh, NodeId};
+///
+/// let mesh = Mesh::new(8, 8);
+/// let router = FrRouter::new(mesh, NodeId::new(0), FrConfig::fr6(), Rng::from_seed(9));
+/// use noc_flow::Router as _;
+/// assert_eq!(router.data_buffer_capacity(noc_topology::Port::East), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrRouter {
+    node: NodeId,
+    mesh: Mesh,
+    config: FrConfig,
+    rng: Rng,
+    /// Control input queues: per input port, per control VC.
+    control_inputs: PortMap<Vec<ControlVc>>,
+    /// Credits for downstream control-VC queues, per output port.
+    control_credits: PortMap<Vec<usize>>,
+    /// Downstream control-VC ownership, per output port.
+    control_vc_owner: PortMap<Vec<bool>>,
+    /// Output reservation tables, per output port.
+    output_tables: PortMap<OutputReservationTable>,
+    /// Input reservation tables (and buffer pools), per input port.
+    input_tables: PortMap<InputReservationTable>,
+    ni: FrNi,
+    stats: FrStats,
+    /// Data flits that arrived on links this cycle, buffered until the
+    /// data path has executed this cycle's departures: a buffer freed at
+    /// `t_d` may be reused by a flit arriving at the same cycle, so
+    /// departures (reads) must run before arrivals (writes).
+    pending_data: Vec<(Port, DataFlit)>,
+    /// Present only under the bind-at-reservation ablation: per-input
+    /// interval bookkeeping that counts buffer-to-buffer transfers.
+    transfer_counters: Option<PortMap<TransferCounter>>,
+}
+
+impl FrRouter {
+    /// Creates a router for `node` of `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (see
+    /// [`FrConfig::validate`]).
+    pub fn new(mesh: Mesh, node: NodeId, config: FrConfig, rng: Rng) -> Self {
+        config.validate();
+        let horizon = config.horizon;
+        let t = config.timing;
+        let output_tables = PortMap::from_fn(|p| {
+            if p == Port::Local {
+                // Ejection channel: 1 flit/cycle into unbounded reassembly
+                // buffers, no propagation.
+                OutputReservationTable::new(horizon, None, 0)
+            } else {
+                OutputReservationTable::new(horizon, Some(config.data_buffers), t.data_delay)
+            }
+        });
+        let input_tables = PortMap::from_fn(|_| {
+            InputReservationTable::new(horizon, config.data_buffers, t.data_delay)
+        });
+        let control_inputs =
+            PortMap::from_fn(|_| (0..config.control_vcs).map(|_| ControlVc::new()).collect());
+        let control_credits = PortMap::from_fn(|_| vec![config.control_queue_depth; config.control_vcs]);
+        let control_vc_owner = PortMap::from_fn(|_| vec![false; config.control_vcs]);
+        FrRouter {
+            node,
+            mesh,
+            config,
+            rng,
+            control_inputs,
+            control_credits,
+            control_vc_owner,
+            output_tables,
+            input_tables,
+            ni: FrNi {
+                pending: VecDeque::new(),
+                staged: VecDeque::new(),
+                current_vc: None,
+                inject_table: OutputReservationTable::new(horizon, Some(config.data_buffers), 0),
+                data_ready: Vec::new(),
+            },
+            stats: FrStats::default(),
+            pending_data: Vec::new(),
+            transfer_counters: match config.buffer_alloc {
+                BufferAllocPolicy::AtReservation => Some(PortMap::from_fn(|_| {
+                    TransferCounter::new(config.data_buffers)
+                })),
+                BufferAllocPolicy::JustBeforeArrival => None,
+            },
+        }
+    }
+
+    /// Buffer transfers incurred so far under the bind-at-reservation
+    /// ablation, as `(transfers, residencies)`; `None` when running the
+    /// paper's deferred-binding policy (which never transfers).
+    pub fn buffer_transfers(&self) -> Option<(u64, u64)> {
+        self.transfer_counters.as_ref().map(|counters| {
+            let mut t = 0;
+            let mut b = 0;
+            for (_, c) in counters.iter() {
+                t += c.transfers();
+                b += c.booked();
+            }
+            (t, b)
+        })
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &FrConfig {
+        &self.config
+    }
+
+    /// Statistics collected so far.
+    pub fn stats(&self) -> &FrStats {
+        &self.stats
+    }
+
+    fn route_to(&self, dest: NodeId) -> Port {
+        if dest == self.node {
+            Port::Local
+        } else {
+            xy_route(self.mesh, self.node, dest).expect("non-local destination must route")
+        }
+    }
+
+    fn advance_tables(&mut self, now: Cycle) {
+        for (_, table) in self.output_tables.iter_mut() {
+            table.advance_to(now);
+        }
+        for (_, table) in self.input_tables.iter_mut() {
+            table.advance_to(now);
+        }
+        self.ni.inject_table.advance_to(now);
+    }
+
+    /// Releases NI data flits whose scheduled injection cycle is `now`
+    /// into the local input channel (delivered with this cycle's other
+    /// arrivals by [`Self::accept_arrivals`]).
+    fn release_injections(&mut self, now: Cycle) {
+        let mut i = 0;
+        let mut released = 0u32;
+        while i < self.ni.data_ready.len() {
+            if self.ni.data_ready[i].0 == now {
+                let (_, flit) = self.ni.data_ready.swap_remove(i);
+                released += 1;
+                assert!(
+                    released <= 1,
+                    "injection channel carried two flits in one cycle"
+                );
+                self.pending_data.push((Port::Local, flit));
+            } else {
+                debug_assert!(
+                    self.ni.data_ready[i].0 > now,
+                    "missed a scheduled injection"
+                );
+                i += 1;
+            }
+        }
+    }
+
+    /// Buffers this cycle's arrivals into the input pools (after the
+    /// departures of the same cycle have freed their buffers), forwarding
+    /// same-cycle bypass flits straight to their reserved outputs.
+    fn accept_arrivals(&mut self, now: Cycle, out: &mut StepOutputs) {
+        let pending = std::mem::take(&mut self.pending_data);
+        for (port, flit) in pending {
+            match self.input_tables[port].on_data_arrival(flit, now) {
+                crate::ArrivalOutcome::Parked => self.stats.parked_arrivals += 1,
+                crate::ArrivalOutcome::Bypass { out_port } => {
+                    self.stats.bypassed_flits += 1;
+                    if out_port == Port::Local {
+                        out.eject(flit, now);
+                    } else {
+                        out.send(out_port, LinkEvent::Data(flit));
+                    }
+                }
+                crate::ArrivalOutcome::Scheduled(_) => {}
+            }
+        }
+    }
+
+    /// Routing pre-pass: compute the output port for head control flits at
+    /// the front of their queues.
+    fn route_control_heads(&mut self, now: Cycle) {
+        for &port in &Port::ALL {
+            for vc in 0..self.config.control_vcs {
+                let dest = {
+                    let cvc = &self.control_inputs[port][vc];
+                    match cvc.queue.front() {
+                        Some(qc)
+                            if qc.flit.is_head()
+                                && cvc.route.is_none()
+                                && qc.arrived + 1 <= now =>
+                        {
+                            match qc.flit.kind {
+                                ControlKind::Head { dest } => Some(dest),
+                                ControlKind::Body => None,
+                            }
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some(dest) = dest {
+                    let out = self.route_to(dest);
+                    self.control_inputs[port][vc].route = Some(out);
+                }
+            }
+        }
+    }
+
+    /// Attempts to reserve departures for every still-unscheduled data
+    /// flit of the control flit at the front of `(in_port, vc)`, routed to
+    /// `out_port`. Returns `true` if the control flit is fully scheduled.
+    ///
+    /// Under per-flit scheduling, successfully booked flits stay booked
+    /// even when later ones fail ("each successfully scheduled data flit
+    /// can hence move on to the next hop"); under all-or-nothing a dry run
+    /// against a snapshot guarantees the commit either books everything or
+    /// nothing.
+    fn schedule_led_flits(
+        &mut self,
+        in_port: Port,
+        vc: usize,
+        out_port: Port,
+        now: Cycle,
+        out: &mut StepOutputs,
+    ) -> bool {
+        if self.config.policy == SchedulingPolicy::AllOrNothing {
+            let front = &self.control_inputs[in_port][vc]
+                .queue
+                .front()
+                .expect("caller guarantees a front flit")
+                .flit;
+            let mut snapshot = self.output_tables[out_port].clone();
+            let mut booked: Vec<Cycle> = Vec::new();
+            let mut remaining = front.led.iter().filter(|l| !l.scheduled).count() as i64;
+            for led in front.led.iter().filter(|l| !l.scheduled) {
+                let input = &self.input_tables[in_port];
+                let allow_bypass = self.config.same_cycle_bypass && led.arrival > now;
+                let found = snapshot.schedule_search(led.arrival, now, remaining, allow_bypass, |c| {
+                    !input.departure_booked(c) && !booked.contains(&c)
+                });
+                match found {
+                    Some(t_d) => {
+                        snapshot.reserve(t_d);
+                        booked.push(t_d);
+                        remaining -= 1;
+                    }
+                    None => return false,
+                }
+            }
+        }
+
+        loop {
+            // Copy out the next unscheduled entry (index + arrival time).
+            let next = {
+                let front = &self.control_inputs[in_port][vc]
+                    .queue
+                    .front()
+                    .expect("caller guarantees a front flit")
+                    .flit;
+                front
+                    .led
+                    .iter()
+                    .enumerate()
+                    .find(|(_, l)| !l.scheduled)
+                    .map(|(i, l)| (i, l.arrival))
+            };
+            let (idx, t_a) = match next {
+                Some(n) => n,
+                None => return true,
+            };
+            // Demanding `remaining` free buffers guarantees this control
+            // flit can always complete its schedule and travel on to
+            // release the flits it has already sent ahead (the greedy
+            // policy reproduces the paper's literal one-buffer rule).
+            let remaining = if self.config.policy == SchedulingPolicy::PerFlitGreedy {
+                1
+            } else {
+                self.control_inputs[in_port][vc]
+                    .queue
+                    .front()
+                    .expect("front still present")
+                    .flit
+                    .led
+                    .iter()
+                    .filter(|l| !l.scheduled)
+                    .count() as i64
+            };
+            let input = &self.input_tables[in_port];
+            let allow_bypass = self.config.same_cycle_bypass && t_a > now;
+            let found = self.output_tables[out_port].schedule_search(
+                t_a,
+                now,
+                remaining,
+                allow_bypass,
+                |c| !input.departure_booked(c),
+            );
+            let t_d = match found {
+                Some(t) => t,
+                None => return false, // stall; already-booked flits stand
+            };
+            self.output_tables[out_port].reserve(t_d);
+            self.input_tables[in_port].apply_reservation(t_a, t_d, out_port, now);
+            if let Some(counters) = &mut self.transfer_counters {
+                // Bypassed flits (t_d == t_a) never occupy a buffer.
+                if t_d > t_a {
+                    counters[in_port].book(t_a, t_d);
+                }
+            }
+            self.stats.scheduled_flits += 1;
+            if out_port == Port::Local {
+                // How far ahead of its data flit did this control flit
+                // schedule the ejection? Negative = data flit got here
+                // first and waited in the schedule list.
+                self.stats
+                    .dest_lead
+                    .record(t_a.raw() as f64 - now.raw() as f64);
+            }
+            // Advance credit: the buffer at this input frees at t_d, plus
+            // the plesiochronous synchronization margin (Section 5).
+            let frees_at = t_d + self.config.sync_margin;
+            if in_port == Port::Local {
+                self.ni.inject_table.credit(frees_at, now);
+            } else {
+                out.send(in_port, LinkEvent::FrCredit { frees_at });
+            }
+            let front = self.control_inputs[in_port][vc]
+                .queue
+                .front_mut()
+                .expect("front still present");
+            front.flit.led[idx].arrival = t_d + self.config.timing.data_delay;
+            front.flit.led[idx].scheduled = true;
+        }
+    }
+
+    /// Processes up to `control_lanes` control flits per output port:
+    /// VC allocation, output scheduling, forwarding/consumption.
+    fn process_control(&mut self, now: Cycle, out: &mut StepOutputs) {
+        self.route_control_heads(now);
+        for &out_port in &Port::ALL {
+            // Candidates: input VCs whose front flit is ready and routed
+            // to this output.
+            let mut candidates: Vec<(Port, usize)> = Vec::new();
+            for &in_port in &Port::ALL {
+                for vc in 0..self.config.control_vcs {
+                    let cvc = &self.control_inputs[in_port][vc];
+                    if cvc.route != Some(out_port) {
+                        continue;
+                    }
+                    match cvc.queue.front() {
+                        Some(qc) if qc.arrived + 1 <= now => candidates.push((in_port, vc)),
+                        _ => {}
+                    }
+                }
+            }
+            self.rng.shuffle(&mut candidates);
+            let mut processed = 0u32;
+            for (in_port, vc) in candidates {
+                if processed >= self.config.control_lanes {
+                    break;
+                }
+                processed += 1;
+                self.process_one_control(in_port, vc, out_port, now, out);
+            }
+        }
+    }
+
+    fn process_one_control(
+        &mut self,
+        in_port: Port,
+        vc: usize,
+        out_port: Port,
+        now: Cycle,
+        out: &mut StepOutputs,
+    ) {
+        // Downstream control VC allocation (heads, non-local routes).
+        if out_port != Port::Local && self.control_inputs[in_port][vc].out_vc.is_none() {
+            let free: Vec<u8> = self.control_vc_owner[out_port]
+                .iter()
+                .enumerate()
+                .filter(|(_, &owned)| !owned)
+                .map(|(v, _)| v as u8)
+                .collect();
+            if free.is_empty() {
+                return; // stall: no downstream control VC
+            }
+            let granted = *self.rng.choose(&free);
+            self.control_vc_owner[out_port][granted as usize] = true;
+            self.control_inputs[in_port][vc].out_vc = Some(granted);
+        }
+        // Credit check before doing the scheduling work: a forwarded
+        // control flit needs a downstream queue slot.
+        let out_vc = if out_port == Port::Local {
+            0
+        } else {
+            let ovc = self.control_inputs[in_port][vc]
+                .out_vc
+                .expect("allocated above");
+            if self.control_credits[out_port][ovc as usize] == 0 {
+                return; // stall: downstream control queue full
+            }
+            ovc
+        };
+
+        if !self.schedule_led_flits(in_port, vc, out_port, now, out) {
+            return; // stall: some data flit could not be scheduled yet
+        }
+
+        // Fully scheduled: consume or forward the control flit.
+        let qc = self.control_inputs[in_port][vc]
+            .queue
+            .pop_front()
+            .expect("front present");
+        let mut flit = qc.flit;
+        let is_tail = flit.is_tail;
+        if in_port != Port::Local {
+            out.send(in_port, LinkEvent::ControlCredit { vc: vc as u8 });
+        }
+        if out_port == Port::Local {
+            // Destination: the control flit has scheduled the ejection of
+            // its data flits and is consumed.
+        } else {
+            self.control_credits[out_port][out_vc as usize] -= 1;
+            flit.vc = out_vc;
+            out.send(out_port, LinkEvent::Control(flit));
+        }
+        if is_tail {
+            let cvc = &mut self.control_inputs[in_port][vc];
+            cvc.route = None;
+            if out_port != Port::Local {
+                let ovc = cvc.out_vc.expect("tail releases an allocated VC");
+                self.control_vc_owner[out_port][ovc as usize] = false;
+            }
+            cvc.out_vc = None;
+        }
+    }
+
+    /// Executes booked departures: drive buffers onto output channels.
+    fn run_data_path(&mut self, now: Cycle, out: &mut StepOutputs) {
+        for &port in &Port::ALL {
+            if let Some((flit, out_port)) = self.input_tables[port].take_departure(now) {
+                if out_port == Port::Local {
+                    out.eject(flit, now);
+                } else {
+                    out.send(out_port, LinkEvent::Data(flit));
+                }
+            }
+        }
+    }
+
+    /// NI: stage pending packets and push their control flits into the
+    /// local control input, scheduling data-flit injections.
+    fn inject_control(&mut self, now: Cycle) {
+        let lanes = self.config.control_lanes;
+        for _ in 0..lanes {
+            if self.ni.staged.is_empty() {
+                let packet = match self.ni.pending.pop_front() {
+                    Some(p) => p,
+                    None => break,
+                };
+                self.stage_packet(packet);
+            }
+            let is_head = self.ni.staged.front().map(|f| f.is_head()).unwrap_or(false);
+            // Pick / look up the local control VC for this packet.
+            let vc = if is_head {
+                let free: Vec<u8> = (0..self.config.control_vcs)
+                    .filter(|&v| {
+                        self.control_inputs[Port::Local][v].queue.len()
+                            < self.config.control_queue_depth
+                    })
+                    .map(|v| v as u8)
+                    .collect();
+                if free.is_empty() {
+                    break;
+                }
+                let chosen = *self.rng.choose(&free);
+                self.ni.current_vc = Some(chosen);
+                chosen
+            } else {
+                match self.ni.current_vc {
+                    Some(v)
+                        if self.control_inputs[Port::Local][v as usize].queue.len()
+                            < self.config.control_queue_depth =>
+                    {
+                        v
+                    }
+                    _ => break,
+                }
+            };
+            // Schedule the injection of this control flit's data flits.
+            if !self.schedule_injections(now) {
+                break;
+            }
+            let mut flit = self.ni.staged.pop_front().expect("staged front");
+            flit.vc = vc;
+            if flit.is_tail {
+                self.ni.current_vc = None;
+            }
+            self.control_inputs[Port::Local][vc as usize]
+                .queue
+                .push_back(QueuedControl { flit, arrived: now });
+        }
+    }
+
+    /// Books injection slots for the front staged control flit's data
+    /// flits. A control flit is only injected "after \[it has\] scheduled
+    /// the injection times of \[its\] data flits", so this is atomic per
+    /// control flit regardless of the router-level scheduling policy:
+    /// either every led flit gets an injection cycle or nothing is booked.
+    fn schedule_injections(&mut self, now: Cycle) -> bool {
+        let lead = self.config.timing.control_lead;
+        // Earliest allowed injection: `now + 1`, or `now + lead` when the
+        // control flit must lead its data flits by `lead` cycles. The
+        // table searches strictly after the floor we pass it.
+        let floor = Cycle::new((now.raw() + lead).saturating_sub(1));
+        let front = self.ni.staged.front_mut().expect("caller checked");
+        // Dry-run on a snapshot so failure books nothing.
+        let mut snapshot = self.ni.inject_table.clone();
+        let mut slots = Vec::with_capacity(front.led.len());
+        let mut remaining = front.led.len() as i64;
+        for _ in &front.led {
+            match snapshot.find_departure_min(floor, now, remaining, |_| true) {
+                Some(t) => {
+                    snapshot.reserve(t);
+                    slots.push(t);
+                    remaining -= 1;
+                }
+                None => return false,
+            }
+        }
+        for (led, &t_inj) in front.led.iter_mut().zip(&slots) {
+            self.ni.inject_table.reserve(t_inj);
+            led.arrival = t_inj;
+            led.scheduled = false; // to be scheduled by this router next
+            self.ni.data_ready.push((t_inj, led.flit));
+        }
+        true
+    }
+
+    fn stage_packet(&mut self, packet: Packet) {
+        let d = self.config.flits_per_control as usize;
+        let total = packet.length_flits;
+        let mut flits: Vec<DataFlit> = (0..total)
+            .map(|seq| DataFlit {
+                packet: packet.id,
+                seq,
+                length: total,
+                dest: packet.dest,
+                created_at: packet.created_at,
+            })
+            .collect();
+        let mut first = true;
+        while !flits.is_empty() || first {
+            let chunk: Vec<LedFlit> = flits
+                .drain(..d.min(flits.len()))
+                .map(|flit| LedFlit {
+                    arrival: Cycle::ZERO, // set when the injection is booked
+                    scheduled: false,
+                    flit,
+                })
+                .collect();
+            let is_tail = flits.is_empty();
+            self.ni.staged.push_back(ControlFlit {
+                vc: 0,
+                kind: if first {
+                    ControlKind::Head { dest: packet.dest }
+                } else {
+                    ControlKind::Body
+                },
+                is_tail,
+                led: chunk,
+                packet: packet.id,
+            });
+            first = false;
+        }
+    }
+}
+
+impl Router for FrRouter {
+    fn node(&self) -> NodeId {
+        self.node
+    }
+
+    fn receive(&mut self, port: Port, event: LinkEvent, now: Cycle) {
+        match event {
+            LinkEvent::Data(flit) => {
+                // Deferred to `step`: this cycle's departures must free
+                // their buffers before this arrival claims one.
+                self.pending_data.push((port, flit));
+            }
+            LinkEvent::Control(mut flit) => {
+                // Every led flit must be rescheduled at this router.
+                for led in &mut flit.led {
+                    led.scheduled = false;
+                }
+                let vc = flit.vc as usize;
+                assert!(vc < self.config.control_vcs, "control vc out of range");
+                let q = &mut self.control_inputs[port][vc];
+                assert!(
+                    q.queue.len() < self.config.control_queue_depth,
+                    "control queue overflow at node {} port {port}",
+                    self.node
+                );
+                q.queue.push_back(QueuedControl { flit, arrived: now });
+            }
+            LinkEvent::ControlCredit { vc } => {
+                let c = &mut self.control_credits[port][vc as usize];
+                *c += 1;
+                debug_assert!(*c <= self.config.control_queue_depth, "control credit overflow");
+            }
+            LinkEvent::FrCredit { frees_at } => {
+                self.output_tables[port].credit(frees_at, now);
+            }
+            other => panic!("FR router received foreign event {other:?}"),
+        }
+    }
+
+    fn try_inject(&mut self, packet: Packet, _now: Cycle) -> bool {
+        self.ni.pending.push_back(packet);
+        true
+    }
+
+    fn step(&mut self, now: Cycle, out: &mut StepOutputs) {
+        self.advance_tables(now);
+        if now.raw() % 64 == 0 {
+            if let Some(counters) = &mut self.transfer_counters {
+                for (_, c) in counters.iter_mut() {
+                    c.collect_garbage(now);
+                }
+            }
+        }
+        self.run_data_path(now, out);
+        self.release_injections(now);
+        self.accept_arrivals(now, out);
+        self.process_control(now, out);
+        self.inject_control(now);
+    }
+
+    fn occupied_data_buffers(&self, port: Port) -> usize {
+        self.input_tables[port].occupied()
+    }
+
+    fn data_buffer_capacity(&self, port: Port) -> usize {
+        self.input_tables[port].capacity()
+    }
+
+    fn queued_flits(&self) -> usize {
+        let pooled: usize = Port::ALL
+            .iter()
+            .map(|&p| self.input_tables[p].occupied())
+            .sum();
+        let pending: usize = self
+            .ni
+            .pending
+            .iter()
+            .map(|p| p.length_flits as usize)
+            .sum();
+        pooled + pending + self.ni.data_ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_traffic::PacketId;
+
+    fn mesh() -> Mesh {
+        Mesh::new(4, 4)
+    }
+
+    fn fr_router(x: u16, y: u16, config: FrConfig) -> FrRouter {
+        let m = mesh();
+        FrRouter::new(m, m.node_at(x, y), config, Rng::from_seed(5))
+    }
+
+    fn packet(m: Mesh, src: (u16, u16), dst: (u16, u16), len: u32) -> Packet {
+        Packet {
+            id: PacketId::new(1),
+            src: m.node_at(src.0, src.1),
+            dest: m.node_at(dst.0, dst.1),
+            length_flits: len,
+            created_at: Cycle::ZERO,
+        }
+    }
+
+    /// Drives the router, returning (cycle, port, event) sends plus
+    /// ejections.
+    fn drive(
+        r: &mut FrRouter,
+        from: u64,
+        to: u64,
+    ) -> (Vec<(u64, Port, LinkEvent)>, Vec<(u64, DataFlit)>) {
+        let mut sends = Vec::new();
+        let mut ejections = Vec::new();
+        for t in from..to {
+            let mut out = StepOutputs::new();
+            r.step(Cycle::new(t), &mut out);
+            for (p, e) in out.sends {
+                sends.push((t, p, e));
+            }
+            for e in out.ejections {
+                ejections.push((t, e.flit));
+            }
+        }
+        (sends, ejections)
+    }
+
+    /// Like `drive`, but echoes a control credit back one cycle after
+    /// every forwarded control flit, emulating an uncongested downstream
+    /// router draining its control queues.
+    fn drive_echo(
+        r: &mut FrRouter,
+        from: u64,
+        to: u64,
+    ) -> (Vec<(u64, Port, LinkEvent)>, Vec<(u64, DataFlit)>) {
+        let mut sends = Vec::new();
+        let mut ejections = Vec::new();
+        let mut pending: Vec<(u64, Port, u8)> = Vec::new();
+        for t in from..to {
+            let now = Cycle::new(t);
+            pending.retain(|&(due, port, vc)| {
+                if due <= t {
+                    r.receive(port, LinkEvent::ControlCredit { vc }, now);
+                    false
+                } else {
+                    true
+                }
+            });
+            let mut out = StepOutputs::new();
+            r.step(now, &mut out);
+            for (p, e) in out.sends {
+                if let LinkEvent::Control(cf) = &e {
+                    pending.push((t + 1, p, cf.vc));
+                }
+                sends.push((t, p, e));
+            }
+            for e in out.ejections {
+                ejections.push((t, e.flit));
+            }
+        }
+        (sends, ejections)
+    }
+
+    fn data_flit(seq: u32, len: u32, dest: NodeId) -> DataFlit {
+        DataFlit {
+            packet: PacketId::new(9),
+            seq,
+            length: len,
+            dest,
+            created_at: Cycle::ZERO,
+        }
+    }
+
+    #[test]
+    fn injected_packet_flows_east_control_before_data() {
+        let m = mesh();
+        let mut r = fr_router(0, 0, FrConfig::fr6());
+        assert!(r.try_inject(packet(m, (0, 0), (3, 0), 5), Cycle::ZERO));
+        let (sends, ejections) = drive_echo(&mut r, 0, 40);
+        assert!(ejections.is_empty());
+        let controls: Vec<(u64, &ControlFlit)> = sends
+            .iter()
+            .filter_map(|(t, p, e)| match e {
+                LinkEvent::Control(cf) => {
+                    assert_eq!(*p, Port::East);
+                    Some((*t, cf))
+                }
+                _ => None,
+            })
+            .collect();
+        let datas: Vec<(u64, &DataFlit)> = sends
+            .iter()
+            .filter_map(|(t, p, e)| match e {
+                LinkEvent::Data(f) => {
+                    assert_eq!(*p, Port::East);
+                    Some((*t, f))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(controls.len(), 5, "d=1: one control flit per data flit");
+        assert_eq!(datas.len(), 5);
+        // The control head leads and every control flit precedes its data
+        // flit on the wire.
+        assert!(controls[0].1.is_head());
+        assert!(controls[4].1.is_tail);
+        for (ct, cf) in &controls {
+            let led = &cf.led[0];
+            assert!(led.scheduled);
+            // The carried arrival time names the *next-hop* arrival:
+            // departure + 4-cycle data link.
+            let dep = led.arrival.raw() - 4;
+            assert!(
+                *ct < dep,
+                "control flit sent at {ct} must precede data departure {dep}"
+            );
+            assert!(
+                datas.iter().any(|(dt, _)| *dt == dep),
+                "a data flit departs at the reserved cycle {dep}"
+            );
+        }
+        // At most 2 control flits per cycle on the link.
+        for t in 0..40u64 {
+            let n = controls.iter().filter(|(ct, _)| *ct == t).count();
+            assert!(n <= 2, "{n} control flits in cycle {t}");
+        }
+        // All data departures distinct (channel busy bits).
+        let mut dep_cycles: Vec<u64> = datas.iter().map(|(t, _)| *t).collect();
+        dep_cycles.sort_unstable();
+        dep_cycles.dedup();
+        assert_eq!(dep_cycles.len(), 5);
+    }
+
+    #[test]
+    fn arriving_packet_is_ejected_and_credited() {
+        let m = mesh();
+        let mut r = fr_router(1, 0, FrConfig::fr6());
+        let dest = m.node_at(1, 0);
+        // A single-flit packet from the west: control head at cycle 0,
+        // data flit arriving at cycle 6.
+        let cf = ControlFlit {
+            vc: 0,
+            kind: ControlKind::Head { dest },
+            is_tail: true,
+            led: vec![LedFlit {
+                arrival: Cycle::new(6),
+                scheduled: true, // will be reset on receive
+                flit: data_flit(0, 1, dest),
+            }],
+            packet: PacketId::new(9),
+        };
+        r.receive(Port::West, LinkEvent::Control(cf), Cycle::ZERO);
+        let mut out = StepOutputs::new();
+        r.step(Cycle::ZERO, &mut out);
+        assert!(out.sends.is_empty(), "not processed until arrived+1");
+        // Cycle 1: control flit processed, ejection scheduled, credits go
+        // back west.
+        let mut out = StepOutputs::new();
+        r.step(Cycle::new(1), &mut out);
+        let kinds: Vec<&LinkEvent> = out.sends.iter().map(|(_, e)| e).collect();
+        assert!(kinds.iter().any(|e| matches!(e, LinkEvent::FrCredit { .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, LinkEvent::ControlCredit { vc: 0 })));
+        assert!(!kinds.iter().any(|e| matches!(e, LinkEvent::Control(_))));
+        // Data flit arrives at 6 and must be ejected at its reserved time.
+        drive(&mut r, 2, 6);
+        r.receive(Port::West, LinkEvent::Data(data_flit(0, 1, dest)), Cycle::new(6));
+        let (_, ejections) = drive(&mut r, 6, 20);
+        assert_eq!(ejections.len(), 1);
+        // With same-cycle bypass the flit can eject in its arrival cycle.
+        assert!(ejections[0].0 >= 6);
+        assert_eq!(r.stats().scheduled_flits, 1);
+        assert_eq!(r.stats().parked_arrivals, 0);
+    }
+
+    #[test]
+    fn early_data_flit_parks_then_ejects() {
+        let m = mesh();
+        let mut r = fr_router(2, 2, FrConfig::fr6());
+        let dest = m.node_at(2, 2);
+        // Data flit beats its control flit by 3 cycles.
+        r.receive(Port::North, LinkEvent::Data(data_flit(0, 1, dest)), Cycle::ZERO);
+        let mut out = StepOutputs::new();
+        r.step(Cycle::ZERO, &mut out);
+        assert_eq!(r.stats().parked_arrivals, 1);
+        assert_eq!(r.occupied_data_buffers(Port::North), 1);
+        let cf = ControlFlit {
+            vc: 1,
+            kind: ControlKind::Head { dest },
+            is_tail: true,
+            led: vec![LedFlit {
+                arrival: Cycle::ZERO,
+                scheduled: false,
+                flit: data_flit(0, 1, dest),
+            }],
+            packet: PacketId::new(9),
+        };
+        r.receive(Port::North, LinkEvent::Control(cf), Cycle::new(3));
+        let (_, ejections) = drive(&mut r, 1, 20);
+        assert_eq!(ejections.len(), 1, "parked flit must still be delivered");
+        assert_eq!(r.occupied_data_buffers(Port::North), 0);
+    }
+
+    #[test]
+    fn leading_control_defers_data_injection() {
+        let m = mesh();
+        let lead = 4;
+        let cfg = FrConfig::fr6().with_timing(noc_flow::LinkTiming::leading_control(lead));
+        let mut r = FrRouter::new(m, m.node_at(0, 0), cfg, Rng::from_seed(5));
+        assert!(r.try_inject(packet(m, (0, 0), (3, 0), 5), Cycle::ZERO));
+        let (sends, _) = drive(&mut r, 0, 60);
+        let first_control = sends
+            .iter()
+            .find_map(|(t, _, e)| matches!(e, LinkEvent::Control(_)).then_some(*t))
+            .expect("control flits leave");
+        let first_data = sends
+            .iter()
+            .find_map(|(t, _, e)| matches!(e, LinkEvent::Data(_)).then_some(*t))
+            .expect("data flits leave");
+        // The control flit was pushed at cycle 0; its data flit could not
+        // be injected before cycle `lead` (and may bypass the router in
+        // its injection cycle).
+        assert!(first_data > first_control);
+        assert!(first_data >= lead, "data deferred behind {lead}-cycle lead");
+    }
+
+    #[test]
+    fn all_or_nothing_matches_per_flit_for_d1() {
+        // With d = 1 a control flit leads one data flit, so the two
+        // policies must schedule identically.
+        let m = mesh();
+        let mut per_flit = fr_router(0, 0, FrConfig::fr6());
+        let mut aon = fr_router(0, 0, FrConfig::fr6().with_policy(SchedulingPolicy::AllOrNothing));
+        assert!(per_flit.try_inject(packet(m, (0, 0), (3, 0), 5), Cycle::ZERO));
+        assert!(aon.try_inject(packet(m, (0, 0), (3, 0), 5), Cycle::ZERO));
+        let (sends_a, _) = drive(&mut per_flit, 0, 40);
+        let (sends_b, _) = drive(&mut aon, 0, 40);
+        let only_data = |v: &[(u64, Port, LinkEvent)]| -> Vec<u64> {
+            v.iter()
+                .filter(|(_, _, e)| matches!(e, LinkEvent::Data(_)))
+                .map(|(t, _, _)| *t)
+                .collect()
+        };
+        assert_eq!(only_data(&sends_a), only_data(&sends_b));
+    }
+
+    #[test]
+    fn multi_flit_control_leads_several_data_flits() {
+        let m = mesh();
+        let cfg = FrConfig::fr6().with_flits_per_control(4);
+        let mut r = FrRouter::new(m, m.node_at(0, 0), cfg, Rng::from_seed(5));
+        assert!(r.try_inject(packet(m, (0, 0), (3, 0), 5), Cycle::ZERO));
+        let (sends, _) = drive(&mut r, 0, 40);
+        let controls: Vec<&ControlFlit> = sends
+            .iter()
+            .filter_map(|(_, _, e)| match e {
+                LinkEvent::Control(cf) => Some(cf),
+                _ => None,
+            })
+            .collect();
+        // 5 data flits with d=4: a head leading 4 and a tail leading 1.
+        assert_eq!(controls.len(), 2);
+        assert_eq!(controls[0].led.len(), 4);
+        assert_eq!(controls[1].led.len(), 1);
+        let datas = sends
+            .iter()
+            .filter(|(_, _, e)| matches!(e, LinkEvent::Data(_)))
+            .count();
+        assert_eq!(datas, 5);
+    }
+
+    #[test]
+    fn transfer_counting_is_enabled_by_policy() {
+        let m = mesh();
+        let cfg = FrConfig {
+            buffer_alloc: BufferAllocPolicy::AtReservation,
+            ..FrConfig::fr6()
+        };
+        let mut r = FrRouter::new(m, m.node_at(0, 0), cfg, Rng::from_seed(5));
+        assert_eq!(r.buffer_transfers(), Some((0, 0)));
+        assert!(r.try_inject(packet(m, (0, 0), (3, 0), 5), Cycle::ZERO));
+        drive_echo(&mut r, 0, 40);
+        let (transfers, booked) = r.buffer_transfers().unwrap();
+        assert_eq!(booked, 5, "five residencies booked");
+        assert_eq!(transfers, 0, "an idle router never needs transfers");
+        let plain = fr_router(0, 0, FrConfig::fr6());
+        assert_eq!(plain.buffer_transfers(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "control queue overflow")]
+    fn control_queue_overflow_panics() {
+        let m = mesh();
+        let mut r = fr_router(1, 1, FrConfig::fr6());
+        let dest = m.node_at(3, 1);
+        for i in 0..4u64 {
+            let cf = ControlFlit {
+                vc: 0,
+                kind: if i == 0 {
+                    ControlKind::Head { dest }
+                } else {
+                    ControlKind::Body
+                },
+                is_tail: false,
+                led: vec![],
+                packet: PacketId::new(9),
+            };
+            // Four arrivals with no processing in between: the 3-deep
+            // control VC queue overflows.
+            r.receive(Port::West, LinkEvent::Control(cf), Cycle::ZERO);
+        }
+    }
+
+    #[test]
+    fn queued_flits_counts_everything() {
+        let m = mesh();
+        let mut r = fr_router(0, 0, FrConfig::fr6());
+        assert_eq!(r.queued_flits(), 0);
+        assert!(r.try_inject(packet(m, (0, 0), (3, 0), 5), Cycle::ZERO));
+        assert_eq!(r.queued_flits(), 5, "pending packet counts its flits");
+        drive_echo(&mut r, 0, 60);
+        assert_eq!(r.queued_flits(), 0, "everything drains");
+    }
+}
+
+#[cfg(test)]
+mod bypass_router_tests {
+    use super::*;
+    use noc_traffic::PacketId;
+
+    /// With fast control and an idle network, every data flit of a
+    /// multi-hop packet should be bypassed (zero cycles in each router),
+    /// which is what produces the paper's 27-vs-32 base latency gap.
+    #[test]
+    fn idle_network_flits_bypass_routers() {
+        let m = Mesh::new(4, 4);
+        let mut r = FrRouter::new(m, m.node_at(1, 0), FrConfig::fr6(), Rng::from_seed(2));
+        let dest = m.node_at(3, 0);
+        // Control head arrives at cycle 0 announcing a data flit at 10;
+        // the router processes it at cycle 1, far ahead of the data.
+        let cf = ControlFlit {
+            vc: 0,
+            kind: ControlKind::Head { dest },
+            is_tail: true,
+            led: vec![LedFlit {
+                arrival: Cycle::new(10),
+                scheduled: false,
+                flit: DataFlit {
+                    packet: PacketId::new(4),
+                    seq: 0,
+                    length: 1,
+                    dest,
+                    created_at: Cycle::ZERO,
+                },
+            }],
+            packet: PacketId::new(4),
+        };
+        r.receive(Port::West, LinkEvent::Control(cf), Cycle::ZERO);
+        let mut sends = Vec::new();
+        for t in 0..=10u64 {
+            if t == 10 {
+                r.receive(
+                    Port::West,
+                    LinkEvent::Data(DataFlit {
+                        packet: PacketId::new(4),
+                        seq: 0,
+                        length: 1,
+                        dest,
+                        created_at: Cycle::ZERO,
+                    }),
+                    Cycle::new(10),
+                );
+            }
+            let mut out = StepOutputs::new();
+            r.step(Cycle::new(t), &mut out);
+            for (p, e) in out.sends {
+                sends.push((t, p, e));
+            }
+        }
+        // The data flit left on the East port in its arrival cycle.
+        let data_sends: Vec<u64> = sends
+            .iter()
+            .filter_map(|(t, p, e)| {
+                matches!(e, LinkEvent::Data(_)).then(|| {
+                    assert_eq!(*p, Port::East);
+                    *t
+                })
+            })
+            .collect();
+        assert_eq!(data_sends, vec![10], "flit must bypass in cycle 10");
+        assert_eq!(r.stats().bypassed_flits, 1);
+        assert_eq!(r.occupied_data_buffers(Port::West), 0);
+    }
+
+    /// Disabling bypass restores the strict `t_d > t_a` of Figure 4.
+    #[test]
+    fn bypass_can_be_disabled() {
+        let m = Mesh::new(4, 4);
+        let cfg = FrConfig::fr6().with_bypass(false);
+        let mut r = FrRouter::new(m, m.node_at(1, 0), cfg, Rng::from_seed(2));
+        let dest = m.node_at(3, 0);
+        let flit = DataFlit {
+            packet: PacketId::new(4),
+            seq: 0,
+            length: 1,
+            dest,
+            created_at: Cycle::ZERO,
+        };
+        let cf = ControlFlit {
+            vc: 0,
+            kind: ControlKind::Head { dest },
+            is_tail: true,
+            led: vec![LedFlit {
+                arrival: Cycle::new(10),
+                scheduled: false,
+                flit,
+            }],
+            packet: PacketId::new(4),
+        };
+        r.receive(Port::West, LinkEvent::Control(cf), Cycle::ZERO);
+        let mut sends = Vec::new();
+        for t in 0..=12u64 {
+            if t == 10 {
+                r.receive(Port::West, LinkEvent::Data(flit), Cycle::new(10));
+            }
+            let mut out = StepOutputs::new();
+            r.step(Cycle::new(t), &mut out);
+            for (_, e) in out.sends {
+                if matches!(e, LinkEvent::Data(_)) {
+                    sends.push(t);
+                }
+            }
+        }
+        assert_eq!(sends, vec![11], "without bypass the flit buffers one cycle");
+        assert_eq!(r.stats().bypassed_flits, 0);
+    }
+}

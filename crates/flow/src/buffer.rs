@@ -1,0 +1,265 @@
+//! Flit buffer pools.
+//!
+//! Flit-reservation flow control keeps one *pool* of `b_d` data buffers
+//! per input channel (no per-VC partitioning — data flits carry no tags to
+//! distinguish packets). [`BufferPool`] provides allocation against
+//! occupancy bits exactly as the paper's input scheduler does one cycle
+//! before each flit arrives.
+
+use crate::DataFlit;
+use std::fmt;
+
+/// Index of a buffer within one input channel's pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufferId(u8);
+
+impl BufferId {
+    /// Creates a buffer id.
+    pub const fn new(raw: u8) -> Self {
+        BufferId(raw)
+    }
+
+    /// Raw index.
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Index widened for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf{}", self.0)
+    }
+}
+
+/// A pool of flit buffers with occupancy bits.
+///
+/// # Examples
+///
+/// ```
+/// use noc_flow::BufferPool;
+///
+/// let mut pool = BufferPool::new(6);
+/// assert_eq!(pool.free_count(), 6);
+/// let id = pool.reserve_any().expect("pool has space");
+/// assert_eq!(pool.free_count(), 5);
+/// pool.release_empty(id);
+/// assert_eq!(pool.free_count(), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    slots: Vec<Option<DataFlit>>,
+    /// Occupancy bits: a slot may be reserved (occupied) before its flit
+    /// is written, mirroring the paper's allocate-one-cycle-early policy.
+    occupied: Vec<bool>,
+    free: usize,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or exceeds 255.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool must have capacity");
+        assert!(capacity <= 255, "buffer pool capacity exceeds BufferId range");
+        BufferPool {
+            slots: vec![None; capacity],
+            occupied: vec![false; capacity],
+            free: capacity,
+        }
+    }
+
+    /// Total number of buffers.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Buffers currently free.
+    pub fn free_count(&self) -> usize {
+        self.free
+    }
+
+    /// Buffers currently occupied (reserved or holding a flit).
+    pub fn occupied_count(&self) -> usize {
+        self.capacity() - self.free
+    }
+
+    /// `true` when every buffer is occupied.
+    pub fn is_full(&self) -> bool {
+        self.free == 0
+    }
+
+    /// Marks the lowest-numbered free buffer occupied and returns it, or
+    /// `None` when the pool is full. The buffer holds no flit yet.
+    pub fn reserve_any(&mut self) -> Option<BufferId> {
+        let idx = self.occupied.iter().position(|&o| !o)?;
+        self.occupied[idx] = true;
+        self.free -= 1;
+        Some(BufferId::new(idx as u8))
+    }
+
+    /// Stores `flit` in a previously reserved buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is not reserved or already holds a flit.
+    pub fn write(&mut self, id: BufferId, flit: DataFlit) {
+        assert!(self.occupied[id.index()], "writing to unreserved buffer");
+        assert!(
+            self.slots[id.index()].is_none(),
+            "buffer already holds a flit"
+        );
+        self.slots[id.index()] = Some(flit);
+    }
+
+    /// Reserves a free buffer and writes `flit` into it in one step.
+    pub fn insert(&mut self, flit: DataFlit) -> Option<BufferId> {
+        let id = self.reserve_any()?;
+        self.write(id, flit);
+        Some(id)
+    }
+
+    /// Reads the flit in a buffer without freeing it.
+    pub fn peek(&self, id: BufferId) -> Option<&DataFlit> {
+        self.slots.get(id.index())?.as_ref()
+    }
+
+    /// Removes the flit from a buffer and frees it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer holds no flit.
+    pub fn take(&mut self, id: BufferId) -> DataFlit {
+        let flit = self.slots[id.index()]
+            .take()
+            .expect("taking from empty buffer");
+        self.occupied[id.index()] = false;
+        self.free += 1;
+        flit
+    }
+
+    /// Frees a reserved buffer that never received its flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer holds a flit or is not reserved.
+    pub fn release_empty(&mut self, id: BufferId) {
+        assert!(
+            self.slots[id.index()].is_none(),
+            "buffer still holds a flit"
+        );
+        assert!(self.occupied[id.index()], "buffer was not reserved");
+        self.occupied[id.index()] = false;
+        self.free += 1;
+    }
+
+    /// Iterates over `(buffer, flit)` pairs currently stored.
+    pub fn iter(&self) -> impl Iterator<Item = (BufferId, &DataFlit)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|f| (BufferId::new(i as u8), f)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_engine::Cycle;
+    use noc_topology::NodeId;
+    use noc_traffic::PacketId;
+
+    fn flit(seq: u32) -> DataFlit {
+        DataFlit {
+            packet: PacketId::new(1),
+            seq,
+            length: 5,
+            dest: NodeId::new(9),
+            created_at: Cycle::ZERO,
+        }
+    }
+
+    #[test]
+    fn reserve_write_take_cycle() {
+        let mut pool = BufferPool::new(2);
+        let a = pool.reserve_any().unwrap();
+        pool.write(a, flit(0));
+        assert_eq!(pool.peek(a).unwrap().seq, 0);
+        assert_eq!(pool.occupied_count(), 1);
+        let taken = pool.take(a);
+        assert_eq!(taken.seq, 0);
+        assert_eq!(pool.free_count(), 2);
+        assert!(pool.peek(a).is_none());
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut pool = BufferPool::new(2);
+        assert!(pool.insert(flit(0)).is_some());
+        assert!(pool.insert(flit(1)).is_some());
+        assert!(pool.is_full());
+        assert_eq!(pool.insert(flit(2)), None);
+        assert_eq!(pool.reserve_any(), None);
+    }
+
+    #[test]
+    fn freed_buffers_are_reused() {
+        let mut pool = BufferPool::new(1);
+        let a = pool.insert(flit(0)).unwrap();
+        pool.take(a);
+        let b = pool.insert(flit(1)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iter_lists_stored_flits() {
+        let mut pool = BufferPool::new(4);
+        pool.insert(flit(0));
+        let b = pool.insert(flit(1)).unwrap();
+        pool.take(b);
+        pool.insert(flit(2));
+        let seqs: Vec<u32> = pool.iter().map(|(_, f)| f.seq).collect();
+        assert_eq!(seqs, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreserved buffer")]
+    fn write_without_reserve_panics() {
+        let mut pool = BufferPool::new(1);
+        pool.write(BufferId::new(0), flit(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "taking from empty buffer")]
+    fn take_from_empty_panics() {
+        let mut pool = BufferPool::new(1);
+        let a = pool.reserve_any().unwrap();
+        pool.take(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have capacity")]
+    fn zero_capacity_panics() {
+        BufferPool::new(0);
+    }
+
+    #[test]
+    fn release_empty_restores_free_count() {
+        let mut pool = BufferPool::new(3);
+        let a = pool.reserve_any().unwrap();
+        assert_eq!(pool.free_count(), 2);
+        pool.release_empty(a);
+        assert_eq!(pool.free_count(), 3);
+    }
+
+    #[test]
+    fn buffer_id_display() {
+        assert_eq!(BufferId::new(5).to_string(), "buf5");
+    }
+}

@@ -1,0 +1,199 @@
+//! The interface between routers and the network fabric.
+//!
+//! `noc-network` owns the links and drives every router through the same
+//! three-phase cycle:
+//!
+//! 1. **receive** — all link arrivals for cycle `t` are delivered;
+//! 2. **inject** — pending source packets are offered to the router;
+//! 3. **step** — the router advances one cycle, emitting link sends and
+//!    ejected flits through [`StepOutputs`].
+//!
+//! Everything a router can put on a wire is a [`LinkEvent`]; which wire it
+//! travels on (data, control or credit, each with its own delay and
+//! bandwidth) is decided by the event's class.
+
+use crate::{ControlFlit, DataFlit, VcTag};
+use noc_engine::Cycle;
+use noc_topology::{NodeId, Port};
+
+/// Anything that can travel between two adjacent routers.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LinkEvent {
+    /// A bare data flit on the FR data network.
+    Data(DataFlit),
+    /// A data flit tagged with VC id and type on the VC network.
+    VcData(VcTag, DataFlit),
+    /// A per-VC credit of the VC network (one buffer slot freed).
+    VcCredit {
+        /// Virtual channel whose downstream buffer was freed.
+        vc: u8,
+    },
+    /// A control flit on the FR control network.
+    Control(ControlFlit),
+    /// A per-VC credit of the FR *control* network.
+    ControlCredit {
+        /// Control virtual channel whose downstream buffer was freed.
+        vc: u8,
+    },
+    /// An advance credit of the FR *data* network: the downstream buffer
+    /// will be free from `frees_at` onwards (the scheduled departure time
+    /// of the flit occupying it).
+    FrCredit {
+        /// Cycle from which the buffer counts as free again.
+        frees_at: Cycle,
+    },
+}
+
+/// Which physical wire class an event travels on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireClass {
+    /// Wide data wires.
+    Data,
+    /// Narrow, fast control wires.
+    Control,
+    /// Credit wires.
+    Credit,
+}
+
+impl LinkEvent {
+    /// The wire class this event travels on.
+    pub fn wire_class(&self) -> WireClass {
+        match self {
+            LinkEvent::Data(_) | LinkEvent::VcData(..) => WireClass::Data,
+            LinkEvent::Control(_) => WireClass::Control,
+            LinkEvent::VcCredit { .. }
+            | LinkEvent::ControlCredit { .. }
+            | LinkEvent::FrCredit { .. } => WireClass::Credit,
+        }
+    }
+}
+
+/// A flit delivered to its destination's network interface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ejection {
+    /// The ejected flit.
+    pub flit: DataFlit,
+    /// Cycle at which the flit left the network.
+    pub at: Cycle,
+}
+
+/// Collector for everything a router produces in one cycle.
+#[derive(Clone, Debug, Default)]
+pub struct StepOutputs {
+    /// Events to place on outgoing links, with the port they leave by.
+    pub sends: Vec<(Port, LinkEvent)>,
+    /// Flits delivered to the local network interface this cycle.
+    pub ejections: Vec<Ejection>,
+}
+
+impl StepOutputs {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        StepOutputs::default()
+    }
+
+    /// Queues an event for transmission out of `port`.
+    pub fn send(&mut self, port: Port, event: LinkEvent) {
+        self.sends.push((port, event));
+    }
+
+    /// Records a flit ejection.
+    pub fn eject(&mut self, flit: DataFlit, at: Cycle) {
+        self.ejections.push(Ejection { flit, at });
+    }
+
+    /// Clears both queues, keeping allocations.
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.ejections.clear();
+    }
+}
+
+/// A flow-control router that can be wired into a `Network`.
+pub trait Router {
+    /// The node this router serves.
+    fn node(&self) -> NodeId;
+
+    /// Delivers one event arriving on `port` at the start of cycle `now`.
+    fn receive(&mut self, port: Port, event: LinkEvent, now: Cycle);
+
+    /// Offers a packet from the node's source queue. Returns `true` if the
+    /// router accepted it (took ownership); `false` leaves it queued and
+    /// the network retries next cycle.
+    fn try_inject(&mut self, packet: noc_traffic::Packet, now: Cycle) -> bool;
+
+    /// Advances the router by one cycle, appending link sends and
+    /// ejections to `out`.
+    fn step(&mut self, now: Cycle, out: &mut StepOutputs);
+
+    /// Data buffers currently occupied at input `port` (for the paper's
+    /// Section 4.2 occupancy probe).
+    fn occupied_data_buffers(&self, port: Port) -> usize;
+
+    /// Data buffer capacity at input `port`.
+    fn data_buffer_capacity(&self, port: Port) -> usize;
+
+    /// Flits currently queued anywhere inside the router (including its
+    /// network-interface queues); used by warm-up detection.
+    fn queued_flits(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_traffic::PacketId;
+
+    fn flit() -> DataFlit {
+        DataFlit {
+            packet: PacketId::new(0),
+            seq: 0,
+            length: 1,
+            dest: NodeId::new(0),
+            created_at: Cycle::ZERO,
+        }
+    }
+
+    #[test]
+    fn wire_classes() {
+        assert_eq!(LinkEvent::Data(flit()).wire_class(), WireClass::Data);
+        assert_eq!(
+            LinkEvent::VcData(
+                VcTag {
+                    vc: 0,
+                    ty: crate::FlitType::HeadTail
+                },
+                flit()
+            )
+            .wire_class(),
+            WireClass::Data
+        );
+        assert_eq!(
+            LinkEvent::VcCredit { vc: 1 }.wire_class(),
+            WireClass::Credit
+        );
+        assert_eq!(
+            LinkEvent::FrCredit {
+                frees_at: Cycle::ZERO
+            }
+            .wire_class(),
+            WireClass::Credit
+        );
+        assert_eq!(
+            LinkEvent::ControlCredit { vc: 0 }.wire_class(),
+            WireClass::Credit
+        );
+    }
+
+    #[test]
+    fn step_outputs_collects_and_clears() {
+        let mut out = StepOutputs::new();
+        out.send(Port::East, LinkEvent::VcCredit { vc: 0 });
+        out.eject(flit(), Cycle::new(9));
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.ejections.len(), 1);
+        assert_eq!(out.ejections[0].at, Cycle::new(9));
+        out.clear();
+        assert!(out.sends.is_empty());
+        assert!(out.ejections.is_empty());
+    }
+}

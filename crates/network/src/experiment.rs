@@ -1,0 +1,256 @@
+//! Experiment harness: build networks for either flow control, sweep
+//! offered loads, and locate saturation — the machinery behind every
+//! figure and table of the paper.
+
+use crate::{run_simulation, Network, RunResult, SimConfig};
+use flit_reservation::{FrConfig, FrRouter};
+use noc_engine::{Rng, sweep};
+use noc_flow::LinkTiming;
+use noc_topology::Mesh;
+use noc_traffic::{LoadSpec, TrafficGenerator};
+use noc_vc::{VcConfig, VcRouter};
+
+/// Which flow control to simulate, with its full configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlowControl {
+    /// Virtual-channel baseline (Dally '92); carries the link timing since
+    /// the VC network has no control wires of its own.
+    VirtualChannel(VcConfig, LinkTiming),
+    /// Flit-reservation flow control (timing lives in [`FrConfig`]).
+    FlitReservation(FrConfig),
+}
+
+impl FlowControl {
+    /// Short label used in tables and plots (e.g. `VC8`, `FR6`, `WH8`,
+    /// `VCT24`, `SAF24`).
+    pub fn label(&self) -> String {
+        match self {
+            FlowControl::VirtualChannel(cfg, _) => {
+                let b = cfg.buffers_per_input();
+                match cfg.allocation {
+                    noc_vc::AllocationUnit::StoreAndForward => format!("SAF{b}"),
+                    noc_vc::AllocationUnit::CutThrough => format!("VCT{b}"),
+                    noc_vc::AllocationUnit::Flit if cfg.num_vcs == 1 => format!("WH{b}"),
+                    noc_vc::AllocationUnit::Flit => format!("VC{b}"),
+                }
+            }
+            FlowControl::FlitReservation(cfg) => format!("FR{}", cfg.data_buffers),
+        }
+    }
+
+    /// The wire timing this configuration runs on.
+    pub fn timing(&self) -> LinkTiming {
+        match self {
+            FlowControl::VirtualChannel(_, t) => *t,
+            FlowControl::FlitReservation(cfg) => cfg.timing,
+        }
+    }
+
+    /// Runs one simulation at `load` on an `mesh` network.
+    pub fn run(&self, mesh: Mesh, load: LoadSpec, sim: &SimConfig) -> RunResult {
+        let root = Rng::from_seed(sim.seed);
+        let generator = TrafficGenerator::uniform(mesh, load, root.fork(0x7261_6666_6963)); // "raffic"
+        match self {
+            FlowControl::VirtualChannel(cfg, timing) => {
+                let mut network = Network::new(mesh, *timing, 2, generator, |node| {
+                    VcRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64))
+                });
+                run_simulation(&mut network, sim)
+            }
+            FlowControl::FlitReservation(cfg) => {
+                let mut network = Network::new(
+                    mesh,
+                    cfg.timing,
+                    cfg.control_lanes,
+                    generator,
+                    |node| FrRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64)),
+                );
+                run_simulation(&mut network, sim)
+            }
+        }
+    }
+}
+
+/// One point of a latency-throughput curve.
+#[derive(Clone, Debug)]
+pub struct LoadPoint {
+    /// Offered load as a fraction of capacity.
+    pub offered: f64,
+    /// Full measurement record.
+    pub result: RunResult,
+}
+
+/// A labelled latency-throughput curve.
+#[derive(Clone, Debug)]
+pub struct Curve {
+    /// Configuration label (`VC8`, `FR6`, ...).
+    pub label: String,
+    /// Points in increasing offered load.
+    pub points: Vec<LoadPoint>,
+}
+
+impl Curve {
+    /// Mean latency at the point closest to `offered` (`None` if that
+    /// point saturated).
+    pub fn latency_at(&self, offered: f64) -> Option<f64> {
+        let point = self
+            .points
+            .iter()
+            .min_by(|a, b| {
+                (a.offered - offered)
+                    .abs()
+                    .partial_cmp(&(b.offered - offered).abs())
+                    .expect("loads are finite")
+            })?;
+        point.result.completed.then(|| point.result.mean_latency())
+    }
+
+    /// Highest offered load whose run completed with latency below
+    /// `latency_limit` — the measured saturation throughput.
+    pub fn saturation_throughput(&self, latency_limit: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.result.completed && p.result.mean_latency() <= latency_limit)
+            .map(|p| p.offered)
+            .fold(0.0, f64::max)
+    }
+
+    /// Lowest measured mean latency — the base (zero-load) latency when
+    /// the sweep includes a low-load point.
+    pub fn base_latency(&self) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| p.result.completed)
+            .map(|p| p.result.mean_latency())
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Sweeps `loads` (fractions of capacity) for one flow control, running
+/// points across `threads` workers.
+pub fn sweep_loads(
+    flow: &FlowControl,
+    mesh: Mesh,
+    packet_length: u32,
+    loads: &[f64],
+    sim: &SimConfig,
+    threads: usize,
+) -> Curve {
+    let points = sweep::run_parallel(loads, threads, |i, &fraction| {
+        let load = LoadSpec::fraction_of_capacity(fraction, packet_length);
+        let mut point_sim = *sim;
+        point_sim.seed = sim.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9);
+        let result = flow.run(mesh, load, &point_sim);
+        LoadPoint {
+            offered: fraction,
+            result,
+        }
+    });
+    Curve {
+        label: flow.label(),
+        points,
+    }
+}
+
+/// Measures base latency with a single near-zero-load run.
+pub fn base_latency(flow: &FlowControl, mesh: Mesh, packet_length: u32, sim: &SimConfig) -> f64 {
+    let load = LoadSpec::fraction_of_capacity(0.05, packet_length);
+    flow.run(mesh, load, sim).mean_latency()
+}
+
+/// Finds saturation throughput by bisection between `lo` (must complete)
+/// and `hi` (should saturate), to `tol` resolution in capacity fraction.
+///
+/// A load "sustains" when the run completes and mean latency stays below
+/// `latency_limit` cycles.
+pub fn find_saturation(
+    flow: &FlowControl,
+    mesh: Mesh,
+    packet_length: u32,
+    sim: &SimConfig,
+    latency_limit: f64,
+    tol: f64,
+) -> f64 {
+    let sustains = |fraction: f64| -> bool {
+        let load = LoadSpec::fraction_of_capacity(fraction, packet_length);
+        let r = flow.run(mesh, load, sim);
+        r.completed && r.mean_latency() <= latency_limit
+    };
+    let mut lo = 0.2;
+    let mut hi = 1.0;
+    if !sustains(lo) {
+        return 0.0;
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if sustains(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_engine::warmup::WarmupConfig;
+
+    fn tiny_sim(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            warmup: WarmupConfig {
+                min_cycles: 300,
+                max_cycles: 2_000,
+                window: 4,
+                tolerance: 0.1,
+            },
+            sample_packets: 120,
+            drain_cap: 8_000,
+            warmup_probe_period: 16,
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        let vc8 = FlowControl::VirtualChannel(VcConfig::vc8(), LinkTiming::fast_control());
+        assert_eq!(vc8.label(), "VC8");
+        let vc32 = FlowControl::VirtualChannel(VcConfig::vc32(), LinkTiming::fast_control());
+        assert_eq!(vc32.label(), "VC32");
+        let fr6 = FlowControl::FlitReservation(FrConfig::fr6());
+        assert_eq!(fr6.label(), "FR6");
+        let fr13 = FlowControl::FlitReservation(FrConfig::fr13());
+        assert_eq!(fr13.label(), "FR13");
+        assert_eq!(fr6.timing().data_delay, 4);
+    }
+
+    #[test]
+    fn sweep_produces_monotone_low_load_points() {
+        let mesh = Mesh::new(4, 4);
+        let fr6 = FlowControl::FlitReservation(FrConfig::fr6());
+        let curve = sweep_loads(&fr6, mesh, 5, &[0.1, 0.3], &tiny_sim(2), 1);
+        assert_eq!(curve.label, "FR6");
+        assert_eq!(curve.points.len(), 2);
+        assert!(curve.points[0].result.completed);
+        assert!(curve.points[1].result.completed);
+        // Latency grows (weakly) with load.
+        assert!(
+            curve.points[0].result.mean_latency() <= curve.points[1].result.mean_latency() + 2.0
+        );
+        let base = curve.base_latency();
+        assert!(base > 10.0 && base < 80.0);
+        assert!(curve.latency_at(0.1).is_some());
+    }
+
+    #[test]
+    fn saturation_throughput_uses_latency_limit() {
+        let mesh = Mesh::new(4, 4);
+        let vc8 = FlowControl::VirtualChannel(VcConfig::vc8(), LinkTiming::fast_control());
+        let curve = sweep_loads(&vc8, mesh, 5, &[0.2, 0.5, 1.2], &tiny_sim(3), 1);
+        let base = curve.base_latency();
+        let sat = curve.saturation_throughput(base * 3.0);
+        assert!(sat >= 0.2, "low load must sustain (got {sat})");
+        assert!(sat < 1.2, "overload must not count as sustained");
+    }
+}

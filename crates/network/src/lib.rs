@@ -1,0 +1,35 @@
+//! # noc-network
+//!
+//! Network composition and measurement: wires `noc-vc` or
+//! `flit-reservation` routers into the paper's 8×8 mesh, drives the
+//! warm-up / measure / drain methodology, and provides the sweep and
+//! saturation-search harness every figure and table is built from.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use noc_network::{FlowControl, SimConfig, sweep_loads};
+//! use noc_flow::LinkTiming;
+//! use noc_topology::Mesh;
+//! use noc_vc::VcConfig;
+//!
+//! let mesh = Mesh::new(8, 8);
+//! let vc8 = FlowControl::VirtualChannel(VcConfig::vc8(), LinkTiming::fast_control());
+//! let curve = sweep_loads(&vc8, mesh, 5, &[0.2, 0.4, 0.6], &SimConfig::quick(1), 1);
+//! println!("VC8 base latency ≈ {:.1} cycles", curve.base_latency());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+mod network;
+mod runner;
+mod tracker;
+
+pub use experiment::{
+    base_latency, find_saturation, sweep_loads, Curve, FlowControl, LoadPoint,
+};
+pub use network::{Network, ProbeConfig, ProbeState};
+pub use runner::{run_simulation, RunResult, SimConfig};
+pub use tracker::DeliveryTracker;

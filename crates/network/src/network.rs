@@ -1,0 +1,495 @@
+//! Wiring routers into a mesh network.
+//!
+//! The network owns all routers and every directed inter-router link
+//! (three wire classes per link: data, control, credit), delivers arrivals
+//! at the start of each cycle, injects offered traffic, steps every
+//! router, and routes the outputs back onto the wires. All routers
+//! observe a consistent snapshot: every arrival for cycle `t` is delivered
+//! before any router steps cycle `t`.
+
+use crate::DeliveryTracker;
+use noc_engine::Cycle;
+use noc_flow::{Link, LinkEvent, LinkTiming, Router, StepOutputs, WireClass};
+use noc_topology::{Mesh, NodeId, Port, PortMap};
+use noc_traffic::TrafficGenerator;
+
+/// The three wires of one directed inter-router link.
+#[derive(Debug)]
+struct LinkSet {
+    data: Link<LinkEvent>,
+    control: Link<LinkEvent>,
+    credit: Link<LinkEvent>,
+}
+
+/// Per-cycle observation knobs (warm-up signal, occupancy probe).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeConfig {
+    /// Node whose buffer pools are sampled for the Section 4.2 occupancy
+    /// probe (defaults to the mesh centre).
+    pub node: NodeId,
+    /// Input port probed.
+    pub port: Port,
+}
+
+/// Occupancy probe accumulators.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProbeState {
+    /// Cycles observed.
+    pub cycles: u64,
+    /// Cycles the probed pool was completely full.
+    pub full_cycles: u64,
+    /// Sum of occupancy fractions, for the mean.
+    pub occupancy_sum: f64,
+}
+
+impl ProbeState {
+    /// Fraction of observed cycles with a full pool.
+    pub fn full_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.full_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean pool occupancy (0..=1).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_sum / self.cycles as f64
+        }
+    }
+}
+
+/// A complete simulated mesh network of `R` routers.
+pub struct Network<R: Router> {
+    mesh: Mesh,
+    timing: LinkTiming,
+    routers: Vec<R>,
+    /// Directed links: `links[node][mesh port]`.
+    links: Vec<PortMap<Option<LinkSet>>>,
+    generator: TrafficGenerator,
+    tracker: DeliveryTracker,
+    now: Cycle,
+    probe: ProbeConfig,
+    probe_state: ProbeState,
+    probe_enabled: bool,
+    /// Packets still being offered to a router that refused them.
+    backlog: Vec<std::collections::VecDeque<noc_traffic::Packet>>,
+    /// Marks injected packets as "measured" while active.
+    measuring: bool,
+    /// Set while draining: no new traffic is offered.
+    injection_stopped: bool,
+    /// Control-wire error model (Section 5, "Error recovery"): each
+    /// control flit transmission is independently corrupted with this
+    /// probability; the error-detection code catches it and the flit is
+    /// retransmitted, costing one extra control-wire traversal per retry
+    /// while preserving link FIFO order (go-back-N style).
+    control_error_rate: f64,
+    error_rng: noc_engine::Rng,
+    control_retries: u64,
+    scratch: StepOutputs,
+}
+
+impl<R: Router> Network<R> {
+    /// Builds a network: one router per node (created by `make_router`),
+    /// one three-wire link set per directed mesh edge.
+    ///
+    /// `control_bandwidth` is the control-wire bandwidth in flits/cycle
+    /// (the paper transfers 2 narrow control flits per cycle).
+    pub fn new(
+        mesh: Mesh,
+        timing: LinkTiming,
+        control_bandwidth: u32,
+        generator: TrafficGenerator,
+        mut make_router: impl FnMut(NodeId) -> R,
+    ) -> Self {
+        let routers: Vec<R> = mesh.nodes().map(&mut make_router).collect();
+        let links = mesh
+            .nodes()
+            .map(|n| {
+                PortMap::from_fn(|p| {
+                    if p.is_mesh() && mesh.neighbor(n, p).is_some() {
+                        Some(LinkSet {
+                            data: Link::new(timing.data_delay, 1),
+                            control: Link::new(timing.control_delay, control_bandwidth),
+                            credit: Link::new(timing.credit_delay, 64),
+                        })
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        let backlog = (0..mesh.node_count())
+            .map(|_| std::collections::VecDeque::new())
+            .collect();
+        let probe = ProbeConfig {
+            node: mesh.node_at(mesh.width() / 2, mesh.height() / 2),
+            port: Port::West,
+        };
+        Network {
+            mesh,
+            timing,
+            routers,
+            links,
+            generator,
+            tracker: DeliveryTracker::new(4096),
+            now: Cycle::ZERO,
+            probe,
+            probe_state: ProbeState::default(),
+            probe_enabled: false,
+            backlog,
+            measuring: false,
+            injection_stopped: false,
+            control_error_rate: 0.0,
+            error_rng: noc_engine::Rng::from_seed(0xE44),
+            control_retries: 0,
+            scratch: StepOutputs::new(),
+        }
+    }
+
+    /// Enables the control-wire error model: every control flit
+    /// transmission is corrupted with probability `rate` and
+    /// retransmitted (paper Section 5: "control flits may be protected by
+    /// an error detection code and retransmitted in the event of an
+    /// error"). Each retry costs one extra control-wire traversal;
+    /// corrupted retransmissions are re-retransmitted, and the link
+    /// delivers in FIFO order so control flits of a packet never
+    /// overtake one another.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` is within `[0, 1)`.
+    pub fn set_control_error_rate(&mut self, rate: f64, seed: u64) {
+        assert!((0.0..1.0).contains(&rate), "error rate must be in [0, 1)");
+        self.control_error_rate = rate;
+        self.error_rng = noc_engine::Rng::from_seed(seed);
+    }
+
+    /// Control flits retransmitted so far under the error model.
+    pub fn control_retries(&self) -> u64 {
+        self.control_retries
+    }
+
+    /// The mesh being simulated.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Delivery tracker (latency and conservation accounting).
+    pub fn tracker(&self) -> &DeliveryTracker {
+        &self.tracker
+    }
+
+    /// Traffic generator.
+    pub fn generator(&self) -> &TrafficGenerator {
+        &self.generator
+    }
+
+    /// Immutable access to a router, e.g. for FR statistics.
+    pub fn router(&self, node: NodeId) -> &R {
+        &self.routers[node.index()]
+    }
+
+    /// Iterates over all routers.
+    pub fn routers(&self) -> impl Iterator<Item = &R> {
+        self.routers.iter()
+    }
+
+    /// Starts/stops marking newly injected packets as measured.
+    pub fn set_measuring(&mut self, on: bool) {
+        self.measuring = on;
+    }
+
+    /// Enables the occupancy probe (cleared counters).
+    pub fn enable_probe(&mut self) {
+        self.probe_enabled = true;
+        self.probe_state = ProbeState::default();
+    }
+
+    /// Occupancy probe results.
+    pub fn probe_state(&self) -> ProbeState {
+        self.probe_state
+    }
+
+    /// Overrides the probed node/port.
+    pub fn set_probe(&mut self, probe: ProbeConfig) {
+        self.probe = probe;
+    }
+
+    /// Average number of flits queued per router — the warm-up signal.
+    pub fn mean_queued_flits(&self) -> f64 {
+        let total: usize = self.routers.iter().map(|r| r.queued_flits()).sum();
+        total as f64 / self.routers.len() as f64
+    }
+
+    /// Stops offering new traffic (used while draining).
+    pub fn stop_injection(&mut self) {
+        self.backlog.iter_mut().for_each(|q| q.clear());
+        self.injection_stopped = true;
+    }
+
+    /// Advances the network by one cycle.
+    pub fn cycle(&mut self) {
+        let now = self.now;
+        // Phase 1: deliver link arrivals.
+        for n in 0..self.routers.len() {
+            for &port in &Port::MESH {
+                let Some(set) = self.links[n].index_mut_opt(port) else {
+                    continue;
+                };
+                let deliver_port = port.opposite().expect("mesh port");
+                let to = self
+                    .mesh
+                    .neighbor(NodeId::new(n as u16), port)
+                    .expect("link implies neighbor");
+                for wire in [&mut set.data, &mut set.control, &mut set.credit] {
+                    for event in wire.take_arrivals(now) {
+                        self.routers[to.index()].receive(deliver_port, event, now);
+                    }
+                }
+            }
+        }
+        // Phase 2: offer traffic.
+        if !self.injection_stopped {
+            for packet in self.generator.tick(now) {
+                self.tracker.on_inject(&packet, self.measuring);
+                self.backlog[packet.src.index()].push_back(packet);
+            }
+        }
+        for n in 0..self.routers.len() {
+            while let Some(&packet) = self.backlog[n].front() {
+                if self.routers[n].try_inject(packet, now) {
+                    self.backlog[n].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Phase 3: step every router and route its outputs.
+        for n in 0..self.routers.len() {
+            self.scratch.clear();
+            self.routers[n].step(now, &mut self.scratch);
+            let node = NodeId::new(n as u16);
+            let sends = std::mem::take(&mut self.scratch.sends);
+            for (port, event) in sends {
+                assert!(port.is_mesh(), "routers send on mesh ports only");
+                let set = self.links[n]
+                    .index_mut_opt(port)
+                    .unwrap_or_else(|| panic!("send on missing link {node} {port}"));
+                let class = event.wire_class();
+                let wire = match class {
+                    WireClass::Data => &mut set.data,
+                    WireClass::Control => &mut set.control,
+                    WireClass::Credit => &mut set.credit,
+                };
+                // Error model: a corrupted control flit is retransmitted;
+                // each retry adds one wire traversal of delay.
+                let mut extra = 0;
+                if class == WireClass::Control && self.control_error_rate > 0.0 {
+                    while self.error_rng.chance(self.control_error_rate) {
+                        self.control_retries += 1;
+                        extra += self.timing.control_delay.max(1);
+                    }
+                }
+                wire.push_with_extra_delay(now, event, extra)
+                    .expect("link bandwidth exceeded: flow-control protocol bug");
+            }
+            let ejections = std::mem::take(&mut self.scratch.ejections);
+            for e in ejections {
+                self.tracker
+                    .on_eject(e.flit.packet, e.flit.seq, node, e.at);
+            }
+        }
+        // Phase 4: probes.
+        if self.probe_enabled {
+            let r = &self.routers[self.probe.node.index()];
+            let occ = r.occupied_data_buffers(self.probe.port);
+            let cap = r.data_buffer_capacity(self.probe.port).max(1);
+            self.probe_state.cycles += 1;
+            if occ >= cap {
+                self.probe_state.full_cycles += 1;
+            }
+            self.probe_state.occupancy_sum += occ as f64 / cap as f64;
+        }
+        self.now = now.next();
+    }
+
+    /// Runs `n` cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.cycle();
+        }
+    }
+}
+
+// A small extension so `Network::cycle` can get `Option<&mut LinkSet>`
+// out of a `PortMap<Option<LinkSet>>` without fighting the borrow checker.
+trait PortMapOptExt {
+    fn index_mut_opt(&mut self, port: Port) -> Option<&mut LinkSet>;
+}
+
+impl PortMapOptExt for PortMap<Option<LinkSet>> {
+    fn index_mut_opt(&mut self, port: Port) -> Option<&mut LinkSet> {
+        self[port].as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimConfig;
+    use flit_reservation::{FrConfig, FrRouter};
+    use noc_engine::warmup::WarmupConfig;
+    use noc_engine::Rng;
+    use noc_traffic::LoadSpec;
+    use noc_vc::{VcConfig, VcRouter};
+
+    fn tiny_sim(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            warmup: WarmupConfig {
+                min_cycles: 300,
+                max_cycles: 2_000,
+                window: 4,
+                tolerance: 0.1,
+            },
+            sample_packets: 150,
+            drain_cap: 10_000,
+            warmup_probe_period: 16,
+        }
+    }
+
+    fn vc_network(mesh: Mesh, load: f64, seed: u64) -> Network<VcRouter> {
+        let root = Rng::from_seed(seed);
+        let spec = LoadSpec::fraction_of_capacity(load, 5);
+        let generator = TrafficGenerator::uniform(mesh, spec, root.fork(99));
+        Network::new(mesh, LinkTiming::fast_control(), 2, generator, |node| {
+            VcRouter::new(mesh, node, VcConfig::vc8(), root.fork(node.raw() as u64))
+        })
+    }
+
+    fn fr_network(mesh: Mesh, load: f64, seed: u64) -> Network<FrRouter> {
+        let root = Rng::from_seed(seed);
+        let spec = LoadSpec::fraction_of_capacity(load, 5);
+        let generator = TrafficGenerator::uniform(mesh, spec, root.fork(99));
+        Network::new(mesh, LinkTiming::fast_control(), 2, generator, |node| {
+            FrRouter::new(mesh, node, FrConfig::fr6(), root.fork(node.raw() as u64))
+        })
+    }
+
+    #[test]
+    fn vc_network_conserves_packets() {
+        let mesh = Mesh::new(4, 4);
+        let mut net = vc_network(mesh, 0.3, 11);
+        net.run_cycles(2_000);
+        net.stop_injection();
+        net.run_cycles(2_000);
+        // Everything injected was delivered exactly once (the tracker
+        // panics on duplicates/wrong destinations).
+        assert_eq!(net.tracker().in_flight(), 0, "network must drain");
+        assert!(net.tracker().delivered_packets() > 50);
+        assert_eq!(net.mean_queued_flits(), 0.0);
+    }
+
+    #[test]
+    fn fr_network_conserves_packets() {
+        let mesh = Mesh::new(4, 4);
+        let mut net = fr_network(mesh, 0.3, 11);
+        net.run_cycles(2_000);
+        net.stop_injection();
+        net.run_cycles(3_000);
+        assert_eq!(net.tracker().in_flight(), 0, "network must drain");
+        assert!(net.tracker().delivered_packets() > 50);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let mesh = Mesh::new(4, 4);
+        let mut a = fr_network(mesh, 0.4, 5);
+        let mut b = fr_network(mesh, 0.4, 5);
+        a.set_measuring(true);
+        b.set_measuring(true);
+        a.run_cycles(1_500);
+        b.run_cycles(1_500);
+        assert_eq!(
+            a.tracker().delivered_flits(),
+            b.tracker().delivered_flits()
+        );
+        assert_eq!(a.tracker().latency().mean(), b.tracker().latency().mean());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mesh = Mesh::new(4, 4);
+        let mut a = vc_network(mesh, 0.4, 5);
+        let mut b = vc_network(mesh, 0.4, 6);
+        a.set_measuring(true);
+        b.set_measuring(true);
+        a.run_cycles(1_500);
+        b.run_cycles(1_500);
+        // Latency trajectories differ with overwhelming probability.
+        assert_ne!(a.tracker().latency().mean(), b.tracker().latency().mean());
+    }
+
+    #[test]
+    fn probe_records_occupancy() {
+        let mesh = Mesh::new(4, 4);
+        let mut net = fr_network(mesh, 0.8, 3);
+        net.enable_probe();
+        net.run_cycles(2_000);
+        let p = net.probe_state();
+        assert_eq!(p.cycles, 2_000);
+        assert!(p.mean_occupancy() >= 0.0 && p.mean_occupancy() <= 1.0);
+        assert!(p.full_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn run_simulation_completes_at_low_load() {
+        let mesh = Mesh::new(4, 4);
+        let mut net = vc_network(mesh, 0.2, 21);
+        let r = crate::run_simulation(&mut net, &tiny_sim(21));
+        assert!(r.completed);
+        assert_eq!(r.delivered, 150);
+        assert!(r.mean_latency() > 10.0 && r.mean_latency() < 100.0);
+        assert!(r.accepted_fraction > 0.1 && r.accepted_fraction < 0.4);
+        assert!(r.end_cycle > r.measure_start);
+    }
+
+    #[test]
+    fn overload_is_flagged_saturated() {
+        let mesh = Mesh::new(4, 4);
+        // 150% of capacity cannot be sustained by any flow control.
+        let mut net = vc_network(mesh, 1.5, 21);
+        let mut sim = tiny_sim(21);
+        sim.drain_cap = 500;
+        sim.sample_packets = 2_000;
+        let r = crate::run_simulation(&mut net, &sim);
+        assert!(!r.completed, "overload must be flagged");
+        assert!(r.accepted_fraction < 1.2);
+    }
+
+    #[test]
+    fn fr_beats_vc_latency_at_moderate_load() {
+        let mesh = Mesh::new(4, 4);
+        let sim = tiny_sim(9);
+        let mut vc = vc_network(mesh, 0.4, 9);
+        let mut fr = fr_network(mesh, 0.4, 9);
+        let rv = crate::run_simulation(&mut vc, &sim);
+        let rf = crate::run_simulation(&mut fr, &sim);
+        assert!(rv.completed && rf.completed);
+        assert!(
+            rf.mean_latency() < rv.mean_latency(),
+            "FR {:.1} must beat VC {:.1}",
+            rf.mean_latency(),
+            rv.mean_latency()
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! End-to-end delivery tracking and latency accounting.
+//!
+//! Latency "spans the instant when the first flit of the packet is
+//! created, to the time when its last flit is ejected at the destination
+//! node, including source queuing time and assuming immediate ejection"
+//! (paper Section 4). The tracker also cross-checks conservation: every
+//! flit is delivered exactly once, to the right node.
+
+use noc_engine::stats::{Histogram, RunningStats};
+use noc_engine::Cycle;
+use noc_topology::NodeId;
+use noc_traffic::{Packet, PacketId};
+use std::collections::HashMap;
+
+/// In-flight bookkeeping for one packet.
+#[derive(Clone, Debug)]
+struct Inflight {
+    dest: NodeId,
+    created_at: Cycle,
+    length: u32,
+    seen: u64,
+    seen_count: u32,
+    measured: bool,
+}
+
+/// Tracks every injected packet until its last flit ejects.
+///
+/// # Examples
+///
+/// ```
+/// use noc_engine::Cycle;
+/// use noc_network::DeliveryTracker;
+/// use noc_topology::NodeId;
+/// use noc_traffic::{Packet, PacketId};
+///
+/// let mut tracker = DeliveryTracker::new(200);
+/// tracker.on_inject(&Packet {
+///     id: PacketId::new(0), src: NodeId::new(1), dest: NodeId::new(2),
+///     length_flits: 1, created_at: Cycle::ZERO,
+/// }, true);
+/// tracker.on_eject(PacketId::new(0), 0, NodeId::new(2), Cycle::new(27));
+/// assert_eq!(tracker.measured_delivered(), 1);
+/// assert_eq!(tracker.latency().mean(), 27.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeliveryTracker {
+    inflight: HashMap<PacketId, Inflight>,
+    latency: RunningStats,
+    latency_hist: Histogram,
+    measured_delivered: u64,
+    measured_outstanding: u64,
+    delivered_flits: u64,
+    delivered_packets: u64,
+}
+
+impl DeliveryTracker {
+    /// Creates a tracker; `hist_max` caps the exact latency histogram.
+    pub fn new(hist_max: usize) -> Self {
+        DeliveryTracker {
+            inflight: HashMap::new(),
+            latency: RunningStats::new(),
+            latency_hist: Histogram::new(hist_max),
+            measured_delivered: 0,
+            measured_outstanding: 0,
+            delivered_flits: 0,
+            delivered_packets: 0,
+        }
+    }
+
+    /// Registers an injected packet; `measured` marks it as part of the
+    /// sample whose latency is reported.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate packet ids.
+    pub fn on_inject(&mut self, packet: &Packet, measured: bool) {
+        let prev = self.inflight.insert(
+            packet.id,
+            Inflight {
+                dest: packet.dest,
+                created_at: packet.created_at,
+                length: packet.length_flits,
+                seen: 0,
+                seen_count: 0,
+                measured,
+            },
+        );
+        assert!(prev.is_none(), "duplicate packet id {}", packet.id);
+        if measured {
+            self.measured_outstanding += 1;
+        }
+    }
+
+    /// Records the ejection of flit `seq` of `packet` at node `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown packets, wrong destinations, out-of-range or
+    /// duplicate flits — all conservation violations.
+    pub fn on_eject(&mut self, packet: PacketId, seq: u32, at: NodeId, now: Cycle) {
+        let entry = self
+            .inflight
+            .get_mut(&packet)
+            .unwrap_or_else(|| panic!("ejected unknown packet {packet}"));
+        assert_eq!(entry.dest, at, "packet {packet} ejected at wrong node");
+        assert!(seq < entry.length, "flit seq out of range for {packet}");
+        if entry.length <= 64 {
+            let bit = 1u64 << seq;
+            assert_eq!(entry.seen & bit, 0, "duplicate flit {seq} of {packet}");
+            entry.seen |= bit;
+        }
+        entry.seen_count += 1;
+        self.delivered_flits += 1;
+        if entry.seen_count == entry.length {
+            let latency = now - entry.created_at;
+            if entry.measured {
+                self.latency.record(latency as f64);
+                self.latency_hist.record(latency);
+                self.measured_delivered += 1;
+                self.measured_outstanding -= 1;
+            }
+            self.delivered_packets += 1;
+            self.inflight.remove(&packet);
+        }
+    }
+
+    /// Latency statistics over delivered measured packets.
+    pub fn latency(&self) -> &RunningStats {
+        &self.latency
+    }
+
+    /// Latency histogram over delivered measured packets.
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_hist
+    }
+
+    /// Measured packets fully delivered.
+    pub fn measured_delivered(&self) -> u64 {
+        self.measured_delivered
+    }
+
+    /// Measured packets still in flight (or queued).
+    pub fn measured_outstanding(&self) -> u64 {
+        self.measured_outstanding
+    }
+
+    /// All flits delivered so far (measured or not).
+    pub fn delivered_flits(&self) -> u64 {
+        self.delivered_flits
+    }
+
+    /// All packets fully delivered so far.
+    pub fn delivered_packets(&self) -> u64 {
+        self.delivered_packets
+    }
+
+    /// Packets injected but not yet fully delivered.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(id: u64, len: u32, created: u64) -> Packet {
+        Packet {
+            id: PacketId::new(id),
+            src: NodeId::new(0),
+            dest: NodeId::new(5),
+            length_flits: len,
+            created_at: Cycle::new(created),
+        }
+    }
+
+    #[test]
+    fn tracks_multi_flit_delivery() {
+        let mut t = DeliveryTracker::new(100);
+        t.on_inject(&packet(1, 3, 10), true);
+        t.on_eject(PacketId::new(1), 2, NodeId::new(5), Cycle::new(30));
+        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(31));
+        assert_eq!(t.measured_delivered(), 0);
+        assert_eq!(t.in_flight(), 1);
+        t.on_eject(PacketId::new(1), 1, NodeId::new(5), Cycle::new(35));
+        assert_eq!(t.measured_delivered(), 1);
+        assert_eq!(t.latency().mean(), 25.0);
+        assert_eq!(t.in_flight(), 0);
+        assert_eq!(t.delivered_flits(), 3);
+        assert_eq!(t.delivered_packets(), 1);
+    }
+
+    #[test]
+    fn unmeasured_packets_do_not_affect_latency() {
+        let mut t = DeliveryTracker::new(100);
+        t.on_inject(&packet(1, 1, 0), false);
+        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(99));
+        assert_eq!(t.latency().count(), 0);
+        assert_eq!(t.measured_delivered(), 0);
+        assert_eq!(t.delivered_packets(), 1);
+    }
+
+    #[test]
+    fn outstanding_counts() {
+        let mut t = DeliveryTracker::new(100);
+        t.on_inject(&packet(1, 1, 0), true);
+        t.on_inject(&packet(2, 1, 0), true);
+        assert_eq!(t.measured_outstanding(), 2);
+        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(20));
+        assert_eq!(t.measured_outstanding(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong node")]
+    fn wrong_destination_panics() {
+        let mut t = DeliveryTracker::new(100);
+        t.on_inject(&packet(1, 1, 0), true);
+        t.on_eject(PacketId::new(1), 0, NodeId::new(4), Cycle::new(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate flit")]
+    fn duplicate_flit_panics() {
+        let mut t = DeliveryTracker::new(100);
+        t.on_inject(&packet(1, 2, 0), true);
+        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(20));
+        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(21));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown packet")]
+    fn unknown_packet_panics() {
+        let mut t = DeliveryTracker::new(100);
+        t.on_eject(PacketId::new(7), 0, NodeId::new(5), Cycle::new(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate packet id")]
+    fn duplicate_inject_panics() {
+        let mut t = DeliveryTracker::new(100);
+        t.on_inject(&packet(1, 1, 0), true);
+        t.on_inject(&packet(1, 1, 0), true);
+    }
+}

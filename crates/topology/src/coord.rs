@@ -1,0 +1,116 @@
+//! Node identifiers and 2-D coordinates.
+
+use std::fmt;
+
+/// Dense node identifier, `0..node_count`, in row-major order
+/// (`id = y * width + x`).
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::NodeId;
+///
+/// let n = NodeId::new(12);
+/// assert_eq!(n.raw(), 12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        NodeId(raw)
+    }
+
+    /// Returns the raw index.
+    #[inline]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the raw index widened to `usize` for table lookups.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(raw: u16) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// A position in a 2-D grid: `x` grows eastwards, `y` grows southwards.
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::Coord;
+///
+/// let c = Coord::new(3, 5);
+/// assert_eq!(c.x, 3);
+/// assert_eq!(c.y, 5);
+/// assert_eq!(c.manhattan_distance(Coord::new(0, 0)), 8);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Coord {
+    /// Column, growing eastwards.
+    pub x: u16,
+    /// Row, growing southwards.
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    #[inline]
+    pub const fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan (L1) distance between two coordinates.
+    #[inline]
+    pub const fn manhattan_distance(self, other: Coord) -> u16 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trip() {
+        let n: NodeId = 7u16.into();
+        assert_eq!(n.raw(), 7);
+        assert_eq!(n.index(), 7usize);
+        assert_eq!(n.to_string(), "n7");
+    }
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Coord::new(1, 2);
+        let b = Coord::new(4, 0);
+        assert_eq!(a.manhattan_distance(b), 5);
+        assert_eq!(b.manhattan_distance(a), 5);
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn coord_display() {
+        assert_eq!(Coord::new(2, 3).to_string(), "(2, 3)");
+    }
+}

@@ -1,0 +1,219 @@
+//! Router ports of a 2-D mesh node.
+//!
+//! Every router has four mesh-facing ports plus a `Local` port connecting
+//! the node's processing element / network interface — the "5" that
+//! appears throughout the paper's Table 1 storage formulas.
+
+use std::fmt;
+
+/// One of the five ports of a 2-D mesh router.
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::Port;
+///
+/// assert_eq!(Port::East.opposite(), Some(Port::West));
+/// assert_eq!(Port::Local.opposite(), None);
+/// assert_eq!(Port::COUNT, 5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Port {
+    /// Towards decreasing `y`.
+    North,
+    /// Towards increasing `y`.
+    South,
+    /// Towards increasing `x`.
+    East,
+    /// Towards decreasing `x`.
+    West,
+    /// The node's own network interface (injection/ejection).
+    Local,
+}
+
+impl Port {
+    /// Number of ports per router.
+    pub const COUNT: usize = 5;
+
+    /// All ports, in index order.
+    pub const ALL: [Port; Port::COUNT] =
+        [Port::North, Port::South, Port::East, Port::West, Port::Local];
+
+    /// The four mesh-facing ports (everything but `Local`).
+    pub const MESH: [Port; 4] = [Port::North, Port::South, Port::East, Port::West];
+
+    /// Dense index in `0..Port::COUNT`, for table lookups.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Port::North => 0,
+            Port::South => 1,
+            Port::East => 2,
+            Port::West => 3,
+            Port::Local => 4,
+        }
+    }
+
+    /// Inverse of [`Port::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Port::COUNT`.
+    #[inline]
+    pub const fn from_index(index: usize) -> Port {
+        match index {
+            0 => Port::North,
+            1 => Port::South,
+            2 => Port::East,
+            3 => Port::West,
+            4 => Port::Local,
+            _ => panic!("port index out of range"),
+        }
+    }
+
+    /// The port a neighbouring router receives on when this router sends
+    /// on `self`; `None` for `Local`.
+    #[inline]
+    pub const fn opposite(self) -> Option<Port> {
+        match self {
+            Port::North => Some(Port::South),
+            Port::South => Some(Port::North),
+            Port::East => Some(Port::West),
+            Port::West => Some(Port::East),
+            Port::Local => None,
+        }
+    }
+
+    /// `true` for the four mesh-facing ports.
+    #[inline]
+    pub const fn is_mesh(self) -> bool {
+        !matches!(self, Port::Local)
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Port::North => "north",
+            Port::South => "south",
+            Port::East => "east",
+            Port::West => "west",
+            Port::Local => "local",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A fixed-size table indexed by [`Port`], used for per-port router state.
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::{Port, PortMap};
+///
+/// let mut credits: PortMap<u32> = PortMap::from_fn(|_| 4);
+/// credits[Port::East] -= 1;
+/// assert_eq!(credits[Port::East], 3);
+/// assert_eq!(credits[Port::West], 4);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PortMap<T> {
+    slots: [T; Port::COUNT],
+}
+
+impl<T> PortMap<T> {
+    /// Builds a map by calling `f` for every port.
+    pub fn from_fn(mut f: impl FnMut(Port) -> T) -> Self {
+        PortMap {
+            slots: Port::ALL.map(&mut f),
+        }
+    }
+
+    /// Iterates over `(port, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Port, &T)> {
+        Port::ALL.iter().map(move |&p| (p, &self.slots[p.index()]))
+    }
+
+    /// Iterates mutably over `(port, value)` pairs in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Port, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, v)| (Port::from_index(i), v))
+    }
+}
+
+impl<T> std::ops::Index<Port> for PortMap<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, port: Port) -> &T {
+        &self.slots[port.index()]
+    }
+}
+
+impl<T> std::ops::IndexMut<Port> for PortMap<T> {
+    #[inline]
+    fn index_mut(&mut self, port: Port) -> &mut T {
+        &mut self.slots[port.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_invertible() {
+        for (i, &p) in Port::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+            assert_eq!(Port::from_index(i), p);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "port index out of range")]
+    fn from_index_out_of_range_panics() {
+        Port::from_index(5);
+    }
+
+    #[test]
+    fn opposites_are_involutive() {
+        for &p in &Port::MESH {
+            let o = p.opposite().unwrap();
+            assert_eq!(o.opposite(), Some(p));
+            assert_ne!(o, p);
+        }
+        assert_eq!(Port::Local.opposite(), None);
+    }
+
+    #[test]
+    fn mesh_ports_exclude_local() {
+        assert!(Port::MESH.iter().all(|p| p.is_mesh()));
+        assert!(!Port::Local.is_mesh());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Port::North.to_string(), "north");
+        assert_eq!(Port::Local.to_string(), "local");
+    }
+
+    #[test]
+    fn port_map_from_fn_and_iter() {
+        let m = PortMap::from_fn(|p| p.index() * 10);
+        assert_eq!(m[Port::South], 10);
+        let collected: Vec<_> = m.iter().map(|(p, &v)| (p, v)).collect();
+        assert_eq!(collected.len(), 5);
+        assert_eq!(collected[4], (Port::Local, 40));
+    }
+
+    #[test]
+    fn port_map_iter_mut() {
+        let mut m: PortMap<u32> = PortMap::from_fn(|_| 0);
+        for (p, v) in m.iter_mut() {
+            *v = p.index() as u32 + 1;
+        }
+        assert_eq!(m[Port::Local], 5);
+    }
+}

@@ -1,0 +1,30 @@
+//! # noc-topology
+//!
+//! Topology substrate for the flit-reservation flow-control reproduction:
+//! the k-ary 2-mesh of the paper's evaluation, node/port naming, and
+//! deterministic dimension-ordered routing.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_topology::{Mesh, Port, XyRouting, RoutingFunction};
+//!
+//! let mesh = Mesh::new(8, 8);                 // the paper's network
+//! assert_eq!(mesh.capacity_flits_per_node_cycle(), 0.5);
+//! let src = mesh.node_at(0, 0);
+//! let dst = mesh.node_at(7, 7);
+//! assert_eq!(XyRouting.route(mesh, src, dst), Some(Port::East));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coord;
+mod direction;
+mod mesh;
+mod routing;
+
+pub use coord::{Coord, NodeId};
+pub use direction::{Port, PortMap};
+pub use mesh::Mesh;
+pub use routing::{route_path, xy_route, yx_route, RoutingFunction, XyRouting, YxRouting};

@@ -1,0 +1,202 @@
+//! Routing functions.
+//!
+//! The paper's network uses "deterministic dimension-ordered routing"; on
+//! a 2-D mesh that is XY routing: correct the x offset fully, then the y
+//! offset. YX routing is also provided (useful in tests and ablations).
+//! Dimension-ordered routing on a mesh is minimal and deadlock-free
+//! [Dally87], which is what lets both flow-control schemes run without
+//! extra escape channels.
+
+use crate::{Mesh, NodeId, Port};
+
+/// A routing function: given the current node and the packet destination,
+/// pick the output port, or `None` when `at == dest` (eject via `Local`).
+pub trait RoutingFunction {
+    /// Chooses the next output port towards `dest`, or `None` on arrival.
+    fn route(&self, mesh: Mesh, at: NodeId, dest: NodeId) -> Option<Port>;
+
+    /// Name used in experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Dimension-ordered XY routing: travel east/west first, then north/south.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct XyRouting;
+
+/// Dimension-ordered YX routing: travel north/south first, then east/west.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct YxRouting;
+
+/// Free-function XY route, shared by [`XyRouting`] and analytic helpers.
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::{xy_route, Mesh, Port};
+///
+/// let mesh = Mesh::new(8, 8);
+/// let src = mesh.node_at(0, 0);
+/// let dst = mesh.node_at(2, 1);
+/// assert_eq!(xy_route(mesh, src, dst), Some(Port::East));
+/// assert_eq!(xy_route(mesh, dst, dst), None);
+/// ```
+pub fn xy_route(mesh: Mesh, at: NodeId, dest: NodeId) -> Option<Port> {
+    let a = mesh.coord(at);
+    let d = mesh.coord(dest);
+    if a.x < d.x {
+        Some(Port::East)
+    } else if a.x > d.x {
+        Some(Port::West)
+    } else if a.y < d.y {
+        Some(Port::South)
+    } else if a.y > d.y {
+        Some(Port::North)
+    } else {
+        None
+    }
+}
+
+/// Free-function YX route.
+pub fn yx_route(mesh: Mesh, at: NodeId, dest: NodeId) -> Option<Port> {
+    let a = mesh.coord(at);
+    let d = mesh.coord(dest);
+    if a.y < d.y {
+        Some(Port::South)
+    } else if a.y > d.y {
+        Some(Port::North)
+    } else if a.x < d.x {
+        Some(Port::East)
+    } else if a.x > d.x {
+        Some(Port::West)
+    } else {
+        None
+    }
+}
+
+impl RoutingFunction for XyRouting {
+    fn route(&self, mesh: Mesh, at: NodeId, dest: NodeId) -> Option<Port> {
+        xy_route(mesh, at, dest)
+    }
+
+    fn name(&self) -> &'static str {
+        "xy"
+    }
+}
+
+impl RoutingFunction for YxRouting {
+    fn route(&self, mesh: Mesh, at: NodeId, dest: NodeId) -> Option<Port> {
+        yx_route(mesh, at, dest)
+    }
+
+    fn name(&self) -> &'static str {
+        "yx"
+    }
+}
+
+/// Walks a route from `src` to `dest`, returning the sequence of output
+/// ports taken. Useful for tests and analytic channel-load computation.
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::{route_path, Mesh, XyRouting};
+///
+/// let mesh = Mesh::new(8, 8);
+/// let path = route_path(&XyRouting, mesh, mesh.node_at(1, 1), mesh.node_at(3, 0));
+/// assert_eq!(path.len(), 3); // two hops east, one hop north
+/// ```
+pub fn route_path<R: RoutingFunction + ?Sized>(
+    routing: &R,
+    mesh: Mesh,
+    src: NodeId,
+    dest: NodeId,
+) -> Vec<Port> {
+    let mut path = Vec::new();
+    let mut at = src;
+    while let Some(port) = routing.route(mesh, at, dest) {
+        path.push(port);
+        at = mesh
+            .neighbor(at, port)
+            .expect("routing function must follow existing links");
+        assert!(
+            path.len() <= mesh.node_count(),
+            "routing function is cycling"
+        );
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_is_minimal_for_all_pairs() {
+        let mesh = Mesh::new(8, 8);
+        for src in mesh.nodes() {
+            for dst in mesh.nodes() {
+                let path = route_path(&XyRouting, mesh, src, dst);
+                let dist = mesh.coord(src).manhattan_distance(mesh.coord(dst));
+                assert_eq!(path.len(), dist as usize, "{src}->{dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn yx_is_minimal_for_all_pairs() {
+        let mesh = Mesh::new(5, 7);
+        for src in mesh.nodes() {
+            for dst in mesh.nodes() {
+                let path = route_path(&YxRouting, mesh, src, dst);
+                let dist = mesh.coord(src).manhattan_distance(mesh.coord(dst));
+                assert_eq!(path.len(), dist as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn xy_orders_dimensions() {
+        let mesh = Mesh::new(8, 8);
+        let path = route_path(&XyRouting, mesh, mesh.node_at(0, 0), mesh.node_at(2, 2));
+        assert_eq!(path, vec![Port::East, Port::East, Port::South, Port::South]);
+        let path = route_path(&YxRouting, mesh, mesh.node_at(0, 0), mesh.node_at(2, 2));
+        assert_eq!(path, vec![Port::South, Port::South, Port::East, Port::East]);
+    }
+
+    #[test]
+    fn route_to_self_is_none() {
+        let mesh = Mesh::new(3, 3);
+        let n = mesh.node_at(1, 1);
+        assert_eq!(XyRouting.route(mesh, n, n), None);
+        assert_eq!(YxRouting.route(mesh, n, n), None);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(XyRouting.name(), "xy");
+        assert_eq!(YxRouting.name(), "yx");
+    }
+
+    /// Dimension-ordered routing admits no cyclic channel dependencies on
+    /// a mesh. We verify the classic turn restriction: XY never takes a
+    /// vertical-then-horizontal turn.
+    #[test]
+    fn xy_never_turns_from_y_to_x() {
+        let mesh = Mesh::new(8, 8);
+        for src in mesh.nodes() {
+            for dst in mesh.nodes() {
+                let path = route_path(&XyRouting, mesh, src, dst);
+                let mut seen_vertical = false;
+                for p in path {
+                    match p {
+                        Port::North | Port::South => seen_vertical = true,
+                        Port::East | Port::West => {
+                            assert!(!seen_vertical, "illegal turn in XY routing")
+                        }
+                        Port::Local => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,506 @@
+//! Per-node traffic generation and load normalisation.
+//!
+//! The paper expresses offered traffic as a *percentage of the capacity of
+//! the network*. [`LoadSpec`] converts that fraction into a per-node
+//! packet rate given the mesh capacity and packet length;
+//! [`TrafficGenerator`] owns one injection process and RNG stream per node
+//! and produces [`Packet`]s cycle by cycle.
+
+use crate::{ConstantRate, InjectionProcess, OnOff, Packet, PacketId, TrafficPattern, Uniform};
+use noc_engine::{Cycle, Rng};
+use noc_topology::{Mesh, NodeId};
+
+/// Kind of temporal injection process to instantiate per node.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum InjectionKind {
+    /// Deterministic constant-rate sources with random phase (the paper's
+    /// "constant rate source").
+    #[default]
+    ConstantRate,
+    /// Memoryless Bernoulli sources.
+    Bernoulli,
+    /// Bursty two-state on/off sources delivering the configured mean
+    /// rate in bursts (extension; see [`OnOff`]).
+    OnOff {
+        /// Injection rate while bursting, in packets/cycle.
+        peak_rate: f64,
+        /// Mean burst length in cycles.
+        mean_on: f64,
+    },
+}
+
+/// Distribution of packet lengths (in flits).
+///
+/// The paper uses fixed 5- or 21-flit packets; the bimodal mix models the
+/// classic short-request / long-reply traffic of a cache-coherent system.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LengthDistribution {
+    /// Every packet has the same length.
+    Fixed(u32),
+    /// Packets are `short` flits with probability `short_fraction`, else
+    /// `long` flits.
+    Bimodal {
+        /// Short (e.g. request) packet length.
+        short: u32,
+        /// Long (e.g. reply) packet length.
+        long: u32,
+        /// Probability of a short packet.
+        short_fraction: f64,
+    },
+}
+
+impl LengthDistribution {
+    /// Mean packet length in flits.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LengthDistribution::Fixed(l) => l as f64,
+            LengthDistribution::Bimodal {
+                short,
+                long,
+                short_fraction,
+            } => short as f64 * short_fraction + long as f64 * (1.0 - short_fraction),
+        }
+    }
+
+    /// Draws one packet length.
+    pub fn sample(&self, rng: &mut Rng) -> u32 {
+        match *self {
+            LengthDistribution::Fixed(l) => l,
+            LengthDistribution::Bimodal {
+                short,
+                long,
+                short_fraction,
+            } => {
+                if rng.chance(short_fraction) {
+                    short
+                } else {
+                    long
+                }
+            }
+        }
+    }
+
+    /// Validates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero lengths or an out-of-range mixing probability.
+    pub fn validate(&self) {
+        match *self {
+            LengthDistribution::Fixed(l) => assert!(l > 0, "packets need at least one flit"),
+            LengthDistribution::Bimodal {
+                short,
+                long,
+                short_fraction,
+            } => {
+                assert!(short > 0 && long > 0, "packets need at least one flit");
+                assert!(
+                    (0.0..=1.0).contains(&short_fraction),
+                    "mix probability must be within [0, 1]"
+                );
+            }
+        }
+    }
+}
+
+/// An offered load expressed as a fraction of network capacity.
+///
+/// # Examples
+///
+/// ```
+/// use noc_topology::Mesh;
+/// use noc_traffic::LoadSpec;
+///
+/// let mesh = Mesh::new(8, 8);
+/// let load = LoadSpec::fraction_of_capacity(0.5, 5);
+/// // 0.5 * 0.5 flits/node/cycle / 5 flits/packet:
+/// assert!((load.packets_per_node_cycle(mesh) - 0.05).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoadSpec {
+    fraction: f64,
+    lengths: LengthDistribution,
+}
+
+impl LoadSpec {
+    /// Offered traffic at `fraction` of capacity with `packet_length`-flit
+    /// packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not positive or `packet_length` is zero.
+    pub fn fraction_of_capacity(fraction: f64, packet_length: u32) -> Self {
+        LoadSpec::with_lengths(fraction, LengthDistribution::Fixed(packet_length))
+    }
+
+    /// Offered traffic at `fraction` of capacity with a packet-length
+    /// distribution (extension beyond the paper's fixed lengths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not positive or the distribution is
+    /// invalid.
+    pub fn with_lengths(fraction: f64, lengths: LengthDistribution) -> Self {
+        assert!(fraction > 0.0, "load fraction must be positive");
+        lengths.validate();
+        LoadSpec { fraction, lengths }
+    }
+
+    /// The capacity fraction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Packet length in flits (the mean, rounded, for mixed lengths).
+    pub fn packet_length(&self) -> u32 {
+        self.lengths.mean().round() as u32
+    }
+
+    /// The packet-length distribution.
+    pub fn lengths(&self) -> LengthDistribution {
+        self.lengths
+    }
+
+    /// Offered flit rate per node per cycle on `mesh`.
+    pub fn flits_per_node_cycle(&self, mesh: Mesh) -> f64 {
+        self.fraction * mesh.capacity_flits_per_node_cycle()
+    }
+
+    /// Offered packet rate per node per cycle on `mesh`.
+    pub fn packets_per_node_cycle(&self, mesh: Mesh) -> f64 {
+        self.flits_per_node_cycle(mesh) / self.lengths.mean()
+    }
+}
+
+/// Generates the offered traffic for every node of a mesh.
+///
+/// # Examples
+///
+/// ```
+/// use noc_engine::{Cycle, Rng};
+/// use noc_topology::Mesh;
+/// use noc_traffic::{InjectionKind, LoadSpec, TrafficGenerator, Uniform};
+///
+/// let mesh = Mesh::new(8, 8);
+/// let load = LoadSpec::fraction_of_capacity(0.4, 5);
+/// let mut generator = TrafficGenerator::new(
+///     mesh, load, Box::new(Uniform), InjectionKind::ConstantRate, Rng::from_seed(1));
+/// let packets = generator.tick(Cycle::ZERO);
+/// for p in &packets {
+///     assert_ne!(p.src, p.dest);
+/// }
+/// ```
+pub struct TrafficGenerator {
+    mesh: Mesh,
+    load: LoadSpec,
+    pattern: Box<dyn TrafficPattern>,
+    sources: Vec<SourceState>,
+    next_id: u64,
+}
+
+struct SourceState {
+    process: Box<dyn InjectionProcess>,
+    rng: Rng,
+}
+
+impl TrafficGenerator {
+    /// Creates a generator with one injection process per node.
+    pub fn new(
+        mesh: Mesh,
+        load: LoadSpec,
+        pattern: Box<dyn TrafficPattern>,
+        kind: InjectionKind,
+        rng: Rng,
+    ) -> Self {
+        let rate = load.packets_per_node_cycle(mesh);
+        let sources = (0..mesh.node_count())
+            .map(|i| {
+                let mut node_rng = rng.fork(i as u64);
+                let process: Box<dyn InjectionProcess> = match kind {
+                    InjectionKind::ConstantRate => {
+                        Box::new(ConstantRate::with_random_phase(rate, &mut node_rng))
+                    }
+                    InjectionKind::Bernoulli => Box::new(crate::Bernoulli::new(rate)),
+                    InjectionKind::OnOff { peak_rate, mean_on } => {
+                        Box::new(OnOff::with_mean_rate(rate, peak_rate, mean_on))
+                    }
+                };
+                SourceState {
+                    process,
+                    rng: node_rng,
+                }
+            })
+            .collect();
+        TrafficGenerator {
+            mesh,
+            load,
+            pattern,
+            sources,
+            next_id: 0,
+        }
+    }
+
+    /// Convenience constructor for the paper's workload: uniform random
+    /// traffic from constant-rate sources.
+    pub fn uniform(mesh: Mesh, load: LoadSpec, rng: Rng) -> Self {
+        TrafficGenerator::new(
+            mesh,
+            load,
+            Box::new(Uniform),
+            InjectionKind::ConstantRate,
+            rng,
+        )
+    }
+
+    /// The configured load.
+    pub fn load(&self) -> LoadSpec {
+        self.load
+    }
+
+    /// The mesh being driven.
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+
+    /// Number of packets created so far.
+    pub fn created(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Produces the packets created network-wide during cycle `now`.
+    pub fn tick(&mut self, now: Cycle) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for (i, src) in self.sources.iter_mut().enumerate() {
+            let n = src.process.arrivals(&mut src.rng);
+            for _ in 0..n {
+                let src_node = NodeId::new(i as u16);
+                let dest = self.pattern.destination(self.mesh, src_node, &mut src.rng);
+                let length_flits = self.load.lengths().sample(&mut src.rng);
+                out.push(Packet {
+                    id: PacketId::new(self.next_id),
+                    src: src_node,
+                    dest,
+                    length_flits,
+                    created_at: now,
+                });
+                self.next_id += 1;
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for TrafficGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficGenerator")
+            .field("mesh", &self.mesh)
+            .field("load", &self.load)
+            .field("pattern", &self.pattern.name())
+            .field("created", &self.next_id)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(8, 8)
+    }
+
+    #[test]
+    fn load_spec_normalisation() {
+        let load = LoadSpec::fraction_of_capacity(1.0, 5);
+        assert_eq!(load.flits_per_node_cycle(mesh()), 0.5);
+        assert!((load.packets_per_node_cycle(mesh()) - 0.1).abs() < 1e-12);
+        assert_eq!(load.fraction(), 1.0);
+        assert_eq!(load.packet_length(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "load fraction must be positive")]
+    fn zero_load_panics() {
+        LoadSpec::fraction_of_capacity(0.0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flit")]
+    fn zero_length_panics() {
+        LoadSpec::fraction_of_capacity(0.5, 0);
+    }
+
+    #[test]
+    fn generator_meets_offered_rate() {
+        let load = LoadSpec::fraction_of_capacity(0.6, 5);
+        let mut generator = TrafficGenerator::uniform(mesh(), load, Rng::from_seed(3));
+        let cycles = 10_000u64;
+        let mut total = 0usize;
+        for t in 0..cycles {
+            total += generator.tick(Cycle::new(t)).len();
+        }
+        let expected = load.packets_per_node_cycle(mesh()) * 64.0 * cycles as f64;
+        let got = total as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.02,
+            "{got} vs {expected}"
+        );
+        assert_eq!(generator.created(), total as u64);
+    }
+
+    #[test]
+    fn packet_ids_are_unique_and_dense() {
+        let load = LoadSpec::fraction_of_capacity(0.9, 5);
+        let mut generator = TrafficGenerator::uniform(mesh(), load, Rng::from_seed(8));
+        let mut ids = Vec::new();
+        for t in 0..500 {
+            for p in generator.tick(Cycle::new(t)) {
+                ids.push(p.id.raw());
+                assert_eq!(p.created_at, Cycle::new(t));
+                assert_ne!(p.src, p.dest);
+                assert_eq!(p.length_flits, 5);
+            }
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate packet ids");
+        assert_eq!(sorted.last().copied(), Some(ids.len() as u64 - 1));
+    }
+
+    #[test]
+    fn same_seed_same_traffic() {
+        let load = LoadSpec::fraction_of_capacity(0.5, 5);
+        let mut a = TrafficGenerator::uniform(mesh(), load, Rng::from_seed(42));
+        let mut b = TrafficGenerator::uniform(mesh(), load, Rng::from_seed(42));
+        for t in 0..200 {
+            assert_eq!(a.tick(Cycle::new(t)), b.tick(Cycle::new(t)));
+        }
+    }
+
+    #[test]
+    fn bernoulli_kind_also_meets_rate() {
+        let load = LoadSpec::fraction_of_capacity(0.5, 5);
+        let mut generator = TrafficGenerator::new(
+            mesh(),
+            load,
+            Box::new(Uniform),
+            InjectionKind::Bernoulli,
+            Rng::from_seed(3),
+        );
+        let cycles = 20_000u64;
+        let mut total = 0usize;
+        for t in 0..cycles {
+            total += generator.tick(Cycle::new(t)).len();
+        }
+        let expected = load.packets_per_node_cycle(mesh()) * 64.0 * cycles as f64;
+        assert!((total as f64 - expected).abs() < expected * 0.05);
+    }
+
+    #[test]
+    fn debug_shows_pattern_name() {
+        let load = LoadSpec::fraction_of_capacity(0.5, 5);
+        let generator = TrafficGenerator::uniform(mesh(), load, Rng::from_seed(1));
+        let dbg = format!("{generator:?}");
+        assert!(dbg.contains("uniform"), "{dbg}");
+    }
+}
+
+#[cfg(test)]
+mod length_mix_tests {
+    use super::*;
+    use crate::Uniform;
+
+    fn mesh() -> Mesh {
+        Mesh::new(8, 8)
+    }
+
+    #[test]
+    fn bimodal_mean_and_samples() {
+        let d = LengthDistribution::Bimodal {
+            short: 1,
+            long: 21,
+            short_fraction: 0.75,
+        };
+        assert!((d.mean() - 6.0).abs() < 1e-12);
+        let mut rng = Rng::from_seed(3);
+        let mut saw_short = false;
+        let mut saw_long = false;
+        for _ in 0..1000 {
+            match d.sample(&mut rng) {
+                1 => saw_short = true,
+                21 => saw_long = true,
+                other => panic!("unexpected length {other}"),
+            }
+        }
+        assert!(saw_short && saw_long);
+    }
+
+    #[test]
+    fn mixed_lengths_preserve_flit_rate() {
+        let d = LengthDistribution::Bimodal {
+            short: 1,
+            long: 21,
+            short_fraction: 0.75,
+        };
+        let load = LoadSpec::with_lengths(0.6, d);
+        assert_eq!(load.packet_length(), 6);
+        let mut generator = TrafficGenerator::new(
+            mesh(),
+            load,
+            Box::new(Uniform),
+            InjectionKind::ConstantRate,
+            Rng::from_seed(5),
+        );
+        let cycles = 20_000u64;
+        let mut flits = 0u64;
+        for t in 0..cycles {
+            for p in generator.tick(Cycle::new(t)) {
+                flits += p.length_flits as u64;
+            }
+        }
+        let expected = load.flits_per_node_cycle(mesh()) * 64.0 * cycles as f64;
+        assert!(
+            (flits as f64 - expected).abs() < expected * 0.03,
+            "{flits} flits vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn onoff_kind_meets_mean_rate() {
+        let load = LoadSpec::fraction_of_capacity(0.4, 5);
+        let mut generator = TrafficGenerator::new(
+            mesh(),
+            load,
+            Box::new(Uniform),
+            InjectionKind::OnOff {
+                peak_rate: 0.5,
+                mean_on: 16.0,
+            },
+            Rng::from_seed(7),
+        );
+        let cycles = 50_000u64;
+        let mut total = 0usize;
+        for t in 0..cycles {
+            total += generator.tick(Cycle::new(t)).len();
+        }
+        let expected = load.packets_per_node_cycle(mesh()) * 64.0 * cycles as f64;
+        assert!(
+            (total as f64 - expected).abs() < expected * 0.05,
+            "{total} vs {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mix probability")]
+    fn invalid_mix_panics() {
+        LoadSpec::with_lengths(
+            0.5,
+            LengthDistribution::Bimodal {
+                short: 1,
+                long: 5,
+                short_fraction: 1.5,
+            },
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Temporal injection processes: *when* each node creates a packet.
+//!
+//! The paper uses "a constant rate source \[that\] injects packets at a
+//! percentage of the capacity of the network". [`ConstantRate`] reproduces
+//! that: a deterministic arrival every `1/rate` cycles (with accumulated
+//! fractional credit), optionally phase-jittered per node so that all 64
+//! sources do not fire in lock-step. [`Bernoulli`] is the memoryless
+//! alternative common in later literature.
+
+use noc_engine::Rng;
+
+/// An injection process: decides how many packets a node creates in a
+/// given cycle, at a configured mean rate in packets/cycle.
+pub trait InjectionProcess {
+    /// Number of packets to create this cycle (usually 0 or 1).
+    fn arrivals(&mut self, rng: &mut Rng) -> u32;
+
+    /// Mean rate in packets per cycle.
+    fn rate(&self) -> f64;
+
+    /// Name used in experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Deterministic constant-rate arrivals: one packet every `1/rate` cycles,
+/// using fractional accumulation so any rate in `(0, 1]` is met exactly in
+/// the long run.
+///
+/// # Examples
+///
+/// ```
+/// use noc_engine::Rng;
+/// use noc_traffic::{ConstantRate, InjectionProcess};
+///
+/// let mut src = ConstantRate::new(0.25);
+/// let mut rng = Rng::from_seed(0);
+/// let total: u32 = (0..1000).map(|_| src.arrivals(&mut rng)).sum();
+/// assert_eq!(total, 250);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstantRate {
+    rate: f64,
+    credit: f64,
+}
+
+impl ConstantRate {
+    /// Creates a constant-rate source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `(0, 1]` packets/cycle.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "constant rate must be within (0, 1] packets/cycle"
+        );
+        ConstantRate { rate, credit: 0.0 }
+    }
+
+    /// Creates a constant-rate source with a random initial phase, so that
+    /// a population of sources does not inject in lock-step.
+    pub fn with_random_phase(rate: f64, rng: &mut Rng) -> Self {
+        let mut s = ConstantRate::new(rate);
+        s.credit = rng.unit_f64();
+        s
+    }
+}
+
+impl InjectionProcess for ConstantRate {
+    fn arrivals(&mut self, _rng: &mut Rng) -> u32 {
+        self.credit += self.rate;
+        if self.credit >= 1.0 {
+            self.credit -= 1.0;
+            1
+        } else {
+            0
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        "constant-rate"
+    }
+}
+
+/// Memoryless arrivals: one packet this cycle with probability `rate`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bernoulli {
+    rate: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not within `(0, 1]` packets/cycle.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate <= 1.0,
+            "bernoulli rate must be within (0, 1] packets/cycle"
+        );
+        Bernoulli { rate }
+    }
+}
+
+impl InjectionProcess for Bernoulli {
+    fn arrivals(&mut self, rng: &mut Rng) -> u32 {
+        u32::from(rng.chance(self.rate))
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        "bernoulli"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_exact_long_run() {
+        let mut rng = Rng::from_seed(0);
+        for rate in [0.1, 0.33, 0.5, 0.99, 1.0] {
+            let mut src = ConstantRate::new(rate);
+            let cycles = 100_000;
+            let total: u32 = (0..cycles).map(|_| src.arrivals(&mut rng)).sum();
+            let expected = rate * cycles as f64;
+            assert!(
+                (total as f64 - expected).abs() <= 1.0,
+                "rate {rate}: {total} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_rate_never_bursts() {
+        let mut rng = Rng::from_seed(0);
+        let mut src = ConstantRate::new(0.5);
+        for _ in 0..1000 {
+            assert!(src.arrivals(&mut rng) <= 1);
+        }
+    }
+
+    #[test]
+    fn constant_rate_spacing_is_even() {
+        let mut rng = Rng::from_seed(0);
+        let mut src = ConstantRate::new(0.25);
+        let mut gaps = Vec::new();
+        let mut last = None;
+        for t in 0..200 {
+            if src.arrivals(&mut rng) == 1 {
+                if let Some(prev) = last {
+                    gaps.push(t - prev);
+                }
+                last = Some(t);
+            }
+        }
+        assert!(gaps.iter().all(|&g| g == 4), "gaps {gaps:?}");
+    }
+
+    #[test]
+    fn random_phase_spreads_first_arrival() {
+        let mut rng = Rng::from_seed(77);
+        let firsts: Vec<u64> = (0..32)
+            .map(|_| {
+                let mut src = ConstantRate::with_random_phase(0.1, &mut rng);
+                let mut t = 0;
+                while src.arrivals(&mut rng) == 0 {
+                    t += 1;
+                }
+                t
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = firsts.iter().collect();
+        assert!(distinct.len() > 3, "phases should differ: {firsts:?}");
+    }
+
+    #[test]
+    fn bernoulli_rate_calibration() {
+        let mut rng = Rng::from_seed(4);
+        let mut src = Bernoulli::new(0.3);
+        let cycles = 100_000;
+        let total: u32 = (0..cycles).map(|_| src.arrivals(&mut rng)).sum();
+        let rate = total as f64 / cycles as f64;
+        assert!((rate - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "within (0, 1]")]
+    fn constant_rate_zero_panics() {
+        ConstantRate::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within (0, 1]")]
+    fn bernoulli_above_one_panics() {
+        Bernoulli::new(1.01);
+    }
+
+    #[test]
+    fn rates_and_names() {
+        let mut rng = Rng::from_seed(0);
+        let c = ConstantRate::with_random_phase(0.2, &mut rng);
+        assert_eq!(c.rate(), 0.2);
+        assert_eq!(c.name(), "constant-rate");
+        let b = Bernoulli::new(0.4);
+        assert_eq!(b.rate(), 0.4);
+        assert_eq!(b.name(), "bernoulli");
+    }
+}

@@ -1,0 +1,59 @@
+//! How far ahead is it worth scheduling? Sweeps the scheduling horizon
+//! (the paper's Figure 7 knob) and the control-flit lead time (Figure 8)
+//! at a single load and reports latency and the control lead observed at
+//! destinations.
+//!
+//! ```sh
+//! cargo run --release --example horizon_study
+//! ```
+
+use frfc::engine::Rng;
+use frfc::flow::LinkTiming;
+use frfc::fr::{FrConfig, FrRouter};
+use frfc::network::{run_simulation, Network, SimConfig};
+use frfc::topology::Mesh;
+use frfc::traffic::{LoadSpec, TrafficGenerator};
+
+fn run(cfg: FrConfig, mesh: Mesh, load: f64, sim: &SimConfig) -> (f64, f64) {
+    let root = Rng::from_seed(sim.seed);
+    let spec = LoadSpec::fraction_of_capacity(load, 5);
+    let generator = TrafficGenerator::uniform(mesh, spec, root.fork(1));
+    let mut network = Network::new(mesh, cfg.timing, cfg.control_lanes, generator, |node| {
+        FrRouter::new(mesh, node, cfg, root.fork(node.raw() as u64))
+    });
+    let r = run_simulation(&mut network, sim);
+    // Average, over all routers, of the control flits' lead over their
+    // data flits when scheduling ejections.
+    let mut lead = frfc::engine::stats::RunningStats::new();
+    for router in network.routers() {
+        lead.merge(&router.stats().dest_lead);
+    }
+    (r.mean_latency(), lead.mean())
+}
+
+fn main() {
+    let mesh = Mesh::new(8, 8);
+    let sim = SimConfig::quick(2000);
+    let load = 0.6;
+
+    println!("FR6 at {:.0}% load, 5-flit packets\n", load * 100.0);
+    println!("{:<24} {:>10} {:>18}", "configuration", "latency", "ctrl lead at dest");
+    for horizon in [16u64, 32, 64, 128] {
+        let (lat, lead) = run(FrConfig::fr6().with_horizon(horizon), mesh, load, &sim);
+        println!("{:<24} {:>9.1}c {:>17.1}c", format!("fast control, s={horizon}"), lat, lead);
+    }
+    for lead_cfg in [1u64, 2, 4] {
+        let cfg = FrConfig::fr6().with_timing(LinkTiming::leading_control(lead_cfg));
+        let (lat, lead) = run(cfg, mesh, load, &sim);
+        println!(
+            "{:<24} {:>9.1}c {:>17.1}c",
+            format!("leading control, N={lead_cfg}"),
+            lat,
+            lead
+        );
+    }
+    println!("\nThe observed lead at the destination grows under load as data");
+    println!("flits stall behind contention while control flits race ahead —");
+    println!("which is exactly why throughput is insensitive to the injected");
+    println!("lead time (paper Section 4.4).");
+}

@@ -1,0 +1,41 @@
+//! Quickstart: simulate the paper's headline comparison at one load.
+//!
+//! Runs the 8×8 mesh at 50% of capacity with 5-flit packets under both
+//! flow controls and prints latency and accepted throughput.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use frfc::flow::LinkTiming;
+use frfc::fr::FrConfig;
+use frfc::network::{FlowControl, SimConfig};
+use frfc::topology::Mesh;
+use frfc::traffic::LoadSpec;
+use frfc::vc::VcConfig;
+
+fn main() {
+    let mesh = Mesh::new(8, 8);
+    let sim = SimConfig::quick(2000);
+    let load = LoadSpec::fraction_of_capacity(0.5, 5);
+
+    println!("8x8 mesh, uniform traffic, 5-flit packets, 50% of capacity\n");
+    for flow in [
+        FlowControl::VirtualChannel(VcConfig::vc8(), LinkTiming::fast_control()),
+        FlowControl::FlitReservation(FrConfig::fr6()),
+    ] {
+        let r = flow.run(mesh, load, &sim);
+        println!(
+            "{:<5}  latency {:>6.1} ± {:>4.1} cycles   accepted {:>5.1}% of capacity   ({} packets)",
+            flow.label(),
+            r.mean_latency(),
+            r.latency.ci95_half_width(),
+            r.accepted_fraction * 100.0,
+            r.delivered,
+        );
+    }
+    println!("\nFlit-reservation flow control pre-schedules buffers and channel");
+    println!("bandwidth with control flits, so data flits cross each router");
+    println!("without routing/arbitration latency and buffers turn around");
+    println!("immediately — lower latency at equal storage.");
+}

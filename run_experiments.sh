@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper.
+# FRFC_SCALE=tiny|quick|paper controls measurement size (see noc-bench docs).
+set -e
+SCALE="${FRFC_SCALE:-quick}"
+export FRFC_SCALE="$SCALE"
+mkdir -p results
+for bin in table1 table2 fig5 fig6 fig7 fig8 fig9 table3 occupancy \
+           ablation_scheduling ablation_shared_pool ablation_transfers \
+           related_work ext_bursty ext_errors ext_sync_margin; do
+    echo "=== $bin (scale: $SCALE) ==="
+    cargo run --release -p noc-bench --bin "$bin" | tee "results/$bin.txt"
+done

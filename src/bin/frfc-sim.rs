@@ -1,0 +1,309 @@
+//! `frfc-sim` — command-line driver for one simulation run.
+//!
+//! ```sh
+//! frfc-sim --flow fr6 --load 0.5 --length 5
+//! frfc-sim --flow vc16 --timing lead:2 --pattern transpose --mesh 6x6
+//! frfc-sim --flow fr13 --horizon 64 --injection onoff:0.5,16 --scale tiny
+//! frfc-sim --help
+//! ```
+//!
+//! Prints a one-run report: mean latency with 95% CI, p50/p99, accepted
+//! throughput and the occupancy probe.
+
+use frfc::engine::Rng;
+use frfc::flow::LinkTiming;
+use frfc::fr::{FrConfig, FrRouter};
+use frfc::network::{run_simulation, Network, RunResult, SimConfig};
+use frfc::topology::{Mesh, NodeId};
+use frfc::traffic::{
+    BitComplement, Hotspot, InjectionKind, LoadSpec, Tornado, TrafficGenerator, TrafficPattern,
+    Transpose, Uniform,
+};
+use frfc::vc::{CreditMode, VcConfig, VcRouter};
+
+const HELP: &str = "frfc-sim — one flit-level simulation run (Peh & Dally, HPCA 2000)
+
+USAGE:
+    frfc-sim [OPTIONS]
+
+OPTIONS:
+    --flow <CFG>        fr6 | fr13 | vc8 | vc16 | vc32 | wormhole:<bufs>
+                        | vc8-shared            [default: fr6]
+    --load <F>          offered load as a fraction of capacity, (0, 1.5]
+                        [default: 0.5]
+    --length <N>        packet length in flits  [default: 5]
+    --mesh <WxH>        mesh dimensions         [default: 8x8]
+    --timing <T>        fast | lead:<N>         [default: fast]
+    --horizon <N>       FR scheduling horizon   [default: 32]
+    --pattern <P>       uniform | transpose | tornado | bitcomp
+                        | hotspot:<frac>        [default: uniform]
+    --injection <I>     constant | bernoulli | onoff:<peak>,<mean_on>
+                        [default: constant]
+    --error-rate <F>    control-wire corruption probability [default: 0]
+    --sync-margin <N>   plesiochronous buffer-release margin [default: 0]
+    --scale <S>         tiny | quick | paper    [default: quick]
+    --seed <N>          root seed               [default: 2000]
+    -h, --help          print this help
+";
+
+#[derive(Debug)]
+struct Args {
+    flow: String,
+    load: f64,
+    length: u32,
+    mesh: (u16, u16),
+    timing: LinkTiming,
+    horizon: u64,
+    pattern: String,
+    injection: InjectionKind,
+    error_rate: f64,
+    sync_margin: u64,
+    scale: String,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        flow: "fr6".into(),
+        load: 0.5,
+        length: 5,
+        mesh: (8, 8),
+        timing: LinkTiming::fast_control(),
+        horizon: 32,
+        pattern: "uniform".into(),
+        injection: InjectionKind::ConstantRate,
+        error_rate: 0.0,
+        sync_margin: 0,
+        scale: "quick".into(),
+        seed: 2000,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "-h" || flag == "--help" {
+            print!("{HELP}");
+            std::process::exit(0);
+        }
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--flow" => args.flow = value.clone(),
+            "--load" => {
+                args.load = value.parse().map_err(|_| format!("bad load {value}"))?;
+                if args.load <= 0.0 || args.load > 1.5 {
+                    return Err("load must be in (0, 1.5]".into());
+                }
+            }
+            "--length" => {
+                args.length = value.parse().map_err(|_| format!("bad length {value}"))?
+            }
+            "--mesh" => {
+                let (w, h) = value
+                    .split_once('x')
+                    .ok_or_else(|| format!("mesh must look like 8x8, got {value}"))?;
+                args.mesh = (
+                    w.parse().map_err(|_| format!("bad width {w}"))?,
+                    h.parse().map_err(|_| format!("bad height {h}"))?,
+                );
+            }
+            "--timing" => {
+                args.timing = if value == "fast" {
+                    LinkTiming::fast_control()
+                } else if let Some(lead) = value.strip_prefix("lead:") {
+                    LinkTiming::leading_control(
+                        lead.parse().map_err(|_| format!("bad lead {lead}"))?,
+                    )
+                } else {
+                    return Err(format!("timing must be fast or lead:<N>, got {value}"));
+                };
+            }
+            "--horizon" => {
+                args.horizon = value.parse().map_err(|_| format!("bad horizon {value}"))?
+            }
+            "--pattern" => args.pattern = value.clone(),
+            "--injection" => {
+                args.injection = if value == "constant" {
+                    InjectionKind::ConstantRate
+                } else if value == "bernoulli" {
+                    InjectionKind::Bernoulli
+                } else if let Some(spec) = value.strip_prefix("onoff:") {
+                    let (peak, on) = spec
+                        .split_once(',')
+                        .ok_or_else(|| format!("onoff needs <peak>,<mean_on>, got {spec}"))?;
+                    InjectionKind::OnOff {
+                        peak_rate: peak.parse().map_err(|_| format!("bad peak {peak}"))?,
+                        mean_on: on.parse().map_err(|_| format!("bad mean_on {on}"))?,
+                    }
+                } else {
+                    return Err(format!("unknown injection {value}"));
+                };
+            }
+            "--error-rate" => {
+                args.error_rate = value
+                    .parse()
+                    .map_err(|_| format!("bad error rate {value}"))?
+            }
+            "--sync-margin" => {
+                args.sync_margin = value.parse().map_err(|_| format!("bad margin {value}"))?
+            }
+            "--scale" => args.scale = value.clone(),
+            "--seed" => args.seed = value.parse().map_err(|_| format!("bad seed {value}"))?,
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+fn make_pattern(name: &str, mesh: Mesh) -> Result<Box<dyn TrafficPattern>, String> {
+    Ok(match name {
+        "uniform" => Box::new(Uniform),
+        "transpose" => Box::new(Transpose),
+        "tornado" => Box::new(Tornado),
+        "bitcomp" => Box::new(BitComplement),
+        other => {
+            if let Some(frac) = other.strip_prefix("hotspot:") {
+                let f: f64 = frac.parse().map_err(|_| format!("bad fraction {frac}"))?;
+                let centre = mesh.node_at(mesh.width() / 2, mesh.height() / 2);
+                Box::new(Hotspot::new(centre, f))
+            } else {
+                return Err(format!("unknown pattern {other}"));
+            }
+        }
+    })
+}
+
+fn sim_for_scale(scale: &str, seed: u64) -> Result<SimConfig, String> {
+    Ok(match scale {
+        "quick" => SimConfig::quick(seed),
+        "paper" => SimConfig::paper_scale(seed),
+        "tiny" => {
+            let mut s = SimConfig::quick(seed);
+            s.sample_packets = 800;
+            s.warmup.min_cycles = 1_000;
+            s
+        }
+        other => return Err(format!("unknown scale {other}")),
+    })
+}
+
+fn run(args: &Args) -> Result<(String, RunResult, u64), String> {
+    let mesh = Mesh::new(args.mesh.0, args.mesh.1);
+    let sim = sim_for_scale(&args.scale, args.seed)?;
+    let load = LoadSpec::fraction_of_capacity(args.load, args.length);
+    let root = Rng::from_seed(sim.seed);
+    let make_generator = || -> Result<TrafficGenerator, String> {
+        let pattern = make_pattern(&args.pattern, mesh)?;
+        Ok(TrafficGenerator::new(
+            mesh,
+            load,
+            pattern,
+            args.injection,
+            root.fork(1),
+        ))
+    };
+
+    let make_vc = |cfg: VcConfig| -> Result<(String, RunResult, u64), String> {
+        let label = format!("VC{}", cfg.buffers_per_input());
+        let generator = make_generator()?;
+        let mut net = Network::new(mesh, args.timing, 2, generator, |n: NodeId| {
+            VcRouter::new(mesh, n, cfg, root.fork(n.raw() as u64))
+        });
+        if args.error_rate > 0.0 {
+            net.set_control_error_rate(args.error_rate, args.seed ^ 0xE44);
+        }
+        let r = run_simulation(&mut net, &sim);
+        Ok((label, r, net.control_retries()))
+    };
+
+    Ok(match args.flow.as_str() {
+        "vc8" => make_vc(VcConfig::vc8())?,
+        "vc16" => make_vc(VcConfig::vc16())?,
+        "vc32" => make_vc(VcConfig::vc32())?,
+        "vc8-shared" => make_vc(VcConfig::vc8().with_shared_pool())?,
+        flow => {
+            if let Some(bufs) = flow.strip_prefix("wormhole:") {
+                let b: usize = bufs.parse().map_err(|_| format!("bad buffer count {bufs}"))?;
+                make_vc(VcConfig::new(1, b, CreditMode::PerVc))?
+            } else {
+                let base = match flow {
+                    "fr6" => FrConfig::fr6(),
+                    "fr13" => FrConfig::fr13(),
+                    other => return Err(format!("unknown flow control {other}")),
+                };
+                let cfg = base
+                    .with_timing(args.timing)
+                    .with_horizon(args.horizon)
+                    .with_sync_margin(args.sync_margin);
+                let label = format!("FR{}", cfg.data_buffers);
+                let generator = make_generator()?;
+                let mut net =
+                    Network::new(mesh, cfg.timing, cfg.control_lanes, generator, |n: NodeId| {
+                        FrRouter::new(mesh, n, cfg, root.fork(n.raw() as u64))
+                    });
+                if args.error_rate > 0.0 {
+                    net.set_control_error_rate(args.error_rate, args.seed ^ 0xE44);
+                }
+                let r = run_simulation(&mut net, &sim);
+                let retries = net.control_retries();
+                (label, r, retries)
+            }
+        }
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run with --help for usage");
+            std::process::exit(2);
+        }
+    };
+    let (label, r, retries) = match run(&args) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{label} on {}x{} mesh | {} pattern | {:.0}% load | {}-flit packets | seed {}",
+        args.mesh.0, args.mesh.1, args.pattern, args.load * 100.0, args.length, args.seed
+    );
+    if r.completed {
+        println!(
+            "latency   : {:.1} ± {:.1} cycles (p50 {}, p99 {})",
+            r.mean_latency(),
+            r.latency.ci95_half_width(),
+            r.p50_latency.map_or("-".into(), |v| v.to_string()),
+            r.p99_latency.map_or("-".into(), |v| v.to_string()),
+        );
+    } else {
+        println!(
+            "latency   : SATURATED ({} of {} sample packets delivered)",
+            r.delivered,
+            r.delivered + 1 // at least one outstanding
+        );
+    }
+    println!(
+        "throughput: {:.1}% of capacity accepted ({:.4} flits/node/cycle)",
+        r.accepted_fraction * 100.0,
+        r.accepted_flits_per_node_cycle
+    );
+    println!(
+        "probe     : centre pool full {:.1}% of cycles, mean occupancy {:.1}%",
+        r.probe_full_fraction * 100.0,
+        r.probe_mean_occupancy * 100.0
+    );
+    if retries > 0 {
+        println!("errors    : {retries} control flits retransmitted");
+    }
+    println!(
+        "window    : warm-up ended at cycle {}, run ended at cycle {}",
+        r.measure_start, r.end_cycle
+    );
+}

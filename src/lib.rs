@@ -1,0 +1,46 @@
+//! # frfc — Flit-Reservation Flow Control
+//!
+//! A complete, self-contained reproduction of *Flit-Reservation Flow
+//! Control* (Li-Shiuan Peh and William J. Dally, HPCA 2000): a flit-level
+//! network-on-chip simulation stack with the paper's flit-reservation
+//! router, the virtual-channel baseline it is compared against, and the
+//! measurement harness that regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! This crate is an umbrella that re-exports the workspace:
+//!
+//! * [`engine`] — deterministic cycle-driven simulation kernel;
+//! * [`topology`] — the k-ary 2-mesh and dimension-ordered routing;
+//! * [`traffic`] — traffic patterns and capacity-normalised loads;
+//! * [`flow`] — flits, links, buffers and the router interface;
+//! * [`vc`] — the virtual-channel / wormhole baselines;
+//! * [`fr`] — flit-reservation flow control (the paper's contribution);
+//! * [`network`] — network composition, measurement, sweeps;
+//! * [`overhead`] — the Table 1/2 storage and bandwidth models.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use frfc::fr::FrConfig;
+//! use frfc::network::{FlowControl, SimConfig};
+//! use frfc::topology::Mesh;
+//! use frfc::traffic::LoadSpec;
+//!
+//! // The paper's network: 8x8 mesh, FR6 router, 50% offered load.
+//! let mesh = Mesh::new(8, 8);
+//! let fr6 = FlowControl::FlitReservation(FrConfig::fr6());
+//! let result = fr6.run(mesh, LoadSpec::fraction_of_capacity(0.5, 5), &SimConfig::quick(1));
+//! println!("mean latency: {:.1} cycles", result.mean_latency());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use flit_reservation as fr;
+pub use noc_engine as engine;
+pub use noc_flow as flow;
+pub use noc_network as network;
+pub use noc_overhead as overhead;
+pub use noc_topology as topology;
+pub use noc_traffic as traffic;
+pub use noc_vc as vc;
