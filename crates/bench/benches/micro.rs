@@ -2,9 +2,11 @@
 //! (consulted on every control-flit scheduling decision), the PRNG, links
 //! and buffer pools. These bound the cost of the flit-reservation
 //! mechanism itself, independent of any workload.
+//!
+//! Run with `cargo bench -p noc-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flit_reservation::{InputReservationTable, OutputReservationTable};
+use noc_bench::harness::Harness;
 use noc_engine::{Cycle, Rng};
 use noc_flow::{BufferPool, DataFlit, Link};
 use noc_topology::{NodeId, Port};
@@ -21,9 +23,8 @@ fn flit(seq: u32) -> DataFlit {
     }
 }
 
-fn bench_output_table(c: &mut Criterion) {
-    let mut g = c.benchmark_group("output_table");
-    g.bench_function("schedule_reserve_credit", |b| {
+fn bench_output_table(h: &mut Harness) {
+    h.bench("output_table/schedule_reserve_credit", |b| {
         let mut table = OutputReservationTable::new(32, Some(6), 4);
         let mut now = Cycle::ZERO;
         table.advance_to(now);
@@ -36,7 +37,7 @@ fn bench_output_table(c: &mut Criterion) {
             }
         });
     });
-    g.bench_function("find_departure_miss", |b| {
+    h.bench("output_table/find_departure_miss", |b| {
         // Fully busy horizon: the search scans all 32 candidates.
         let mut table = OutputReservationTable::new(32, Some(6), 4);
         let now = Cycle::ZERO;
@@ -47,11 +48,10 @@ fn bench_output_table(c: &mut Criterion) {
         }
         b.iter(|| black_box(table.find_departure(Cycle::ZERO, now, |_| true)));
     });
-    g.finish();
 }
 
-fn bench_input_table(c: &mut Criterion) {
-    c.bench_function("input_table/reserve_arrive_depart", |b| {
+fn bench_input_table(h: &mut Harness) {
+    h.bench("input_table/reserve_arrive_depart", |b| {
         let mut table = InputReservationTable::new(32, 6, 4);
         let mut now = Cycle::ZERO;
         table.advance_to(now);
@@ -60,31 +60,29 @@ fn bench_input_table(c: &mut Criterion) {
             table.advance_to(now);
             table.apply_reservation(now + 2, now + 5, Port::East, now);
             // fast-forward: arrival then departure
-            now = now + 2;
+            now += 2;
             table.advance_to(now);
             table.on_data_arrival(flit(0), now);
-            now = now + 3;
+            now += 3;
             table.advance_to(now);
-            black_box(table.take_departure(now));
+            black_box(table.take_departure(now))
         });
     });
 }
 
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rng");
-    g.bench_function("next_u64", |b| {
+fn bench_rng(h: &mut Harness) {
+    h.bench("rng/next_u64", |b| {
         let mut rng = Rng::from_seed(1);
         b.iter(|| black_box(rng.next_u64()));
     });
-    g.bench_function("below_5", |b| {
+    h.bench("rng/below", |b| {
         let mut rng = Rng::from_seed(1);
         b.iter(|| black_box(rng.below(5)));
     });
-    g.finish();
 }
 
-fn bench_link(c: &mut Criterion) {
-    c.bench_function("link/push_take", |b| {
+fn bench_link(h: &mut Harness) {
+    h.bench("link/push_take", |b| {
         let mut link: Link<DataFlit> = Link::new(4, 1);
         let mut now = Cycle::ZERO;
         b.iter(|| {
@@ -95,8 +93,8 @@ fn bench_link(c: &mut Criterion) {
     });
 }
 
-fn bench_pool(c: &mut Criterion) {
-    c.bench_function("buffer_pool/insert_take", |b| {
+fn bench_pool(h: &mut Harness) {
+    h.bench("buffer_pool/insert_take", |b| {
         let mut pool = BufferPool::new(6);
         b.iter(|| {
             let id = pool.insert(flit(1)).expect("space");
@@ -105,12 +103,11 @@ fn bench_pool(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_output_table,
-    bench_input_table,
-    bench_rng,
-    bench_link,
-    bench_pool
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    bench_output_table(&mut h);
+    bench_input_table(&mut h);
+    bench_rng(&mut h);
+    bench_link(&mut h);
+    bench_pool(&mut h);
+}

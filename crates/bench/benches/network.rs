@@ -1,9 +1,12 @@
 //! Whole-network throughput benchmarks: simulated cycles per second for
 //! each flow control at a moderate load — the figure of merit for the
 //! simulator itself (how long the paper's figures take to regenerate).
+//!
+//! Run with `cargo bench -p noc-bench --features bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flit_reservation::{FrConfig, FrRouter};
+use noc_bench::harness::Harness;
+use noc_engine::trace::{NullSink, SharedSink, VecSink};
 use noc_engine::Rng;
 use noc_flow::LinkTiming;
 use noc_network::Network;
@@ -13,13 +16,10 @@ use noc_vc::{VcConfig, VcRouter};
 
 const CYCLES: u64 = 2_000;
 
-fn bench_networks(c: &mut Criterion) {
+fn bench_networks(h: &mut Harness) {
     let mesh = Mesh::new(8, 8);
-    let mut g = c.benchmark_group("network_cycles");
-    g.throughput(Throughput::Elements(CYCLES));
-    g.sample_size(10);
 
-    g.bench_function(BenchmarkId::new("vc8", "50%"), |b| {
+    h.bench("network_cycles/vc8@50%", |b| {
         b.iter(|| {
             let root = Rng::from_seed(1);
             let load = LoadSpec::fraction_of_capacity(0.5, 5);
@@ -32,7 +32,7 @@ fn bench_networks(c: &mut Criterion) {
         });
     });
 
-    g.bench_function(BenchmarkId::new("fr6", "50%"), |b| {
+    h.bench("network_cycles/fr6@50%", |b| {
         b.iter(|| {
             let root = Rng::from_seed(1);
             let load = LoadSpec::fraction_of_capacity(0.5, 5);
@@ -45,8 +45,65 @@ fn bench_networks(c: &mut Criterion) {
             net.tracker().delivered_flits()
         });
     });
-    g.finish();
+
+    // The disabled-tracing path through `with_tracer`: must be within
+    // noise (< 2%) of the plain constructor above, since `NullSink`
+    // emit sites const-fold away.
+    h.bench("network_cycles/fr6@50%+nullsink", |b| {
+        b.iter(|| {
+            let root = Rng::from_seed(1);
+            let load = LoadSpec::fraction_of_capacity(0.5, 5);
+            let generator = TrafficGenerator::uniform(mesh, load, root.fork(9));
+            let cfg = FrConfig::fr6();
+            let mut net = Network::with_tracer(
+                mesh,
+                cfg.timing,
+                cfg.control_lanes,
+                generator,
+                |n| FrRouter::with_tracer(mesh, n, cfg, root.fork(n.raw() as u64), NullSink),
+                NullSink,
+            );
+            net.run_cycles(CYCLES);
+            net.tracker().delivered_flits()
+        });
+    });
+
+    // Full recording into a shared in-memory sink: the honest price of
+    // tracing when it is actually on.
+    h.bench("network_cycles/fr6@50%+vecsink", |b| {
+        b.iter(|| {
+            let root = Rng::from_seed(1);
+            let load = LoadSpec::fraction_of_capacity(0.5, 5);
+            let generator = TrafficGenerator::uniform(mesh, load, root.fork(9));
+            let cfg = FrConfig::fr6();
+            let sink = SharedSink::new(VecSink::new());
+            let router_sink = sink.clone();
+            let mut net = Network::with_tracer(
+                mesh,
+                cfg.timing,
+                cfg.control_lanes,
+                generator,
+                move |n| {
+                    FrRouter::with_tracer(
+                        mesh,
+                        n,
+                        cfg,
+                        root.fork(n.raw() as u64),
+                        router_sink.clone(),
+                    )
+                },
+                sink.clone(),
+            );
+            net.run_cycles(CYCLES);
+            (
+                net.tracker().delivered_flits(),
+                sink.with(|s| s.events().len()),
+            )
+        });
+    });
 }
 
-criterion_group!(benches, bench_networks);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new().samples(9);
+    bench_networks(&mut h);
+}

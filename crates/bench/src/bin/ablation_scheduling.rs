@@ -23,7 +23,9 @@ fn main() {
         ("per-flit-greedy", SchedulingPolicy::PerFlitGreedy),
         ("all-or-nothing", SchedulingPolicy::AllOrNothing),
     ] {
-        let cfg = FrConfig::fr13().with_flits_per_control(4).with_policy(policy);
+        let cfg = FrConfig::fr13()
+            .with_flits_per_control(4)
+            .with_policy(policy);
         let fc = FlowControl::FlitReservation(cfg);
         let mut curve = sweep_loads(&fc, mesh, 5, &loads, &sim, 1);
         curve.label = format!("FR13/d=4/{name}");

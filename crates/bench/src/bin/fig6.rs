@@ -20,7 +20,9 @@ fn main() {
         FlowControl::FlitReservation(FrConfig::fr13()),
     ];
     println!("Figure 6: latency vs offered traffic, 21-flit packets, fast control");
-    println!("(paper saturation: VC16 65%, VC32 65%, FR6 60%, FR13 75%; base latency VC 55, FR 46)");
+    println!(
+        "(paper saturation: VC16 65%, VC32 65%, FR6 60%, FR13 75%; base latency VC 55, FR 46)"
+    );
     let mut curves = Vec::new();
     for fc in &configs {
         let curve = sweep_loads(fc, mesh, 21, &loads, &sim, 1);

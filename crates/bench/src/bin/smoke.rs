@@ -2,8 +2,8 @@
 //! headline configurations (internal validation harness).
 
 use flit_reservation::FrConfig;
-use noc_network::{FlowControl, SimConfig};
 use noc_flow::LinkTiming;
+use noc_network::{FlowControl, SimConfig};
 use noc_topology::Mesh;
 use noc_traffic::LoadSpec;
 use noc_vc::VcConfig;
@@ -34,8 +34,14 @@ fn main() {
     }
     println!("leading control lead=1, 5-flit (paper base: both 15; 50%: FR 19 VC 21):");
     for (name, fc) in [
-        ("VC8", FlowControl::VirtualChannel(VcConfig::vc8(), lead.vc_baseline_of())),
-        ("FR6", FlowControl::FlitReservation(FrConfig::fr6().with_timing(lead))),
+        (
+            "VC8",
+            FlowControl::VirtualChannel(VcConfig::vc8(), lead.vc_baseline_of()),
+        ),
+        (
+            "FR6",
+            FlowControl::FlitReservation(FrConfig::fr6().with_timing(lead)),
+        ),
     ] {
         print!("{name}:");
         for frac in [0.05, 0.5, 0.65, 0.75] {

@@ -61,7 +61,13 @@ fn main() {
         FlowControl::VirtualChannel(VcConfig::vc32(), fast),
     ];
     regime("Fast control, 5-flit packets", &fast_configs, mesh, 5, &sim);
-    regime("Fast control, 21-flit packets", &fast_configs, mesh, 21, &sim);
+    regime(
+        "Fast control, 21-flit packets",
+        &fast_configs,
+        mesh,
+        21,
+        &sim,
+    );
 
     let lead_configs = [
         FlowControl::FlitReservation(FrConfig::fr6().with_timing(lead)),

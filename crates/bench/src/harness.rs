@@ -1,0 +1,153 @@
+//! A dependency-free wall-clock benchmark harness.
+//!
+//! Stands in for criterion so the workspace resolves with no registry
+//! access. The API intentionally mirrors the subset the benches use: a
+//! [`Harness`] groups named benchmarks, each receiving a [`Bencher`]
+//! whose `iter` closure is timed. Results print as `ns/iter` with the
+//! spread across samples, and a baseline file can be compared against to
+//! flag regressions by hand.
+//!
+//! Methodology: each benchmark is warmed up, then timed over
+//! `samples` batches; the batch size is auto-calibrated so one batch
+//! takes roughly `target_batch` of wall time. The median batch time is
+//! reported (robust to scheduler noise), alongside min and max.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches need only `use noc_bench::harness::*`.
+pub use std::hint::black_box as bb;
+
+/// Times one benchmark body.
+pub struct Bencher {
+    /// Calibrated iterations per timed batch.
+    iters: u64,
+    /// Median/min/max nanoseconds per iteration, filled by `iter`.
+    result: Option<BenchResult>,
+    samples: usize,
+}
+
+/// Per-benchmark timing summary, in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchResult {
+    /// Median over timed batches.
+    pub median_ns: f64,
+    /// Fastest batch.
+    pub min_ns: f64,
+    /// Slowest batch.
+    pub max_ns: f64,
+    /// Iterations per batch used for the measurement.
+    pub iters: u64,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly and records ns/iteration statistics.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up + calibration: grow the batch until it takes >= 1ms.
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 24 {
+                // Scale so a batch lands near ~5ms.
+                let per_iter = elapsed.as_nanos().max(1) as u64 / iters;
+                iters = (5_000_000 / per_iter.max(1)).clamp(1, 1 << 24);
+                break;
+            }
+            iters *= 4;
+        }
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(body());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.iters = iters;
+        self.result = Some(BenchResult {
+            median_ns: samples_ns[samples_ns.len() / 2],
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().expect("at least one sample"),
+            iters,
+        });
+    }
+}
+
+/// Collects and prints benchmark results.
+pub struct Harness {
+    samples: usize,
+    results: Vec<(String, BenchResult)>,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// Creates a harness with the default 15 samples per benchmark.
+    pub fn new() -> Self {
+        Harness {
+            samples: 15,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the number of timed batches per benchmark.
+    pub fn samples(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "need at least one sample");
+        self.samples = samples;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let mut b = Bencher {
+            iters: 0,
+            result: None,
+            samples: self.samples,
+        };
+        f(&mut b);
+        let r = b.result.expect("benchmark body must call Bencher::iter");
+        println!(
+            "{name:<44} {:>12.1} ns/iter  (min {:.1}, max {:.1}, {} iters/batch)",
+            r.median_ns, r.min_ns, r.max_ns, r.iters
+        );
+        self.results.push((name.to_string(), r));
+    }
+
+    /// All results collected so far.
+    pub fn results(&self) -> &[(String, BenchResult)] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_trivial_body() {
+        let mut h = Harness::new().samples(3);
+        h.bench("noop", |b| b.iter(|| 1u64 + 1));
+        assert_eq!(h.results().len(), 1);
+        let (name, r) = &h.results()[0];
+        assert_eq!(name, "noop");
+        assert!(r.median_ns >= 0.0);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.iters >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must call Bencher::iter")]
+    fn missing_iter_panics() {
+        let mut h = Harness::new();
+        h.bench("empty", |_| {});
+    }
+}

@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use noc_engine::warmup::WarmupConfig;
 use noc_network::{Curve, SimConfig};
 
@@ -75,15 +77,24 @@ pub fn seed_from_env() -> u64 {
 /// Default offered-load sweep (fractions of capacity) used by the
 /// latency-throughput figures.
 pub fn default_loads() -> Vec<f64> {
-    vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9]
+    vec![
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9,
+    ]
 }
 
 /// Prints one curve in the fixed-width format shared by all figures.
 pub fn print_curve(curve: &Curve) {
     println!("\n{}", curve.label);
-    println!("{:>10} {:>12} {:>10} {:>10} {:>10}", "offered", "latency", "ci95", "accepted", "status");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10} {:>10}",
+        "offered", "latency", "ci95", "accepted", "status"
+    );
     for p in &curve.points {
-        let status = if p.result.completed { "ok" } else { "saturated" };
+        let status = if p.result.completed {
+            "ok"
+        } else {
+            "saturated"
+        };
         let lat = if p.result.completed {
             format!("{:.1}", p.result.mean_latency())
         } else {
@@ -103,7 +114,10 @@ pub fn print_curve(curve: &Curve) {
 /// Prints a one-line per-curve summary: base latency and saturation
 /// throughput under a `3 × base` latency knee criterion.
 pub fn print_summary(curves: &[Curve]) {
-    println!("\n{:>8} {:>14} {:>22}", "config", "base latency", "saturation throughput");
+    println!(
+        "\n{:>8} {:>14} {:>22}",
+        "config", "base latency", "saturation throughput"
+    );
     for c in curves {
         let base = c.base_latency();
         let sat = c.saturation_throughput(base * 3.0);

@@ -13,7 +13,11 @@
 //!   (mean latency with 95% confidence intervals, histograms,
 //!   time-weighted occupancies);
 //! * [`warmup`] and [`sweep`] — the measurement methodology: warm up until
-//!   queue lengths stabilize, then sweep offered load across threads.
+//!   queue lengths stabilize, then sweep offered load across threads;
+//! * [`trace`] — cycle-stamped event tracing behind a zero-cost
+//!   [`trace::TraceSink`], with an online [`trace::InvariantChecker`];
+//! * [`propcheck`] — a tiny dependency-free property-testing harness
+//!   over [`Rng`], used by the randomized table tests.
 //!
 //! # Examples
 //!
@@ -34,9 +38,11 @@
 #![warn(missing_docs)]
 
 mod cycle;
+pub mod propcheck;
 pub mod rng;
 pub mod stats;
 pub mod sweep;
+pub mod trace;
 pub mod warmup;
 
 pub use cycle::Cycle;

@@ -1,0 +1,199 @@
+//! A minimal, dependency-free property-testing harness.
+//!
+//! The randomized table tests need only a sliver of what the big
+//! property-testing crates offer: deterministic generation of integers,
+//! booleans, tuples and vectors, a case loop, and a useful failure
+//! report. This module provides exactly that on top of the repo's own
+//! [`Rng`], so the tests run offline and reproduce bit-for-bit.
+//!
+//! There is no shrinking: when a case fails, the harness prints the case
+//! index, the seed and the generated input (which replays the failure
+//! exactly via [`check_seeded`]), then re-raises the original panic.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_engine::propcheck::{check, vec_of};
+//!
+//! check(32, (1u64..10, vec_of(0u8..4, 0..6)), |(scale, digits)| {
+//!     let sum: u64 = digits.iter().map(|&d| d as u64).sum();
+//!     assert!(sum * scale <= 3 * 6 * 10);
+//! });
+//! ```
+
+use crate::Rng;
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// A deterministic generator of test inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Strategy for an arbitrary `bool`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+/// Vectors of `element` values with a length drawn from `len`.
+pub fn vec_of<S: Strategy>(element: S, len: Range<usize>) -> VecOf<S> {
+    VecOf { element, len }
+}
+
+/// See [`vec_of`].
+#[derive(Clone, Debug)]
+pub struct VecOf<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// Runs `test` against `cases` inputs drawn from `strategy` with a
+/// fixed default seed.
+///
+/// # Panics
+///
+/// Re-raises the first failing case's panic, after printing the case
+/// index, seed and generated input.
+pub fn check<S>(cases: u64, strategy: S, test: impl Fn(S::Value))
+where
+    S: Strategy,
+    S::Value: Debug,
+{
+    check_seeded(0x5EED_CA5E, cases, strategy, test);
+}
+
+/// [`check`] with an explicit seed, for replaying a reported failure.
+///
+/// # Panics
+///
+/// Re-raises the first failing case's panic.
+pub fn check_seeded<S>(seed: u64, cases: u64, strategy: S, test: impl Fn(S::Value))
+where
+    S: Strategy,
+    S::Value: Debug,
+{
+    let root = Rng::from_seed(seed);
+    for case in 0..cases {
+        let mut rng = root.fork(case);
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        if let Err(cause) = catch_unwind(AssertUnwindSafe(|| test(value))) {
+            eprintln!(
+                "property failed on case {case} of {cases} (seed {seed:#x})\n  input: {shown}"
+            );
+            resume_unwind(cause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        check(200, (3u8..7, 10u64..11, 0usize..5), |(a, b, c)| {
+            assert!((3..7).contains(&a));
+            assert_eq!(b, 10);
+            assert!(c < 5);
+        });
+    }
+
+    #[test]
+    fn vectors_respect_the_length_range() {
+        check(100, vec_of(0u32..100, 2..9), |v| {
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 100));
+        });
+    }
+
+    #[test]
+    fn bools_take_both_values() {
+        let mut seen = [false, false];
+        let root = Rng::from_seed(1);
+        for case in 0..64 {
+            seen[AnyBool.generate(&mut root.fork(case)) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_inputs() {
+        let draw = |seed| {
+            let out = std::cell::RefCell::new(Vec::new());
+            check_seeded(seed, 20, vec_of(0u64..1000, 1..10), |v| {
+                out.borrow_mut().push(v)
+            });
+            out.into_inner()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd value generated")]
+    fn failures_resume_with_the_original_panic() {
+        check(500, 0u64..100, |x| {
+            assert!(x % 2 == 0, "odd value generated")
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range strategy")]
+    fn empty_range_is_rejected() {
+        check(1, 5u8..5, |_| {});
+    }
+}

@@ -207,7 +207,11 @@ mod tests {
         }
         assert_eq!(
             outs,
-            vec![6457827717110365317, 3203168211198807973, 9817491932198370423]
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
         );
     }
 

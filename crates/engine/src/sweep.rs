@@ -7,13 +7,17 @@
 //! scoped threads plus a shared atomic work index implement a simple
 //! work-stealing pool.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `job` once per input across up to `threads` worker threads and
 /// returns the outputs in the same order as `inputs`.
 ///
 /// `job` receives `(index, &input)` so callers can derive per-point seeds
-/// from the index. Panics in a worker propagate to the caller.
+/// from the index. A panic in a worker stops the sweep and is re-raised
+/// on the calling thread with its original payload; remaining inputs are
+/// abandoned.
 ///
 /// # Examples
 ///
@@ -45,29 +49,51 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    // A worker panic is caught, stashed here, and re-raised with its
+    // original payload on the caller's thread (`std::thread::scope` alone
+    // would replace it with a generic "a scoped thread panicked").
+    let panicked = AtomicBool::new(false);
+    let payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    let slot_ptrs: Vec<_> = slots.iter_mut().map(|s| SendPtr(s as *mut Option<O>)).collect();
+    let slot_ptrs: Vec<_> = slots
+        .iter_mut()
+        .map(|s| SendPtr(s as *mut Option<O>))
+        .collect();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let next = &next;
             let job = &job;
             let slot_ptrs = &slot_ptrs;
+            let panicked = &panicked;
+            let payload = &payload;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                if i >= n || panicked.load(Ordering::Relaxed) {
                     break;
                 }
-                let out = job(i, &inputs[i]);
-                // SAFETY: each index is claimed by exactly one worker via
-                // the atomic counter, so each slot is written once with no
-                // aliasing; the scope guarantees the writes complete before
-                // `slots` is read again.
-                unsafe { slot_ptrs[i].0.write(Some(out)) };
+                match std::panic::catch_unwind(AssertUnwindSafe(|| job(i, &inputs[i]))) {
+                    Ok(out) => {
+                        // SAFETY: each index is claimed by exactly one
+                        // worker via the atomic counter, so each slot is
+                        // written once with no aliasing; the scope
+                        // guarantees the writes complete before `slots`
+                        // is read again.
+                        unsafe { slot_ptrs[i].0.write(Some(out)) };
+                    }
+                    Err(cause) => {
+                        panicked.store(true, Ordering::Relaxed);
+                        payload.lock().unwrap().get_or_insert(cause);
+                        break;
+                    }
+                }
             });
         }
     });
 
+    if let Some(cause) = payload.into_inner().unwrap() {
+        std::panic::resume_unwind(cause);
+    }
     slots
         .into_iter()
         .map(|s| s.expect("every sweep slot must be filled"))
@@ -146,11 +172,32 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "job 3 exploded")]
+    fn worker_panic_propagates_across_threads() {
+        let inputs: Vec<usize> = (0..16).collect();
+        run_parallel(&inputs, 4, |i, &x| {
+            if i == 3 {
+                panic!("job 3 exploded");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "job 0 exploded")]
+    fn worker_panic_propagates_on_single_thread_path() {
+        run_parallel(&[1], 1, |_, _: &i32| -> i32 { panic!("job 0 exploded") });
+    }
+
+    #[test]
     fn parallel_matches_serial_with_state() {
         // Each job derives output purely from the index, so parallel and
         // serial execution must agree exactly.
         let inputs: Vec<usize> = (0..50).collect();
-        let serial: Vec<u64> = inputs.iter().map(|&i| (i as u64).wrapping_mul(0x9E3779B9)).collect();
+        let serial: Vec<u64> = inputs
+            .iter()
+            .map(|&i| (i as u64).wrapping_mul(0x9E3779B9))
+            .collect();
         let parallel = run_parallel(&inputs, 7, |_, &i| (i as u64).wrapping_mul(0x9E3779B9));
         assert_eq!(serial, parallel);
     }

@@ -235,7 +235,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "horizon must be positive")]
     fn zero_horizon_panics() {
-        FrConfig::fr6().with_horizon(0);
+        let _ = FrConfig::fr6().with_horizon(0);
     }
 
     #[test]

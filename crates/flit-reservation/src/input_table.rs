@@ -43,18 +43,18 @@ struct Departure {
 /// What happened when a data flit arrived.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ArrivalOutcome {
-    /// The reservation was already in the table; the flit was buffered and
-    /// will leave at the recorded departure time.
-    Scheduled(Reservation),
+    /// The reservation was already in the table; the flit was written to
+    /// the returned buffer and will leave at the recorded departure time.
+    Scheduled(Reservation, BufferId),
     /// The reservation departs *this* cycle: the flit bypasses the buffer
     /// pool and the caller must forward it to `out_port` immediately.
     Bypass {
         /// Output channel the flit leaves by right now.
         out_port: Port,
     },
-    /// No reservation yet: the flit was parked in the pool and appended to
-    /// the schedule list.
-    Parked,
+    /// No reservation yet: the flit was parked in the returned buffer and
+    /// appended to the schedule list.
+    Parked(BufferId),
 }
 
 /// Input reservation table, buffer pool and schedule list for one input
@@ -82,11 +82,11 @@ pub enum ArrivalOutcome {
 /// table.advance_to(Cycle::new(9));
 /// assert!(matches!(
 ///     table.on_data_arrival(flit, Cycle::new(9)),
-///     ArrivalOutcome::Scheduled(_)
+///     ArrivalOutcome::Scheduled(..)
 /// ));
 /// // ... and leaves at cycle 12.
 /// table.advance_to(Cycle::new(12));
-/// let (departed, port) = table.take_departure(Cycle::new(12)).unwrap();
+/// let (departed, port, _buffer) = table.take_departure(Cycle::new(12)).unwrap();
 /// assert_eq!(port, Port::East);
 /// assert_eq!(departed.seq, 0);
 /// ```
@@ -244,23 +244,23 @@ impl InputReservationTable {
                     .expect("incoming reservation without departure row");
                 debug_assert!(dep.buffer.is_none(), "departure buffer already bound");
                 dep.buffer = Some(buffer);
-                ArrivalOutcome::Scheduled(res)
+                ArrivalOutcome::Scheduled(res, buffer)
             }
             None => {
                 self.early.push((now, buffer));
-                ArrivalOutcome::Parked
+                ArrivalOutcome::Parked(buffer)
             }
         }
     }
 
     /// Executes the departure booked for cycle `now`, if any, returning
-    /// the flit and its output channel.
+    /// the flit, its output channel and the buffer it vacated.
     ///
     /// # Panics
     ///
     /// Panics if a departure is booked but its buffer was never bound
     /// (the data flit did not arrive in time — a protocol bug).
-    pub fn take_departure(&mut self, now: Cycle) -> Option<(DataFlit, Port)> {
+    pub fn take_departure(&mut self, now: Cycle) -> Option<(DataFlit, Port, BufferId)> {
         let s = self.slot(now);
         // Bypass departures are executed by the arrival logic, not here.
         if self.outgoing[s].map(|d| d.bypass).unwrap_or(false) {
@@ -271,7 +271,7 @@ impl InputReservationTable {
             .buffer
             .expect("departure due but data flit never arrived");
         let flit = self.pool.take(buffer);
-        Some((flit, dep.out_port))
+        Some((flit, dep.out_port, buffer))
     }
 
     /// Buffers currently occupied.
@@ -324,18 +324,22 @@ mod tests {
         assert!(!t.departure_booked(Cycle::new(7)));
         t.advance_to(Cycle::new(5));
         let outcome = t.on_data_arrival(flit(0), Cycle::new(5));
+        let ArrivalOutcome::Scheduled(res, buffer) = outcome else {
+            panic!("expected a scheduled arrival, got {outcome:?}");
+        };
         assert_eq!(
-            outcome,
-            ArrivalOutcome::Scheduled(Reservation {
+            res,
+            Reservation {
                 depart: Cycle::new(8),
                 out_port: Port::East
-            })
+            }
         );
         assert_eq!(t.occupied(), 1);
         t.advance_to(Cycle::new(8));
-        let (f, port) = t.take_departure(Cycle::new(8)).unwrap();
+        let (f, port, freed) = t.take_departure(Cycle::new(8)).unwrap();
         assert_eq!(f.seq, 0);
         assert_eq!(port, Port::East);
+        assert_eq!(freed, buffer, "departure vacates the arrival's buffer");
         assert_eq!(t.occupied(), 0);
     }
 
@@ -343,14 +347,17 @@ mod tests {
     fn early_arrival_parks_then_matches() {
         let mut t = table();
         t.advance_to(Cycle::new(4));
-        assert_eq!(t.on_data_arrival(flit(1), Cycle::new(4)), ArrivalOutcome::Parked);
+        assert!(matches!(
+            t.on_data_arrival(flit(1), Cycle::new(4)),
+            ArrivalOutcome::Parked(_)
+        ));
         assert_eq!(t.parked(), 1);
         t.advance_to(Cycle::new(6));
         // Control flit catches up two cycles later.
         t.apply_reservation(Cycle::new(4), Cycle::new(9), Port::South, Cycle::new(6));
         assert_eq!(t.parked(), 0);
         t.advance_to(Cycle::new(9));
-        let (f, port) = t.take_departure(Cycle::new(9)).unwrap();
+        let (f, port, _) = t.take_departure(Cycle::new(9)).unwrap();
         assert_eq!(f.seq, 1);
         assert_eq!(port, Port::South);
     }
@@ -435,6 +442,21 @@ mod tests {
         t.advance_to(Cycle::new(6));
         assert_eq!(t.take_departure(Cycle::new(6)).unwrap().0.seq, 2);
     }
+
+    #[test]
+    fn departure_reports_the_vacated_buffer() {
+        let mut t = table();
+        t.advance_to(Cycle::ZERO);
+        t.apply_reservation(Cycle::new(1), Cycle::new(4), Port::East, Cycle::ZERO);
+        t.advance_to(Cycle::new(1));
+        let ArrivalOutcome::Scheduled(_, allocated) = t.on_data_arrival(flit(0), Cycle::new(1))
+        else {
+            panic!("arrival must be scheduled");
+        };
+        t.advance_to(Cycle::new(4));
+        let (_, _, freed) = t.take_departure(Cycle::new(4)).unwrap();
+        assert_eq!(freed, allocated);
+    }
 }
 
 #[cfg(test)]
@@ -487,7 +509,7 @@ mod bypass_tests {
         t.advance_to(Cycle::new(3));
         assert!(matches!(
             t.on_data_arrival(flit(0), Cycle::new(3)),
-            ArrivalOutcome::Scheduled(_)
+            ArrivalOutcome::Scheduled(..)
         ));
         assert_eq!(t.occupied(), 1);
         t.advance_to(Cycle::new(5));
@@ -497,7 +519,7 @@ mod bypass_tests {
         ));
         assert_eq!(t.occupied(), 1, "bypass leaves the buffered flit alone");
         t.advance_to(Cycle::new(7));
-        let (f, port) = t.take_departure(Cycle::new(7)).unwrap();
+        let (f, port, _) = t.take_departure(Cycle::new(7)).unwrap();
         assert_eq!(f.seq, 0);
         assert_eq!(port, Port::North);
         assert_eq!(t.occupied(), 0);

@@ -303,9 +303,15 @@ mod tests {
         let now = Cycle::ZERO;
         t.advance_to(now);
         // Arrival in the past of `now` still departs after `now`.
-        assert_eq!(t.find_departure(Cycle::ZERO, now, |_| true), Some(Cycle::new(1)));
+        assert_eq!(
+            t.find_departure(Cycle::ZERO, now, |_| true),
+            Some(Cycle::new(1))
+        );
         t.reserve(Cycle::new(1));
-        assert_eq!(t.find_departure(Cycle::ZERO, now, |_| true), Some(Cycle::new(2)));
+        assert_eq!(
+            t.find_departure(Cycle::ZERO, now, |_| true),
+            Some(Cycle::new(2))
+        );
     }
 
     #[test]

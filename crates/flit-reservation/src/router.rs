@@ -20,10 +20,11 @@ use crate::transfers::TransferCounter;
 use crate::{
     BufferAllocPolicy, FrConfig, InputReservationTable, OutputReservationTable, SchedulingPolicy,
 };
-use noc_engine::{Cycle, Rng};
 use noc_engine::stats::RunningStats;
+use noc_engine::trace::{NullSink, TraceSink};
+use noc_engine::{Cycle, Rng};
 use noc_flow::{
-    ControlFlit, ControlKind, DataFlit, LedFlit, LinkEvent, Router, StepOutputs,
+    ControlFlit, ControlKind, DataFlit, LedFlit, LinkEvent, Router, StepOutputs, TraceEmit,
 };
 use noc_topology::{xy_route, Mesh, NodeId, Port, PortMap};
 use noc_traffic::Packet;
@@ -87,6 +88,9 @@ pub struct FrStats {
 
 /// A flit-reservation flow-control router.
 ///
+/// Generic over a [`TraceSink`]; the default [`NullSink`] disables
+/// tracing at zero cost, [`FrRouter::with_tracer`] plugs a real sink in.
+///
 /// # Examples
 ///
 /// ```
@@ -100,7 +104,7 @@ pub struct FrStats {
 /// assert_eq!(router.data_buffer_capacity(noc_topology::Port::East), 6);
 /// ```
 #[derive(Clone, Debug)]
-pub struct FrRouter {
+pub struct FrRouter<S: TraceSink = NullSink> {
     node: NodeId,
     mesh: Mesh,
     config: FrConfig,
@@ -125,16 +129,29 @@ pub struct FrRouter {
     /// Present only under the bind-at-reservation ablation: per-input
     /// interval bookkeeping that counts buffer-to-buffer transfers.
     transfer_counters: Option<PortMap<TransferCounter>>,
+    sink: S,
 }
 
 impl FrRouter {
-    /// Creates a router for `node` of `mesh`.
+    /// Creates an untraced router for `node` of `mesh`.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is internally inconsistent (see
     /// [`FrConfig::validate`]).
     pub fn new(mesh: Mesh, node: NodeId, config: FrConfig, rng: Rng) -> Self {
+        FrRouter::with_tracer(mesh, node, config, rng, NullSink)
+    }
+}
+
+impl<S: TraceSink> FrRouter<S> {
+    /// Creates a router that reports every event to `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (see
+    /// [`FrConfig::validate`]).
+    pub fn with_tracer(mesh: Mesh, node: NodeId, config: FrConfig, rng: Rng, sink: S) -> Self {
         config.validate();
         let horizon = config.horizon;
         let t = config.timing;
@@ -152,7 +169,8 @@ impl FrRouter {
         });
         let control_inputs =
             PortMap::from_fn(|_| (0..config.control_vcs).map(|_| ControlVc::new()).collect());
-        let control_credits = PortMap::from_fn(|_| vec![config.control_queue_depth; config.control_vcs]);
+        let control_credits =
+            PortMap::from_fn(|_| vec![config.control_queue_depth; config.control_vcs]);
         let control_vc_owner = PortMap::from_fn(|_| vec![false; config.control_vcs]);
         FrRouter {
             node,
@@ -179,6 +197,7 @@ impl FrRouter {
                 })),
                 BufferAllocPolicy::JustBeforeArrival => None,
             },
+            sink,
         }
     }
 
@@ -239,6 +258,7 @@ impl FrRouter {
                     released <= 1,
                     "injection channel carried two flits in one cycle"
                 );
+                self.sink.flit_injected(now, self.node, &flit);
                 self.pending_data.push((Port::Local, flit));
             } else {
                 debug_assert!(
@@ -257,16 +277,22 @@ impl FrRouter {
         let pending = std::mem::take(&mut self.pending_data);
         for (port, flit) in pending {
             match self.input_tables[port].on_data_arrival(flit, now) {
-                crate::ArrivalOutcome::Parked => self.stats.parked_arrivals += 1,
+                crate::ArrivalOutcome::Parked(buffer) => {
+                    self.stats.parked_arrivals += 1;
+                    self.sink.buffer_alloc(now, self.node, port, buffer, &flit);
+                }
                 crate::ArrivalOutcome::Bypass { out_port } => {
                     self.stats.bypassed_flits += 1;
                     if out_port == Port::Local {
                         out.eject(flit, now);
                     } else {
+                        self.sink.data_sent(now, self.node, out_port, &flit);
                         out.send(out_port, LinkEvent::Data(flit));
                     }
                 }
-                crate::ArrivalOutcome::Scheduled(_) => {}
+                crate::ArrivalOutcome::Scheduled(_, buffer) => {
+                    self.sink.buffer_alloc(now, self.node, port, buffer, &flit);
+                }
             }
         }
     }
@@ -280,9 +306,7 @@ impl FrRouter {
                     let cvc = &self.control_inputs[port][vc];
                     match cvc.queue.front() {
                         Some(qc)
-                            if qc.flit.is_head()
-                                && cvc.route.is_none()
-                                && qc.arrived + 1 <= now =>
+                            if qc.flit.is_head() && cvc.route.is_none() && qc.arrived < now =>
                         {
                             match qc.flit.kind {
                                 ControlKind::Head { dest } => Some(dest),
@@ -329,9 +353,10 @@ impl FrRouter {
             for led in front.led.iter().filter(|l| !l.scheduled) {
                 let input = &self.input_tables[in_port];
                 let allow_bypass = self.config.same_cycle_bypass && led.arrival > now;
-                let found = snapshot.schedule_search(led.arrival, now, remaining, allow_bypass, |c| {
-                    !input.departure_booked(c) && !booked.contains(&c)
-                });
+                let found =
+                    snapshot.schedule_search(led.arrival, now, remaining, allow_bypass, |c| {
+                        !input.departure_booked(c) && !booked.contains(&c)
+                    });
                 match found {
                     Some(t_d) => {
                         snapshot.reserve(t_d);
@@ -344,7 +369,7 @@ impl FrRouter {
         }
 
         loop {
-            // Copy out the next unscheduled entry (index + arrival time).
+            // Copy out the next unscheduled entry (index, arrival, flit).
             let next = {
                 let front = &self.control_inputs[in_port][vc]
                     .queue
@@ -356,9 +381,9 @@ impl FrRouter {
                     .iter()
                     .enumerate()
                     .find(|(_, l)| !l.scheduled)
-                    .map(|(i, l)| (i, l.arrival))
+                    .map(|(i, l)| (i, l.arrival, l.flit))
             };
-            let (idx, t_a) = match next {
+            let (idx, t_a, led_flit) = match next {
                 Some(n) => n,
                 None => return true,
             };
@@ -394,6 +419,14 @@ impl FrRouter {
             };
             self.output_tables[out_port].reserve(t_d);
             self.input_tables[in_port].apply_reservation(t_a, t_d, out_port, now);
+            // Ejection reservations hold no channel bandwidth, so only
+            // mesh-port grants are traced (and must be consumed by a
+            // matching data-flit departure).
+            if out_port != Port::Local {
+                self.sink.channel_grant(now, self.node, out_port, t_d);
+            }
+            self.sink
+                .reservation_made(now, self.node, &led_flit, in_port, out_port, t_a, t_d);
             if let Some(counters) = &mut self.transfer_counters {
                 // Bypassed flits (t_d == t_a) never occupy a buffer.
                 if t_d > t_a {
@@ -415,6 +448,7 @@ impl FrRouter {
             if in_port == Port::Local {
                 self.ni.inject_table.credit(frees_at, now);
             } else {
+                self.sink.credit_sent(now, self.node, in_port, 0);
                 out.send(in_port, LinkEvent::FrCredit { frees_at });
             }
             let front = self.control_inputs[in_port][vc]
@@ -441,18 +475,14 @@ impl FrRouter {
                         continue;
                     }
                     match cvc.queue.front() {
-                        Some(qc) if qc.arrived + 1 <= now => candidates.push((in_port, vc)),
+                        Some(qc) if qc.arrived < now => candidates.push((in_port, vc)),
                         _ => {}
                     }
                 }
             }
             self.rng.shuffle(&mut candidates);
-            let mut processed = 0u32;
+            candidates.truncate(self.config.control_lanes as usize);
             for (in_port, vc) in candidates {
-                if processed >= self.config.control_lanes {
-                    break;
-                }
-                processed += 1;
                 self.process_one_control(in_port, vc, out_port, now, out);
             }
         }
@@ -507,6 +537,7 @@ impl FrRouter {
         let mut flit = qc.flit;
         let is_tail = flit.is_tail;
         if in_port != Port::Local {
+            self.sink.credit_sent(now, self.node, in_port, vc as u8);
             out.send(in_port, LinkEvent::ControlCredit { vc: vc as u8 });
         }
         if out_port == Port::Local {
@@ -515,6 +546,8 @@ impl FrRouter {
         } else {
             self.control_credits[out_port][out_vc as usize] -= 1;
             flit.vc = out_vc;
+            self.sink
+                .control_sent(now, self.node, out_port, out_vc, flit.packet);
             out.send(out_port, LinkEvent::Control(flit));
         }
         if is_tail {
@@ -531,10 +564,12 @@ impl FrRouter {
     /// Executes booked departures: drive buffers onto output channels.
     fn run_data_path(&mut self, now: Cycle, out: &mut StepOutputs) {
         for &port in &Port::ALL {
-            if let Some((flit, out_port)) = self.input_tables[port].take_departure(now) {
+            if let Some((flit, out_port, buffer)) = self.input_tables[port].take_departure(now) {
+                self.sink.buffer_free(now, self.node, port, buffer, &flit);
                 if out_port == Port::Local {
                     out.eject(flit, now);
                 } else {
+                    self.sink.data_sent(now, self.node, out_port, &flit);
                     out.send(out_port, LinkEvent::Data(flit));
                 }
             }
@@ -669,7 +704,7 @@ impl FrRouter {
     }
 }
 
-impl Router for FrRouter {
+impl<S: TraceSink> Router for FrRouter<S> {
     fn node(&self) -> NodeId {
         self.node
     }
@@ -699,7 +734,10 @@ impl Router for FrRouter {
             LinkEvent::ControlCredit { vc } => {
                 let c = &mut self.control_credits[port][vc as usize];
                 *c += 1;
-                debug_assert!(*c <= self.config.control_queue_depth, "control credit overflow");
+                debug_assert!(
+                    *c <= self.config.control_queue_depth,
+                    "control credit overflow"
+                );
             }
             LinkEvent::FrCredit { frees_at } => {
                 self.output_tables[port].credit(frees_at, now);
@@ -715,7 +753,7 @@ impl Router for FrRouter {
 
     fn step(&mut self, now: Cycle, out: &mut StepOutputs) {
         self.advance_tables(now);
-        if now.raw() % 64 == 0 {
+        if now.raw().is_multiple_of(64) {
             if let Some(counters) = &mut self.transfer_counters {
                 for (_, c) in counters.iter_mut() {
                     c.collect_garbage(now);
@@ -776,13 +814,12 @@ mod tests {
         }
     }
 
+    /// Timestamped sends and ejections collected by `drive`.
+    type Driven = (Vec<(u64, Port, LinkEvent)>, Vec<(u64, DataFlit)>);
+
     /// Drives the router, returning (cycle, port, event) sends plus
     /// ejections.
-    fn drive(
-        r: &mut FrRouter,
-        from: u64,
-        to: u64,
-    ) -> (Vec<(u64, Port, LinkEvent)>, Vec<(u64, DataFlit)>) {
+    fn drive(r: &mut FrRouter, from: u64, to: u64) -> Driven {
         let mut sends = Vec::new();
         let mut ejections = Vec::new();
         for t in from..to {
@@ -801,11 +838,7 @@ mod tests {
     /// Like `drive`, but echoes a control credit back one cycle after
     /// every forwarded control flit, emulating an uncongested downstream
     /// router draining its control queues.
-    fn drive_echo(
-        r: &mut FrRouter,
-        from: u64,
-        to: u64,
-    ) -> (Vec<(u64, Port, LinkEvent)>, Vec<(u64, DataFlit)>) {
+    fn drive_echo(r: &mut FrRouter, from: u64, to: u64) -> Driven {
         let mut sends = Vec::new();
         let mut ejections = Vec::new();
         let mut pending: Vec<(u64, Port, u8)> = Vec::new();
@@ -931,14 +964,20 @@ mod tests {
         let mut out = StepOutputs::new();
         r.step(Cycle::new(1), &mut out);
         let kinds: Vec<&LinkEvent> = out.sends.iter().map(|(_, e)| e).collect();
-        assert!(kinds.iter().any(|e| matches!(e, LinkEvent::FrCredit { .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, LinkEvent::FrCredit { .. })));
         assert!(kinds
             .iter()
             .any(|e| matches!(e, LinkEvent::ControlCredit { vc: 0 })));
         assert!(!kinds.iter().any(|e| matches!(e, LinkEvent::Control(_))));
         // Data flit arrives at 6 and must be ejected at its reserved time.
         drive(&mut r, 2, 6);
-        r.receive(Port::West, LinkEvent::Data(data_flit(0, 1, dest)), Cycle::new(6));
+        r.receive(
+            Port::West,
+            LinkEvent::Data(data_flit(0, 1, dest)),
+            Cycle::new(6),
+        );
         let (_, ejections) = drive(&mut r, 6, 20);
         assert_eq!(ejections.len(), 1);
         // With same-cycle bypass the flit can eject in its arrival cycle.
@@ -953,7 +992,11 @@ mod tests {
         let mut r = fr_router(2, 2, FrConfig::fr6());
         let dest = m.node_at(2, 2);
         // Data flit beats its control flit by 3 cycles.
-        r.receive(Port::North, LinkEvent::Data(data_flit(0, 1, dest)), Cycle::ZERO);
+        r.receive(
+            Port::North,
+            LinkEvent::Data(data_flit(0, 1, dest)),
+            Cycle::ZERO,
+        );
         let mut out = StepOutputs::new();
         r.step(Cycle::ZERO, &mut out);
         assert_eq!(r.stats().parked_arrivals, 1);
@@ -1004,7 +1047,11 @@ mod tests {
         // policies must schedule identically.
         let m = mesh();
         let mut per_flit = fr_router(0, 0, FrConfig::fr6());
-        let mut aon = fr_router(0, 0, FrConfig::fr6().with_policy(SchedulingPolicy::AllOrNothing));
+        let mut aon = fr_router(
+            0,
+            0,
+            FrConfig::fr6().with_policy(SchedulingPolicy::AllOrNothing),
+        );
         assert!(per_flit.try_inject(packet(m, (0, 0), (3, 0), 5), Cycle::ZERO));
         assert!(aon.try_inject(packet(m, (0, 0), (3, 0), 5), Cycle::ZERO));
         let (sends_a, _) = drive(&mut per_flit, 0, 40);
@@ -1154,11 +1201,10 @@ mod bypass_router_tests {
         // The data flit left on the East port in its arrival cycle.
         let data_sends: Vec<u64> = sends
             .iter()
-            .filter_map(|(t, p, e)| {
-                matches!(e, LinkEvent::Data(_)).then(|| {
-                    assert_eq!(*p, Port::East);
-                    *t
-                })
+            .filter(|(_, _, e)| matches!(e, LinkEvent::Data(_)))
+            .map(|(t, p, _)| {
+                assert_eq!(*p, Port::East);
+                *t
             })
             .collect();
         assert_eq!(data_sends, vec![10], "flit must bypass in cycle 10");

@@ -67,7 +67,10 @@ impl BufferPool {
     /// Panics if `capacity` is zero or exceeds 255.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "buffer pool must have capacity");
-        assert!(capacity <= 255, "buffer pool capacity exceeds BufferId range");
+        assert!(
+            capacity <= 255,
+            "buffer pool capacity exceeds BufferId range"
+        );
         BufferPool {
             slots: vec![None; capacity],
             occupied: vec![false; capacity],

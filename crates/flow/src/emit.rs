@@ -1,0 +1,405 @@
+//! Typed emit API over the raw trace events of `noc-engine`.
+//!
+//! [`noc_engine::trace::TraceEvent`] deliberately carries only raw
+//! integers, because the engine crate sits below the crates that define
+//! [`NodeId`], [`Port`], [`PacketId`] and [`DataFlit`]. This module adds
+//! the typed surface the routers actually use: [`TraceEmit`], an
+//! extension trait blanket-implemented for every [`TraceSink`], with one
+//! method per event kind that does the id conversions in one place.
+//!
+//! Every method funnels through [`TraceSink::record`], so with the
+//! default [`noc_engine::trace::NullSink`] each call compiles to
+//! nothing.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_engine::Cycle;
+//! use noc_engine::trace::{TraceKind, VecSink};
+//! use noc_flow::TraceEmit;
+//! use noc_topology::{NodeId, Port};
+//!
+//! let mut sink = VecSink::new();
+//! sink.credit_sent(Cycle::new(9), NodeId::new(3), Port::West, 1);
+//! assert_eq!(sink.events()[0].kind, TraceKind::CreditSent { port: 3, class: 1 });
+//! ```
+
+use crate::{BufferId, DataFlit};
+use noc_engine::trace::{TraceEvent, TraceKind, TraceSink};
+use noc_engine::Cycle;
+use noc_topology::{NodeId, Port};
+use noc_traffic::PacketId;
+
+/// Builds one raw event; shared by every method below.
+#[inline(always)]
+fn event(cycle: Cycle, node: NodeId, kind: TraceKind) -> TraceEvent {
+    TraceEvent {
+        cycle,
+        node: node.raw(),
+        kind,
+    }
+}
+
+#[inline(always)]
+fn port(p: Port) -> u8 {
+    p.index() as u8
+}
+
+/// Typed emit methods for every [`TraceSink`].
+///
+/// All methods are `#[inline(always)]` wrappers around
+/// [`TraceSink::record`]; when the sink is the no-op default they
+/// vanish entirely.
+pub trait TraceEmit: TraceSink {
+    /// A packet entered its source queue.
+    #[inline(always)]
+    fn packet_injected(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        packet: PacketId,
+        src: NodeId,
+        dest: NodeId,
+        length: u32,
+    ) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::PacketInjected {
+                    packet: packet.raw(),
+                    src: src.raw(),
+                    dest: dest.raw(),
+                    length,
+                },
+            )
+        });
+    }
+
+    /// A data flit left the network interface into the router.
+    #[inline(always)]
+    fn flit_injected(&mut self, now: Cycle, node: NodeId, flit: &DataFlit) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::FlitInjected {
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// A control flit was sent on `out_port`, control VC `vc` (FR only).
+    #[inline(always)]
+    fn control_sent(&mut self, now: Cycle, node: NodeId, out_port: Port, vc: u8, packet: PacketId) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::ControlSent {
+                    out_port: port(out_port),
+                    vc,
+                    packet: packet.raw(),
+                },
+            )
+        });
+    }
+
+    /// A control flit hit a wire error and will be retransmitted.
+    #[inline(always)]
+    fn control_retried(&mut self, now: Cycle, node: NodeId, out_port: Port) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::ControlRetried {
+                    out_port: port(out_port),
+                },
+            )
+        });
+    }
+
+    /// A reservation was written into the tables for `flit` (FR only).
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn reservation_made(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        flit: &DataFlit,
+        in_port: Port,
+        out_port: Port,
+        arrival: Cycle,
+        departure: Cycle,
+    ) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::ReservationMade {
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                    in_port: port(in_port),
+                    out_port: port(out_port),
+                    arrival: arrival.raw(),
+                    departure: departure.raw(),
+                },
+            )
+        });
+    }
+
+    /// One cycle of `out_port`'s bandwidth was reserved.
+    #[inline(always)]
+    fn channel_grant(&mut self, now: Cycle, node: NodeId, out_port: Port, at: Cycle) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::ChannelGrant {
+                    out_port: port(out_port),
+                    at: at.raw(),
+                },
+            )
+        });
+    }
+
+    /// `flit` was written into `buffer` of `in_port`'s pool.
+    #[inline(always)]
+    fn buffer_alloc(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        in_port: Port,
+        buffer: BufferId,
+        flit: &DataFlit,
+    ) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::BufferAlloc {
+                    port: port(in_port),
+                    buffer: buffer.raw() as u16,
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// `flit` left `buffer` of `in_port`'s pool.
+    #[inline(always)]
+    fn buffer_free(
+        &mut self,
+        now: Cycle,
+        node: NodeId,
+        in_port: Port,
+        buffer: BufferId,
+        flit: &DataFlit,
+    ) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::BufferFree {
+                    port: port(in_port),
+                    buffer: buffer.raw() as u16,
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// `flit` departed on a reserved channel cycle (FR only).
+    #[inline(always)]
+    fn data_sent(&mut self, now: Cycle, node: NodeId, out_port: Port, flit: &DataFlit) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::DataSent {
+                    out_port: port(out_port),
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// `flit` departed on virtual channel `vc` (VC baseline).
+    #[inline(always)]
+    fn vc_data_sent(&mut self, now: Cycle, node: NodeId, out_port: Port, vc: u8, flit: &DataFlit) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::VcDataSent {
+                    out_port: port(out_port),
+                    vc,
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// `flit` entered the per-VC queue `(in_port, vc)`.
+    #[inline(always)]
+    fn queue_enq(&mut self, now: Cycle, node: NodeId, in_port: Port, vc: u8, flit: &DataFlit) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::QueueEnq {
+                    port: port(in_port),
+                    vc,
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// `flit` left the per-VC queue `(in_port, vc)`.
+    #[inline(always)]
+    fn queue_deq(&mut self, now: Cycle, node: NodeId, in_port: Port, vc: u8, flit: &DataFlit) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::QueueDeq {
+                    port: port(in_port),
+                    vc,
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// A credit was returned upstream on `to_port` for buffer class
+    /// `class` (the VC id, or 0 for the FR pool).
+    #[inline(always)]
+    fn credit_sent(&mut self, now: Cycle, node: NodeId, to_port: Port, class: u8) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::CreditSent {
+                    port: port(to_port),
+                    class,
+                },
+            )
+        });
+    }
+
+    /// `flit` reached its destination and left the network.
+    #[inline(always)]
+    fn flit_ejected(&mut self, now: Cycle, node: NodeId, flit: &DataFlit) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::FlitEjected {
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// The last flit of `packet` was ejected.
+    #[inline(always)]
+    fn packet_delivered(&mut self, now: Cycle, node: NodeId, packet: PacketId, latency: u64) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::PacketDelivered {
+                    packet: packet.raw(),
+                    latency,
+                },
+            )
+        });
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceEmit for S {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_engine::trace::{NullSink, VecSink};
+
+    fn flit() -> DataFlit {
+        DataFlit {
+            packet: PacketId::new(11),
+            seq: 3,
+            length: 5,
+            dest: NodeId::new(63),
+            created_at: Cycle::new(2),
+        }
+    }
+
+    #[test]
+    fn typed_emits_lower_to_raw_ids() {
+        let mut sink = VecSink::new();
+        let now = Cycle::new(10);
+        let node = NodeId::new(12);
+        let f = flit();
+        sink.flit_injected(now, node, &f);
+        sink.reservation_made(
+            now,
+            node,
+            &f,
+            Port::North,
+            Port::East,
+            Cycle::new(12),
+            Cycle::new(14),
+        );
+        sink.channel_grant(now, node, Port::East, Cycle::new(14));
+        sink.buffer_alloc(now, node, Port::North, BufferId::new(4), &f);
+        sink.data_sent(Cycle::new(14), node, Port::East, &f);
+
+        let kinds: Vec<TraceKind> = sink.events().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds[0], TraceKind::FlitInjected { packet: 11, seq: 3 });
+        assert_eq!(
+            kinds[1],
+            TraceKind::ReservationMade {
+                packet: 11,
+                seq: 3,
+                in_port: Port::North.index() as u8,
+                out_port: Port::East.index() as u8,
+                arrival: 12,
+                departure: 14,
+            }
+        );
+        assert_eq!(
+            kinds[2],
+            TraceKind::ChannelGrant {
+                out_port: Port::East.index() as u8,
+                at: 14
+            }
+        );
+        assert_eq!(
+            kinds[3],
+            TraceKind::BufferAlloc {
+                port: Port::North.index() as u8,
+                buffer: 4,
+                packet: 11,
+                seq: 3
+            }
+        );
+        assert!(sink.events().iter().all(|e| e.node == 12));
+    }
+
+    #[test]
+    fn null_sink_accepts_typed_emits() {
+        let mut sink = NullSink;
+        sink.flit_injected(Cycle::ZERO, NodeId::new(0), &flit());
+        sink.packet_delivered(Cycle::ZERO, NodeId::new(0), PacketId::new(1), 7);
+    }
+}

@@ -23,12 +23,14 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod emit;
 mod flit;
 mod link;
 mod router;
 mod timing;
 
 pub use buffer::{BufferId, BufferPool};
+pub use emit::TraceEmit;
 pub use flit::{ControlFlit, ControlKind, DataFlit, FlitType, LedFlit, VcTag};
 pub use link::{BandwidthExceeded, Link};
 pub use router::{Ejection, LinkEvent, Router, StepOutputs, WireClass};

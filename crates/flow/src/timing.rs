@@ -56,7 +56,10 @@ impl LinkTiming {
     /// Panics if `lead` is zero — with no lead and equal wire speed,
     /// control flits could never get ahead of their data.
     pub fn leading_control(lead: u64) -> Self {
-        assert!(lead > 0, "leading control requires a lead of at least one cycle");
+        assert!(
+            lead > 0,
+            "leading control requires a lead of at least one cycle"
+        );
         LinkTiming {
             data_delay: 1,
             control_delay: 1,

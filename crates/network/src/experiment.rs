@@ -4,7 +4,7 @@
 
 use crate::{run_simulation, Network, RunResult, SimConfig};
 use flit_reservation::{FrConfig, FrRouter};
-use noc_engine::{Rng, sweep};
+use noc_engine::{sweep, Rng};
 use noc_flow::LinkTiming;
 use noc_topology::Mesh;
 use noc_traffic::{LoadSpec, TrafficGenerator};
@@ -58,13 +58,10 @@ impl FlowControl {
                 run_simulation(&mut network, sim)
             }
             FlowControl::FlitReservation(cfg) => {
-                let mut network = Network::new(
-                    mesh,
-                    cfg.timing,
-                    cfg.control_lanes,
-                    generator,
-                    |node| FrRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64)),
-                );
+                let mut network =
+                    Network::new(mesh, cfg.timing, cfg.control_lanes, generator, |node| {
+                        FrRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64))
+                    });
                 run_simulation(&mut network, sim)
             }
         }
@@ -93,15 +90,12 @@ impl Curve {
     /// Mean latency at the point closest to `offered` (`None` if that
     /// point saturated).
     pub fn latency_at(&self, offered: f64) -> Option<f64> {
-        let point = self
-            .points
-            .iter()
-            .min_by(|a, b| {
-                (a.offered - offered)
-                    .abs()
-                    .partial_cmp(&(b.offered - offered).abs())
-                    .expect("loads are finite")
-            })?;
+        let point = self.points.iter().min_by(|a, b| {
+            (a.offered - offered)
+                .abs()
+                .partial_cmp(&(b.offered - offered).abs())
+                .expect("loads are finite")
+        })?;
         point.result.completed.then(|| point.result.mean_latency())
     }
 

@@ -8,8 +8,9 @@
 //! before any router steps cycle `t`.
 
 use crate::DeliveryTracker;
+use noc_engine::trace::{NullSink, TraceSink};
 use noc_engine::Cycle;
-use noc_flow::{Link, LinkEvent, LinkTiming, Router, StepOutputs, WireClass};
+use noc_flow::{Link, LinkEvent, LinkTiming, Router, StepOutputs, TraceEmit, WireClass};
 use noc_topology::{Mesh, NodeId, Port, PortMap};
 use noc_traffic::TrafficGenerator;
 
@@ -63,7 +64,19 @@ impl ProbeState {
 }
 
 /// A complete simulated mesh network of `R` routers.
-pub struct Network<R: Router> {
+///
+/// The second type parameter is the network-level [`TraceSink`]; with the
+/// default [`NullSink`] every emit site compiles away. The network itself
+/// emits the end-to-end events ([`packet_injected`], [`flit_ejected`],
+/// [`packet_delivered`], [`control_retried`]) — per-router events come
+/// from sinks handed to the routers via `make_router`, typically clones
+/// of one [`noc_engine::trace::SharedSink`].
+///
+/// [`packet_injected`]: noc_flow::TraceEmit::packet_injected
+/// [`flit_ejected`]: noc_flow::TraceEmit::flit_ejected
+/// [`packet_delivered`]: noc_flow::TraceEmit::packet_delivered
+/// [`control_retried`]: noc_flow::TraceEmit::control_retried
+pub struct Network<R: Router, S: TraceSink = NullSink> {
     mesh: Mesh,
     timing: LinkTiming,
     routers: Vec<R>,
@@ -90,11 +103,12 @@ pub struct Network<R: Router> {
     error_rng: noc_engine::Rng,
     control_retries: u64,
     scratch: StepOutputs,
+    sink: S,
 }
 
 impl<R: Router> Network<R> {
-    /// Builds a network: one router per node (created by `make_router`),
-    /// one three-wire link set per directed mesh edge.
+    /// Builds an untraced network: one router per node (created by
+    /// `make_router`), one three-wire link set per directed mesh edge.
     ///
     /// `control_bandwidth` is the control-wire bandwidth in flits/cycle
     /// (the paper transfers 2 narrow control flits per cycle).
@@ -103,7 +117,29 @@ impl<R: Router> Network<R> {
         timing: LinkTiming,
         control_bandwidth: u32,
         generator: TrafficGenerator,
+        make_router: impl FnMut(NodeId) -> R,
+    ) -> Self {
+        Network::with_tracer(
+            mesh,
+            timing,
+            control_bandwidth,
+            generator,
+            make_router,
+            NullSink,
+        )
+    }
+}
+
+impl<R: Router, S: TraceSink> Network<R, S> {
+    /// Builds a network whose end-to-end events go to `sink`. Routers
+    /// trace separately — pass them their own sinks inside `make_router`.
+    pub fn with_tracer(
+        mesh: Mesh,
+        timing: LinkTiming,
+        control_bandwidth: u32,
+        generator: TrafficGenerator,
         mut make_router: impl FnMut(NodeId) -> R,
+        sink: S,
     ) -> Self {
         let routers: Vec<R> = mesh.nodes().map(&mut make_router).collect();
         let links = mesh
@@ -147,7 +183,19 @@ impl<R: Router> Network<R> {
             error_rng: noc_engine::Rng::from_seed(0xE44),
             control_retries: 0,
             scratch: StepOutputs::new(),
+            sink,
         }
+    }
+
+    /// The network-level trace sink.
+    pub fn tracer(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the network-level trace sink (e.g. to drain a
+    /// [`noc_engine::trace::VecSink`] between measurement windows).
+    pub fn tracer_mut(&mut self) -> &mut S {
+        &mut self.sink
     }
 
     /// Enables the control-wire error model: every control flit
@@ -261,6 +309,14 @@ impl<R: Router> Network<R> {
         if !self.injection_stopped {
             for packet in self.generator.tick(now) {
                 self.tracker.on_inject(&packet, self.measuring);
+                self.sink.packet_injected(
+                    now,
+                    packet.src,
+                    packet.id,
+                    packet.src,
+                    packet.dest,
+                    packet.length_flits,
+                );
                 self.backlog[packet.src.index()].push_back(packet);
             }
         }
@@ -296,6 +352,7 @@ impl<R: Router> Network<R> {
                 if class == WireClass::Control && self.control_error_rate > 0.0 {
                     while self.error_rng.chance(self.control_error_rate) {
                         self.control_retries += 1;
+                        self.sink.control_retried(now, node, port);
                         extra += self.timing.control_delay.max(1);
                     }
                 }
@@ -304,8 +361,12 @@ impl<R: Router> Network<R> {
             }
             let ejections = std::mem::take(&mut self.scratch.ejections);
             for e in ejections {
-                self.tracker
-                    .on_eject(e.flit.packet, e.flit.seq, node, e.at);
+                self.sink.flit_ejected(e.at, node, &e.flit);
+                let done = self.tracker.on_eject(e.flit.packet, e.flit.seq, node, e.at);
+                if let Some(latency) = done {
+                    self.sink
+                        .packet_delivered(e.at, node, e.flit.packet, latency);
+                }
             }
         }
         // Phase 4: probes.
@@ -419,10 +480,7 @@ mod tests {
         b.set_measuring(true);
         a.run_cycles(1_500);
         b.run_cycles(1_500);
-        assert_eq!(
-            a.tracker().delivered_flits(),
-            b.tracker().delivered_flits()
-        );
+        assert_eq!(a.tracker().delivered_flits(), b.tracker().delivered_flits());
         assert_eq!(a.tracker().latency().mean(), b.tracker().latency().mean());
     }
 

@@ -13,6 +13,7 @@
 
 use crate::Network;
 use noc_engine::stats::RunningStats;
+use noc_engine::trace::TraceSink;
 use noc_engine::warmup::{WarmupConfig, WarmupDetector};
 use noc_flow::Router;
 
@@ -120,7 +121,10 @@ impl RunResult {
 /// # Panics
 ///
 /// Panics if `sim.sample_packets` is zero.
-pub fn run_simulation<R: Router>(network: &mut Network<R>, sim: &SimConfig) -> RunResult {
+pub fn run_simulation<R: Router, S: TraceSink>(
+    network: &mut Network<R, S>,
+    sim: &SimConfig,
+) -> RunResult {
     assert!(sim.sample_packets > 0, "need a non-empty sample");
     let offered_fraction = network.generator().load().fraction();
     let packet_length = network.generator().load().packet_length();
@@ -131,7 +135,7 @@ pub fn run_simulation<R: Router>(network: &mut Network<R>, sim: &SimConfig) -> R
     let mut detector = WarmupDetector::new(sim.warmup);
     loop {
         network.cycle();
-        if network.now().raw() % sim.warmup_probe_period == 0
+        if network.now().raw().is_multiple_of(sim.warmup_probe_period)
             && detector.observe(network.now(), network.mean_queued_flits())
         {
             break;

@@ -149,11 +149,10 @@ impl FrStorage {
     /// Computes the breakdown.
     pub fn compute(p: &Params, control_vcs: u64, data_buffers: u64, control_buffers: u64) -> Self {
         let data_buffer_bits = p.flit_bits * data_buffers * p.ports;
-        let control_buffer_bits = (ceil_log2(control_vcs)
-            + p.type_bits
-            + p.flits_per_control * ceil_log2(p.horizon))
-            * control_buffers
-            * p.ports;
+        let control_buffer_bits =
+            (ceil_log2(control_vcs) + p.type_bits + p.flits_per_control * ceil_log2(p.horizon))
+                * control_buffers
+                * p.ports;
         let queue_pointer_bits = 2 * ceil_log2(control_buffers) * control_vcs * p.ports;
         let output_table_bits = (1 + ceil_log2(data_buffers)) * p.horizon * 4;
         let input_table_bits = ((1 + ceil_log2(p.horizon) + 2 + 2 * ceil_log2(data_buffers))

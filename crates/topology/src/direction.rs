@@ -36,8 +36,13 @@ impl Port {
     pub const COUNT: usize = 5;
 
     /// All ports, in index order.
-    pub const ALL: [Port; Port::COUNT] =
-        [Port::North, Port::South, Port::East, Port::West, Port::Local];
+    pub const ALL: [Port; Port::COUNT] = [
+        Port::North,
+        Port::South,
+        Port::East,
+        Port::West,
+        Port::Local,
+    ];
 
     /// The four mesh-facing ports (everything but `Local`).
     pub const MESH: [Port; 4] = [Port::North, Port::South, Port::East, Port::West];

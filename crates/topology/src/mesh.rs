@@ -99,10 +99,18 @@ impl Mesh {
             Port::North => (Some(c.x), c.y.checked_sub(1)),
             Port::South => (
                 Some(c.x),
-                if c.y + 1 < self.height { Some(c.y + 1) } else { None },
+                if c.y + 1 < self.height {
+                    Some(c.y + 1)
+                } else {
+                    None
+                },
             ),
             Port::East => (
-                if c.x + 1 < self.width { Some(c.x + 1) } else { None },
+                if c.x + 1 < self.width {
+                    Some(c.x + 1)
+                } else {
+                    None
+                },
                 Some(c.y),
             ),
             Port::West => (c.x.checked_sub(1), Some(c.y)),
@@ -172,11 +180,7 @@ impl Mesh {
                 }
                 // Walk the XY path, crediting each traversed channel.
                 let mut at = src;
-                loop {
-                    let port = match crate::xy_route(self, at, dst) {
-                        Some(p) => p,
-                        None => break,
-                    };
+                while let Some(port) = crate::xy_route(self, at, dst) {
                     load[at.index()][port.index()] += 1;
                     at = self
                         .neighbor(at, port)

@@ -91,7 +91,11 @@ impl OnOff {
 impl InjectionProcess for OnOff {
     fn arrivals(&mut self, rng: &mut Rng) -> u32 {
         // State transition first, then emission from the new state.
-        let p_exit = if self.on { self.p_exit_on } else { self.p_exit_off };
+        let p_exit = if self.on {
+            self.p_exit_on
+        } else {
+            self.p_exit_off
+        };
         if rng.chance(p_exit) {
             self.on = !self.on;
         }

@@ -12,8 +12,9 @@
 //! non-zero turnaround time flit-reservation flow control eliminates.
 
 use crate::{AllocationUnit, CreditMode, VcConfig};
+use noc_engine::trace::{NullSink, TraceSink};
 use noc_engine::{Cycle, Rng};
-use noc_flow::{DataFlit, FlitType, LinkEvent, Router, StepOutputs, VcTag};
+use noc_flow::{DataFlit, FlitType, LinkEvent, Router, StepOutputs, TraceEmit, VcTag};
 use noc_topology::{xy_route, Mesh, NodeId, Port, PortMap};
 use noc_traffic::Packet;
 use std::collections::VecDeque;
@@ -71,6 +72,9 @@ struct NetworkInterface {
 
 /// A virtual-channel flow-control router.
 ///
+/// Generic over a [`TraceSink`]; the default [`NullSink`] disables
+/// tracing at zero cost, [`VcRouter::with_tracer`] plugs a real sink in.
+///
 /// # Examples
 ///
 /// ```
@@ -84,7 +88,7 @@ struct NetworkInterface {
 /// assert_eq!(router.data_buffer_capacity(noc_topology::Port::East), 8);
 /// ```
 #[derive(Clone, Debug)]
-pub struct VcRouter {
+pub struct VcRouter<S: TraceSink = NullSink> {
     node: NodeId,
     mesh: Mesh,
     config: VcConfig,
@@ -92,11 +96,19 @@ pub struct VcRouter {
     inputs: PortMap<Vec<InputVc>>,
     outputs: PortMap<OutputPort>,
     ni: NetworkInterface,
+    sink: S,
 }
 
 impl VcRouter {
-    /// Creates a router for `node` of `mesh`.
+    /// Creates an untraced router for `node` of `mesh`.
     pub fn new(mesh: Mesh, node: NodeId, config: VcConfig, rng: Rng) -> Self {
+        VcRouter::with_tracer(mesh, node, config, rng, NullSink)
+    }
+}
+
+impl<S: TraceSink> VcRouter<S> {
+    /// Creates a router that reports every event to `sink`.
+    pub fn with_tracer(mesh: Mesh, node: NodeId, config: VcConfig, rng: Rng, sink: S) -> Self {
         let inputs = PortMap::from_fn(|_| (0..config.num_vcs).map(|_| InputVc::new()).collect());
         if config.credit_mode == CreditMode::SharedPool {
             assert!(
@@ -117,6 +129,7 @@ impl VcRouter {
             inputs,
             outputs,
             ni: NetworkInterface::default(),
+            sink,
         }
     }
 
@@ -154,8 +167,7 @@ impl VcRouter {
         match self.config.credit_mode {
             CreditMode::PerVc => self.inputs[port][vc].queue.len() < self.config.queue_depth,
             CreditMode::SharedPool => {
-                let per_vc: Vec<usize> =
-                    self.inputs[port].iter().map(|q| q.queue.len()).collect();
+                let per_vc: Vec<usize> = self.inputs[port].iter().map(|q| q.queue.len()).collect();
                 Self::damq_admits(&per_vc, vc, self.config.buffers_per_input())
             }
         }
@@ -204,7 +216,7 @@ impl VcRouter {
                         Some(front)
                             if front.tag.ty.is_head()
                                 && ivc.route.is_none()
-                                && front.arrived + 1 <= now =>
+                                && front.arrived < now =>
                         {
                             (true, Some(front.flit.dest))
                         }
@@ -291,8 +303,7 @@ impl VcRouter {
                     let available = match self.config.credit_mode {
                         CreditMode::PerVc => self.outputs[route].credits[out_vc as usize],
                         CreditMode::SharedPool => {
-                            let occ: usize =
-                                self.outputs[route].downstream_occ.iter().sum();
+                            let occ: usize = self.outputs[route].downstream_occ.iter().sum();
                             self.config.buffers_per_input().saturating_sub(occ)
                         }
                     };
@@ -351,10 +362,14 @@ impl VcRouter {
             .queue
             .pop_front()
             .expect("winner queue cannot be empty");
+        self.sink
+            .queue_deq(now, self.node, in_port, in_vc as u8, &queued.flit);
         self.consume_credit(out_port, out_vc);
         if out_port == Port::Local {
             out.eject(queued.flit, now);
         } else {
+            self.sink
+                .vc_data_sent(now, self.node, out_port, out_vc, &queued.flit);
             out.send(
                 out_port,
                 LinkEvent::VcData(
@@ -369,6 +384,7 @@ impl VcRouter {
         // Return the freed buffer slot upstream. Local-input slots are
         // observed directly by the network interface, so no wire credit.
         if in_port != Port::Local {
+            self.sink.credit_sent(now, self.node, in_port, in_vc as u8);
             out.send(in_port, LinkEvent::VcCredit { vc: in_vc as u8 });
         }
         if queued.tag.ty.is_tail() {
@@ -411,15 +427,19 @@ impl VcRouter {
             self.ni.current_vc = None;
         }
         tag.vc = vc;
-        self.inputs[Port::Local][vc as usize].queue.push_back(QueuedFlit {
-            tag,
-            flit,
-            arrived: now,
-        });
+        self.sink.flit_injected(now, self.node, &flit);
+        self.sink.queue_enq(now, self.node, Port::Local, vc, &flit);
+        self.inputs[Port::Local][vc as usize]
+            .queue
+            .push_back(QueuedFlit {
+                tag,
+                flit,
+                arrived: now,
+            });
     }
 }
 
-impl Router for VcRouter {
+impl<S: TraceSink> Router for VcRouter<S> {
     fn node(&self) -> NodeId {
         self.node
     }
@@ -434,6 +454,7 @@ impl Router for VcRouter {
                     "upstream overflowed input {port} vc {vc} at node {}",
                     self.node
                 );
+                self.sink.queue_enq(now, self.node, port, tag.vc, &flit);
                 self.inputs[port][vc].queue.push_back(QueuedFlit {
                     tag,
                     flit,
@@ -652,7 +673,11 @@ mod tests {
         assert_eq!(sent.len(), VcConfig::vc8().queue_depth);
         // Returning one credit on the VC in use releases exactly one more.
         let used_vc = sent[0];
-        r.receive(Port::East, LinkEvent::VcCredit { vc: used_vc }, Cycle::new(40));
+        r.receive(
+            Port::East,
+            LinkEvent::VcCredit { vc: used_vc },
+            Cycle::new(40),
+        );
         let log = drive(&mut r, Cycle::new(40), Cycle::new(45));
         let sent: usize = log
             .iter()
@@ -700,7 +725,11 @@ mod tests {
                 if let LinkEvent::VcData(tag, f) = e {
                     assert_eq!(p, Port::East);
                     sends.push((t, f.packet.raw(), tag.ty));
-                    r.receive(Port::East, LinkEvent::VcCredit { vc: tag.vc }, Cycle::new(t));
+                    r.receive(
+                        Port::East,
+                        LinkEvent::VcCredit { vc: tag.vc },
+                        Cycle::new(t),
+                    );
                 }
             }
         }

@@ -21,8 +21,13 @@ use frfc::vc::{VcConfig, VcRouter};
 fn run_fr(mesh: Mesh, pattern: Box<dyn TrafficPattern>, load: f64, sim: &SimConfig) -> f64 {
     let root = Rng::from_seed(sim.seed);
     let spec = LoadSpec::fraction_of_capacity(load, 5);
-    let generator =
-        TrafficGenerator::new(mesh, spec, pattern, InjectionKind::ConstantRate, root.fork(1));
+    let generator = TrafficGenerator::new(
+        mesh,
+        spec,
+        pattern,
+        InjectionKind::ConstantRate,
+        root.fork(1),
+    );
     let cfg = FrConfig::fr6();
     let mut network = Network::new(mesh, cfg.timing, cfg.control_lanes, generator, |node| {
         FrRouter::new(mesh, node, cfg, root.fork(node.raw() as u64))
@@ -33,22 +38,32 @@ fn run_fr(mesh: Mesh, pattern: Box<dyn TrafficPattern>, load: f64, sim: &SimConf
 fn run_vc(mesh: Mesh, pattern: Box<dyn TrafficPattern>, load: f64, sim: &SimConfig) -> f64 {
     let root = Rng::from_seed(sim.seed);
     let spec = LoadSpec::fraction_of_capacity(load, 5);
-    let generator =
-        TrafficGenerator::new(mesh, spec, pattern, InjectionKind::ConstantRate, root.fork(1));
+    let generator = TrafficGenerator::new(
+        mesh,
+        spec,
+        pattern,
+        InjectionKind::ConstantRate,
+        root.fork(1),
+    );
     let mut network = Network::new(mesh, LinkTiming::fast_control(), 2, generator, |node| {
         VcRouter::new(mesh, node, VcConfig::vc8(), root.fork(node.raw() as u64))
     });
     run_simulation(&mut network, sim).mean_latency()
 }
 
+type PatternFactory = Box<dyn Fn() -> Box<dyn TrafficPattern>>;
+
 fn main() {
     let mesh = Mesh::new(8, 8);
     let sim = SimConfig::quick(2000);
     let load = 0.35;
-    println!("adversarial traffic at {:.0}% of (uniform) capacity, 5-flit packets\n", load * 100.0);
+    println!(
+        "adversarial traffic at {:.0}% of (uniform) capacity, 5-flit packets\n",
+        load * 100.0
+    );
     println!("{:<12} {:>10} {:>10}", "pattern", "VC8", "FR6");
     let hotspot_node = mesh.node_at(4, 4);
-    let patterns: Vec<(&str, Box<dyn Fn() -> Box<dyn TrafficPattern>>)> = vec![
+    let patterns: Vec<(&str, PatternFactory)> = vec![
         ("transpose", Box::new(|| Box::new(Transpose))),
         ("tornado", Box::new(|| Box::new(Tornado))),
         (

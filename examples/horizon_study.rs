@@ -37,10 +37,18 @@ fn main() {
     let load = 0.6;
 
     println!("FR6 at {:.0}% load, 5-flit packets\n", load * 100.0);
-    println!("{:<24} {:>10} {:>18}", "configuration", "latency", "ctrl lead at dest");
+    println!(
+        "{:<24} {:>10} {:>18}",
+        "configuration", "latency", "ctrl lead at dest"
+    );
     for horizon in [16u64, 32, 64, 128] {
         let (lat, lead) = run(FrConfig::fr6().with_horizon(horizon), mesh, load, &sim);
-        println!("{:<24} {:>9.1}c {:>17.1}c", format!("fast control, s={horizon}"), lat, lead);
+        println!(
+            "{:<24} {:>9.1}c {:>17.1}c",
+            format!("fast control, s={horizon}"),
+            lat,
+            lead
+        );
     }
     for lead_cfg in [1u64, 2, 4] {
         let cfg = FrConfig::fr6().with_timing(LinkTiming::leading_control(lead_cfg));

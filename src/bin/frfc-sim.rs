@@ -96,9 +96,7 @@ fn parse_args() -> Result<Args, String> {
                     return Err("load must be in (0, 1.5]".into());
                 }
             }
-            "--length" => {
-                args.length = value.parse().map_err(|_| format!("bad length {value}"))?
-            }
+            "--length" => args.length = value.parse().map_err(|_| format!("bad length {value}"))?,
             "--mesh" => {
                 let (w, h) = value
                     .split_once('x')
@@ -225,7 +223,9 @@ fn run(args: &Args) -> Result<(String, RunResult, u64), String> {
         "vc8-shared" => make_vc(VcConfig::vc8().with_shared_pool())?,
         flow => {
             if let Some(bufs) = flow.strip_prefix("wormhole:") {
-                let b: usize = bufs.parse().map_err(|_| format!("bad buffer count {bufs}"))?;
+                let b: usize = bufs
+                    .parse()
+                    .map_err(|_| format!("bad buffer count {bufs}"))?;
                 make_vc(VcConfig::new(1, b, CreditMode::PerVc))?
             } else {
                 let base = match flow {
@@ -239,10 +239,13 @@ fn run(args: &Args) -> Result<(String, RunResult, u64), String> {
                     .with_sync_margin(args.sync_margin);
                 let label = format!("FR{}", cfg.data_buffers);
                 let generator = make_generator()?;
-                let mut net =
-                    Network::new(mesh, cfg.timing, cfg.control_lanes, generator, |n: NodeId| {
-                        FrRouter::new(mesh, n, cfg, root.fork(n.raw() as u64))
-                    });
+                let mut net = Network::new(
+                    mesh,
+                    cfg.timing,
+                    cfg.control_lanes,
+                    generator,
+                    |n: NodeId| FrRouter::new(mesh, n, cfg, root.fork(n.raw() as u64)),
+                );
                 if args.error_rate > 0.0 {
                     net.set_control_error_rate(args.error_rate, args.seed ^ 0xE44);
                 }
@@ -272,7 +275,12 @@ fn main() {
     };
     println!(
         "{label} on {}x{} mesh | {} pattern | {:.0}% load | {}-flit packets | seed {}",
-        args.mesh.0, args.mesh.1, args.pattern, args.load * 100.0, args.length, args.seed
+        args.mesh.0,
+        args.mesh.1,
+        args.pattern,
+        args.load * 100.0,
+        args.length,
+        args.seed
     );
     if r.completed {
         println!(

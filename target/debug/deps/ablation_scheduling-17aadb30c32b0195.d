@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_scheduling-17aadb30c32b0195.d: crates/bench/src/bin/ablation_scheduling.rs
+
+/root/repo/target/debug/deps/ablation_scheduling-17aadb30c32b0195: crates/bench/src/bin/ablation_scheduling.rs
+
+crates/bench/src/bin/ablation_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_scheduling-2167f65a0198915c.d: crates/bench/src/bin/ablation_scheduling.rs
+
+/root/repo/target/debug/deps/ablation_scheduling-2167f65a0198915c: crates/bench/src/bin/ablation_scheduling.rs
+
+crates/bench/src/bin/ablation_scheduling.rs:

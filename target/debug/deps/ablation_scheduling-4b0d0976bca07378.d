@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_scheduling-4b0d0976bca07378.d: crates/bench/src/bin/ablation_scheduling.rs
+
+/root/repo/target/debug/deps/ablation_scheduling-4b0d0976bca07378: crates/bench/src/bin/ablation_scheduling.rs
+
+crates/bench/src/bin/ablation_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_scheduling-bd80c0d5f0945029.d: crates/bench/src/bin/ablation_scheduling.rs
+
+/root/repo/target/debug/deps/ablation_scheduling-bd80c0d5f0945029: crates/bench/src/bin/ablation_scheduling.rs
+
+crates/bench/src/bin/ablation_scheduling.rs:

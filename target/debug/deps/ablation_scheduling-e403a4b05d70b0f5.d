@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_scheduling-e403a4b05d70b0f5.d: crates/bench/src/bin/ablation_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_scheduling-e403a4b05d70b0f5.rmeta: crates/bench/src/bin/ablation_scheduling.rs Cargo.toml
+
+crates/bench/src/bin/ablation_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shared_pool-039560b5711710b1.d: crates/bench/src/bin/ablation_shared_pool.rs
+
+/root/repo/target/debug/deps/ablation_shared_pool-039560b5711710b1: crates/bench/src/bin/ablation_shared_pool.rs
+
+crates/bench/src/bin/ablation_shared_pool.rs:

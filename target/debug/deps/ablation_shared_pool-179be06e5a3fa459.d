@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shared_pool-179be06e5a3fa459.d: crates/bench/src/bin/ablation_shared_pool.rs
+
+/root/repo/target/debug/deps/ablation_shared_pool-179be06e5a3fa459: crates/bench/src/bin/ablation_shared_pool.rs
+
+crates/bench/src/bin/ablation_shared_pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_shared_pool-2eb8a486f569f02e.d: crates/bench/src/bin/ablation_shared_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_shared_pool-2eb8a486f569f02e.rmeta: crates/bench/src/bin/ablation_shared_pool.rs Cargo.toml
+
+crates/bench/src/bin/ablation_shared_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shared_pool-58ef0a2c5abd29be.d: crates/bench/src/bin/ablation_shared_pool.rs
+
+/root/repo/target/debug/deps/ablation_shared_pool-58ef0a2c5abd29be: crates/bench/src/bin/ablation_shared_pool.rs
+
+crates/bench/src/bin/ablation_shared_pool.rs:

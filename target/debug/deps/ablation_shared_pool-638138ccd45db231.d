@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_shared_pool-638138ccd45db231.d: crates/bench/src/bin/ablation_shared_pool.rs
+
+/root/repo/target/debug/deps/ablation_shared_pool-638138ccd45db231: crates/bench/src/bin/ablation_shared_pool.rs
+
+crates/bench/src/bin/ablation_shared_pool.rs:

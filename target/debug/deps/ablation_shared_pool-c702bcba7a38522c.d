@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_shared_pool-c702bcba7a38522c.d: crates/bench/src/bin/ablation_shared_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_shared_pool-c702bcba7a38522c.rmeta: crates/bench/src/bin/ablation_shared_pool.rs Cargo.toml
+
+crates/bench/src/bin/ablation_shared_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_transfers-1a497835b4051036.d: crates/bench/src/bin/ablation_transfers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_transfers-1a497835b4051036.rmeta: crates/bench/src/bin/ablation_transfers.rs Cargo.toml
+
+crates/bench/src/bin/ablation_transfers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

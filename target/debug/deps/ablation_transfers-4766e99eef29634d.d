@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transfers-4766e99eef29634d.d: crates/bench/src/bin/ablation_transfers.rs
+
+/root/repo/target/debug/deps/ablation_transfers-4766e99eef29634d: crates/bench/src/bin/ablation_transfers.rs
+
+crates/bench/src/bin/ablation_transfers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transfers-50702ffab7ae564d.d: crates/bench/src/bin/ablation_transfers.rs
+
+/root/repo/target/debug/deps/ablation_transfers-50702ffab7ae564d: crates/bench/src/bin/ablation_transfers.rs
+
+crates/bench/src/bin/ablation_transfers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_transfers-6cad2991666c88ac.d: crates/bench/src/bin/ablation_transfers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_transfers-6cad2991666c88ac.rmeta: crates/bench/src/bin/ablation_transfers.rs Cargo.toml
+
+crates/bench/src/bin/ablation_transfers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transfers-fb004a326594c5dd.d: crates/bench/src/bin/ablation_transfers.rs
+
+/root/repo/target/debug/deps/ablation_transfers-fb004a326594c5dd: crates/bench/src/bin/ablation_transfers.rs
+
+crates/bench/src/bin/ablation_transfers.rs:

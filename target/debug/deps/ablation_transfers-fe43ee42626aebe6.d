@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_transfers-fe43ee42626aebe6.d: crates/bench/src/bin/ablation_transfers.rs
+
+/root/repo/target/debug/deps/ablation_transfers-fe43ee42626aebe6: crates/bench/src/bin/ablation_transfers.rs
+
+crates/bench/src/bin/ablation_transfers.rs:

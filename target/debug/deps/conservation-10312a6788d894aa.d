@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-10312a6788d894aa.d: tests/conservation.rs
+
+/root/repo/target/debug/deps/conservation-10312a6788d894aa: tests/conservation.rs
+
+tests/conservation.rs:

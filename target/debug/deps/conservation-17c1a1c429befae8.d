@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conservation-17c1a1c429befae8.d: tests/conservation.rs
+
+/root/repo/target/debug/deps/conservation-17c1a1c429befae8: tests/conservation.rs
+
+tests/conservation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_bursty-00ad132b0c28e57e.d: crates/bench/src/bin/ext_bursty.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_bursty-00ad132b0c28e57e.rmeta: crates/bench/src/bin/ext_bursty.rs Cargo.toml
+
+crates/bench/src/bin/ext_bursty.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_bursty-3d2dda648e055ea1.d: crates/bench/src/bin/ext_bursty.rs
+
+/root/repo/target/debug/deps/ext_bursty-3d2dda648e055ea1: crates/bench/src/bin/ext_bursty.rs
+
+crates/bench/src/bin/ext_bursty.rs:

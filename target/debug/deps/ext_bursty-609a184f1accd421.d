@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_bursty-609a184f1accd421.d: crates/bench/src/bin/ext_bursty.rs
+
+/root/repo/target/debug/deps/ext_bursty-609a184f1accd421: crates/bench/src/bin/ext_bursty.rs
+
+crates/bench/src/bin/ext_bursty.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_bursty-aab3996a6de938c8.d: crates/bench/src/bin/ext_bursty.rs
+
+/root/repo/target/debug/deps/ext_bursty-aab3996a6de938c8: crates/bench/src/bin/ext_bursty.rs
+
+crates/bench/src/bin/ext_bursty.rs:

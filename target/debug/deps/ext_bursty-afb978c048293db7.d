@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_bursty-afb978c048293db7.d: crates/bench/src/bin/ext_bursty.rs
+
+/root/repo/target/debug/deps/ext_bursty-afb978c048293db7: crates/bench/src/bin/ext_bursty.rs
+
+crates/bench/src/bin/ext_bursty.rs:

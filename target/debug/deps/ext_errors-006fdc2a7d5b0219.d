@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_errors-006fdc2a7d5b0219.d: crates/bench/src/bin/ext_errors.rs
+
+/root/repo/target/debug/deps/ext_errors-006fdc2a7d5b0219: crates/bench/src/bin/ext_errors.rs
+
+crates/bench/src/bin/ext_errors.rs:

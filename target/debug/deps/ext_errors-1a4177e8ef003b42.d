@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_errors-1a4177e8ef003b42.d: crates/bench/src/bin/ext_errors.rs
+
+/root/repo/target/debug/deps/ext_errors-1a4177e8ef003b42: crates/bench/src/bin/ext_errors.rs
+
+crates/bench/src/bin/ext_errors.rs:

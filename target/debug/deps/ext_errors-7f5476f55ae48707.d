@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_errors-7f5476f55ae48707.d: crates/bench/src/bin/ext_errors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_errors-7f5476f55ae48707.rmeta: crates/bench/src/bin/ext_errors.rs Cargo.toml
+
+crates/bench/src/bin/ext_errors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

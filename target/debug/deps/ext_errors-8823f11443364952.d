@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_errors-8823f11443364952.d: crates/bench/src/bin/ext_errors.rs
+
+/root/repo/target/debug/deps/ext_errors-8823f11443364952: crates/bench/src/bin/ext_errors.rs
+
+crates/bench/src/bin/ext_errors.rs:

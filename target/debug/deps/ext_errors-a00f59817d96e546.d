@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_errors-a00f59817d96e546.d: crates/bench/src/bin/ext_errors.rs
+
+/root/repo/target/debug/deps/ext_errors-a00f59817d96e546: crates/bench/src/bin/ext_errors.rs
+
+crates/bench/src/bin/ext_errors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sync_margin-129abbab549bd2ce.d: crates/bench/src/bin/ext_sync_margin.rs
+
+/root/repo/target/debug/deps/ext_sync_margin-129abbab549bd2ce: crates/bench/src/bin/ext_sync_margin.rs
+
+crates/bench/src/bin/ext_sync_margin.rs:

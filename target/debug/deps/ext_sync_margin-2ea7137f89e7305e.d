@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sync_margin-2ea7137f89e7305e.d: crates/bench/src/bin/ext_sync_margin.rs
+
+/root/repo/target/debug/deps/ext_sync_margin-2ea7137f89e7305e: crates/bench/src/bin/ext_sync_margin.rs
+
+crates/bench/src/bin/ext_sync_margin.rs:

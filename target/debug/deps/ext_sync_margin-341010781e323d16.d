@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_sync_margin-341010781e323d16.d: crates/bench/src/bin/ext_sync_margin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_sync_margin-341010781e323d16.rmeta: crates/bench/src/bin/ext_sync_margin.rs Cargo.toml
+
+crates/bench/src/bin/ext_sync_margin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

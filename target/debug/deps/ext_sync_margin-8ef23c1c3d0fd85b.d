@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_sync_margin-8ef23c1c3d0fd85b.d: crates/bench/src/bin/ext_sync_margin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_sync_margin-8ef23c1c3d0fd85b.rmeta: crates/bench/src/bin/ext_sync_margin.rs Cargo.toml
+
+crates/bench/src/bin/ext_sync_margin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sync_margin-923d96475656ca0a.d: crates/bench/src/bin/ext_sync_margin.rs
+
+/root/repo/target/debug/deps/ext_sync_margin-923d96475656ca0a: crates/bench/src/bin/ext_sync_margin.rs
+
+crates/bench/src/bin/ext_sync_margin.rs:

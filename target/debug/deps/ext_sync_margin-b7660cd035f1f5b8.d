@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_sync_margin-b7660cd035f1f5b8.d: crates/bench/src/bin/ext_sync_margin.rs
+
+/root/repo/target/debug/deps/ext_sync_margin-b7660cd035f1f5b8: crates/bench/src/bin/ext_sync_margin.rs
+
+crates/bench/src/bin/ext_sync_margin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-7a89b90631eed112.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-7a89b90631eed112: tests/extensions.rs
+
+tests/extensions.rs:

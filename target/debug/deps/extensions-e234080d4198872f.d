@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-e234080d4198872f.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-e234080d4198872f: tests/extensions.rs
+
+tests/extensions.rs:

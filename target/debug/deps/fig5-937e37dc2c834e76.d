@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-937e37dc2c834e76.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-937e37dc2c834e76: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-a63916fea5954157.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-a63916fea5954157: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-a8f59f151e9d8e62.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-a8f59f151e9d8e62: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

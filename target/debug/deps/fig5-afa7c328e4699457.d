@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-afa7c328e4699457.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-afa7c328e4699457: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-2ac53e60b376ba6c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-2ac53e60b376ba6c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-31420a868e7307b9.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-31420a868e7307b9: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-680b702c23825144.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-680b702c23825144: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

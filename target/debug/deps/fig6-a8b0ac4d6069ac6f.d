@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a8b0ac4d6069ac6f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a8b0ac4d6069ac6f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-22d9d9c5bcea15f1.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-22d9d9c5bcea15f1: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-6bdeb550cb390819.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-6bdeb550cb390819: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

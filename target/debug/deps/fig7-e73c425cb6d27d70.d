@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-e73c425cb6d27d70.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-e73c425cb6d27d70: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

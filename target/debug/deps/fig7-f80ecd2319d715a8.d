@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-f80ecd2319d715a8.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-f80ecd2319d715a8: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-615ad1d901c0848c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-615ad1d901c0848c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9c57096f192df8fa.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-9c57096f192df8fa: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

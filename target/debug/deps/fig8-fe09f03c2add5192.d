@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-fe09f03c2add5192.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-fe09f03c2add5192: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

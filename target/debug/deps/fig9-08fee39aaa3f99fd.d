@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-08fee39aaa3f99fd.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-08fee39aaa3f99fd: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-517b3f9750863bad.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-517b3f9750863bad: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-fa5a00d81ba76c63.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-fa5a00d81ba76c63: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-fd5ab1b24315dc36.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-fd5ab1b24315dc36: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flit_reservation-1310221b1a7bbcc2.d: crates/flit-reservation/src/lib.rs crates/flit-reservation/src/config.rs crates/flit-reservation/src/input_table.rs crates/flit-reservation/src/output_table.rs crates/flit-reservation/src/router.rs crates/flit-reservation/src/transfers.rs
+
+/root/repo/target/debug/deps/flit_reservation-1310221b1a7bbcc2: crates/flit-reservation/src/lib.rs crates/flit-reservation/src/config.rs crates/flit-reservation/src/input_table.rs crates/flit-reservation/src/output_table.rs crates/flit-reservation/src/router.rs crates/flit-reservation/src/transfers.rs
+
+crates/flit-reservation/src/lib.rs:
+crates/flit-reservation/src/config.rs:
+crates/flit-reservation/src/input_table.rs:
+crates/flit-reservation/src/output_table.rs:
+crates/flit-reservation/src/router.rs:
+crates/flit-reservation/src/transfers.rs:

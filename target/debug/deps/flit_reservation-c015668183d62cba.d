@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flit_reservation-c015668183d62cba.d: crates/flit-reservation/src/lib.rs crates/flit-reservation/src/config.rs crates/flit-reservation/src/input_table.rs crates/flit-reservation/src/output_table.rs crates/flit-reservation/src/router.rs crates/flit-reservation/src/transfers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflit_reservation-c015668183d62cba.rmeta: crates/flit-reservation/src/lib.rs crates/flit-reservation/src/config.rs crates/flit-reservation/src/input_table.rs crates/flit-reservation/src/output_table.rs crates/flit-reservation/src/router.rs crates/flit-reservation/src/transfers.rs Cargo.toml
+
+crates/flit-reservation/src/lib.rs:
+crates/flit-reservation/src/config.rs:
+crates/flit-reservation/src/input_table.rs:
+crates/flit-reservation/src/output_table.rs:
+crates/flit-reservation/src/router.rs:
+crates/flit-reservation/src/transfers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flit_reservation-d1e0abfd83218384.d: crates/flit-reservation/src/lib.rs crates/flit-reservation/src/config.rs crates/flit-reservation/src/input_table.rs crates/flit-reservation/src/output_table.rs crates/flit-reservation/src/router.rs crates/flit-reservation/src/transfers.rs
+
+/root/repo/target/debug/deps/libflit_reservation-d1e0abfd83218384.rlib: crates/flit-reservation/src/lib.rs crates/flit-reservation/src/config.rs crates/flit-reservation/src/input_table.rs crates/flit-reservation/src/output_table.rs crates/flit-reservation/src/router.rs crates/flit-reservation/src/transfers.rs
+
+/root/repo/target/debug/deps/libflit_reservation-d1e0abfd83218384.rmeta: crates/flit-reservation/src/lib.rs crates/flit-reservation/src/config.rs crates/flit-reservation/src/input_table.rs crates/flit-reservation/src/output_table.rs crates/flit-reservation/src/router.rs crates/flit-reservation/src/transfers.rs
+
+crates/flit-reservation/src/lib.rs:
+crates/flit-reservation/src/config.rs:
+crates/flit-reservation/src/input_table.rs:
+crates/flit-reservation/src/output_table.rs:
+crates/flit-reservation/src/router.rs:
+crates/flit-reservation/src/transfers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frfc-2f0fc1756ce542f2.d: src/lib.rs
+
+/root/repo/target/debug/deps/frfc-2f0fc1756ce542f2: src/lib.rs
+
+src/lib.rs:

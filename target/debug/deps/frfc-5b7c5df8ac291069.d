@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/frfc-5b7c5df8ac291069.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfrfc-5b7c5df8ac291069.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfrfc-5b7c5df8ac291069.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frfc-5b9073ea5bdf4b9a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrfc-5b9073ea5bdf4b9a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frfc-66cb7359fc6634f8.d: src/lib.rs
+
+/root/repo/target/debug/deps/frfc-66cb7359fc6634f8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frfc-874c8cd0ff5bd6b0.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrfc-874c8cd0ff5bd6b0.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

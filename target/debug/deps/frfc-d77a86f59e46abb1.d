@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/frfc-d77a86f59e46abb1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfrfc-d77a86f59e46abb1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfrfc-d77a86f59e46abb1.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frfc_sim-009f24b5593d7173.d: src/bin/frfc-sim.rs
+
+/root/repo/target/debug/deps/frfc_sim-009f24b5593d7173: src/bin/frfc-sim.rs
+
+src/bin/frfc-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frfc_sim-7c0e0f6ba2372d00.d: src/bin/frfc-sim.rs
+
+/root/repo/target/debug/deps/frfc_sim-7c0e0f6ba2372d00: src/bin/frfc-sim.rs
+
+src/bin/frfc-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frfc_sim-7d52b6ac3da2c2b5.d: src/bin/frfc-sim.rs
+
+/root/repo/target/debug/deps/frfc_sim-7d52b6ac3da2c2b5: src/bin/frfc-sim.rs
+
+src/bin/frfc-sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frfc_sim-933d945d905d2694.d: src/bin/frfc-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrfc_sim-933d945d905d2694.rmeta: src/bin/frfc-sim.rs Cargo.toml
+
+src/bin/frfc-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

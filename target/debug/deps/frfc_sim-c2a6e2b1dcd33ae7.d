@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frfc_sim-c2a6e2b1dcd33ae7.d: src/bin/frfc-sim.rs
+
+/root/repo/target/debug/deps/frfc_sim-c2a6e2b1dcd33ae7: src/bin/frfc-sim.rs
+
+src/bin/frfc-sim.rs:

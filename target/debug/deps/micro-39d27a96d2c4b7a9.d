@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-39d27a96d2c4b7a9.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-39d27a96d2c4b7a9: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network-2c88645ea6ca4a63.d: crates/bench/benches/network.rs
+
+/root/repo/target/debug/deps/network-2c88645ea6ca4a63: crates/bench/benches/network.rs
+
+crates/bench/benches/network.rs:

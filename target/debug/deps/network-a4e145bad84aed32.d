@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network-a4e145bad84aed32.d: crates/bench/benches/network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork-a4e145bad84aed32.rmeta: crates/bench/benches/network.rs Cargo.toml
+
+crates/bench/benches/network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/noc_bench-354b2fbc9a4f0259.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/noc_bench-354b2fbc9a4f0259: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

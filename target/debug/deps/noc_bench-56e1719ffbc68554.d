@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/noc_bench-56e1719ffbc68554.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/noc_bench-56e1719ffbc68554: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/noc_bench-bb2398675c6ea546.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libnoc_bench-bb2398675c6ea546.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libnoc_bench-bb2398675c6ea546.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/noc_bench-dbf81021c77dedc8.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libnoc_bench-dbf81021c77dedc8.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libnoc_bench-dbf81021c77dedc8.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/noc_engine-83eecb8b47ea0860.d: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/propcheck.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/sweep.rs crates/engine/src/trace.rs crates/engine/src/warmup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_engine-83eecb8b47ea0860.rmeta: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/propcheck.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/sweep.rs crates/engine/src/trace.rs crates/engine/src/warmup.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/cycle.rs:
+crates/engine/src/propcheck.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/sweep.rs:
+crates/engine/src/trace.rs:
+crates/engine/src/warmup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

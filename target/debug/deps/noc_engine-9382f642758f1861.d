@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/noc_engine-9382f642758f1861.d: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/propcheck.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/sweep.rs crates/engine/src/trace.rs crates/engine/src/warmup.rs
+
+/root/repo/target/debug/deps/libnoc_engine-9382f642758f1861.rlib: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/propcheck.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/sweep.rs crates/engine/src/trace.rs crates/engine/src/warmup.rs
+
+/root/repo/target/debug/deps/libnoc_engine-9382f642758f1861.rmeta: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/propcheck.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/sweep.rs crates/engine/src/trace.rs crates/engine/src/warmup.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cycle.rs:
+crates/engine/src/propcheck.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/sweep.rs:
+crates/engine/src/trace.rs:
+crates/engine/src/warmup.rs:

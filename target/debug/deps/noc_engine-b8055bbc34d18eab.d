@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/noc_engine-b8055bbc34d18eab.d: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/propcheck.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/sweep.rs crates/engine/src/trace.rs crates/engine/src/warmup.rs
+
+/root/repo/target/debug/deps/noc_engine-b8055bbc34d18eab: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/propcheck.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/sweep.rs crates/engine/src/trace.rs crates/engine/src/warmup.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cycle.rs:
+crates/engine/src/propcheck.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/sweep.rs:
+crates/engine/src/trace.rs:
+crates/engine/src/warmup.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/noc_flow-5604bd2dfcdb171b.d: crates/flow/src/lib.rs crates/flow/src/buffer.rs crates/flow/src/emit.rs crates/flow/src/flit.rs crates/flow/src/link.rs crates/flow/src/router.rs crates/flow/src/timing.rs
+
+/root/repo/target/debug/deps/noc_flow-5604bd2dfcdb171b: crates/flow/src/lib.rs crates/flow/src/buffer.rs crates/flow/src/emit.rs crates/flow/src/flit.rs crates/flow/src/link.rs crates/flow/src/router.rs crates/flow/src/timing.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/buffer.rs:
+crates/flow/src/emit.rs:
+crates/flow/src/flit.rs:
+crates/flow/src/link.rs:
+crates/flow/src/router.rs:
+crates/flow/src/timing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/noc_flow-5b0251b6ba484bb7.d: crates/flow/src/lib.rs crates/flow/src/buffer.rs crates/flow/src/emit.rs crates/flow/src/flit.rs crates/flow/src/link.rs crates/flow/src/router.rs crates/flow/src/timing.rs
+
+/root/repo/target/debug/deps/libnoc_flow-5b0251b6ba484bb7.rlib: crates/flow/src/lib.rs crates/flow/src/buffer.rs crates/flow/src/emit.rs crates/flow/src/flit.rs crates/flow/src/link.rs crates/flow/src/router.rs crates/flow/src/timing.rs
+
+/root/repo/target/debug/deps/libnoc_flow-5b0251b6ba484bb7.rmeta: crates/flow/src/lib.rs crates/flow/src/buffer.rs crates/flow/src/emit.rs crates/flow/src/flit.rs crates/flow/src/link.rs crates/flow/src/router.rs crates/flow/src/timing.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/buffer.rs:
+crates/flow/src/emit.rs:
+crates/flow/src/flit.rs:
+crates/flow/src/link.rs:
+crates/flow/src/router.rs:
+crates/flow/src/timing.rs:

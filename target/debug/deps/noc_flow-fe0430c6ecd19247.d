@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/noc_flow-fe0430c6ecd19247.d: crates/flow/src/lib.rs crates/flow/src/buffer.rs crates/flow/src/emit.rs crates/flow/src/flit.rs crates/flow/src/link.rs crates/flow/src/router.rs crates/flow/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_flow-fe0430c6ecd19247.rmeta: crates/flow/src/lib.rs crates/flow/src/buffer.rs crates/flow/src/emit.rs crates/flow/src/flit.rs crates/flow/src/link.rs crates/flow/src/router.rs crates/flow/src/timing.rs Cargo.toml
+
+crates/flow/src/lib.rs:
+crates/flow/src/buffer.rs:
+crates/flow/src/emit.rs:
+crates/flow/src/flit.rs:
+crates/flow/src/link.rs:
+crates/flow/src/router.rs:
+crates/flow/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

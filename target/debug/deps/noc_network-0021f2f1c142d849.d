@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_network-0021f2f1c142d849.d: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs
+
+/root/repo/target/debug/deps/noc_network-0021f2f1c142d849: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs
+
+crates/network/src/lib.rs:
+crates/network/src/experiment.rs:
+crates/network/src/network.rs:
+crates/network/src/runner.rs:
+crates/network/src/tracker.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/noc_network-1a22814cd29f5221.d: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_network-1a22814cd29f5221.rmeta: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs Cargo.toml
+
+crates/network/src/lib.rs:
+crates/network/src/experiment.rs:
+crates/network/src/network.rs:
+crates/network/src/runner.rs:
+crates/network/src/tracker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

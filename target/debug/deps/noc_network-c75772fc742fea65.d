@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/noc_network-c75772fc742fea65.d: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs
+
+/root/repo/target/debug/deps/libnoc_network-c75772fc742fea65.rlib: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs
+
+/root/repo/target/debug/deps/libnoc_network-c75772fc742fea65.rmeta: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs
+
+crates/network/src/lib.rs:
+crates/network/src/experiment.rs:
+crates/network/src/network.rs:
+crates/network/src/runner.rs:
+crates/network/src/tracker.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/noc_network-e3d7cd45367dfcb2.d: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_network-e3d7cd45367dfcb2.rmeta: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs Cargo.toml
+
+crates/network/src/lib.rs:
+crates/network/src/experiment.rs:
+crates/network/src/network.rs:
+crates/network/src/runner.rs:
+crates/network/src/tracker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

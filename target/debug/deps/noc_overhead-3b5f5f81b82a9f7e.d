@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_overhead-3b5f5f81b82a9f7e.d: crates/overhead/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_overhead-3b5f5f81b82a9f7e.rmeta: crates/overhead/src/lib.rs Cargo.toml
+
+crates/overhead/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/noc_overhead-7ec91ebb00fbbe9e.d: crates/overhead/src/lib.rs
+
+/root/repo/target/debug/deps/libnoc_overhead-7ec91ebb00fbbe9e.rlib: crates/overhead/src/lib.rs
+
+/root/repo/target/debug/deps/libnoc_overhead-7ec91ebb00fbbe9e.rmeta: crates/overhead/src/lib.rs
+
+crates/overhead/src/lib.rs:

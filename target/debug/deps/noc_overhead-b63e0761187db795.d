@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_overhead-b63e0761187db795.d: crates/overhead/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_overhead-b63e0761187db795.rmeta: crates/overhead/src/lib.rs Cargo.toml
+
+crates/overhead/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

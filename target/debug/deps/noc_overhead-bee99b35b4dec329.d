@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/noc_overhead-bee99b35b4dec329.d: crates/overhead/src/lib.rs
+
+/root/repo/target/debug/deps/noc_overhead-bee99b35b4dec329: crates/overhead/src/lib.rs
+
+crates/overhead/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/noc_topology-29dfeabbbbf6242d.d: crates/topology/src/lib.rs crates/topology/src/coord.rs crates/topology/src/direction.rs crates/topology/src/mesh.rs crates/topology/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_topology-29dfeabbbbf6242d.rmeta: crates/topology/src/lib.rs crates/topology/src/coord.rs crates/topology/src/direction.rs crates/topology/src/mesh.rs crates/topology/src/routing.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/coord.rs:
+crates/topology/src/direction.rs:
+crates/topology/src/mesh.rs:
+crates/topology/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_topology-4e1ebc5ed38da8b9.d: crates/topology/src/lib.rs crates/topology/src/coord.rs crates/topology/src/direction.rs crates/topology/src/mesh.rs crates/topology/src/routing.rs
+
+/root/repo/target/debug/deps/noc_topology-4e1ebc5ed38da8b9: crates/topology/src/lib.rs crates/topology/src/coord.rs crates/topology/src/direction.rs crates/topology/src/mesh.rs crates/topology/src/routing.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/coord.rs:
+crates/topology/src/direction.rs:
+crates/topology/src/mesh.rs:
+crates/topology/src/routing.rs:

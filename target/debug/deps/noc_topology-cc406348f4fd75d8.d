@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/noc_topology-cc406348f4fd75d8.d: crates/topology/src/lib.rs crates/topology/src/coord.rs crates/topology/src/direction.rs crates/topology/src/mesh.rs crates/topology/src/routing.rs
+
+/root/repo/target/debug/deps/libnoc_topology-cc406348f4fd75d8.rlib: crates/topology/src/lib.rs crates/topology/src/coord.rs crates/topology/src/direction.rs crates/topology/src/mesh.rs crates/topology/src/routing.rs
+
+/root/repo/target/debug/deps/libnoc_topology-cc406348f4fd75d8.rmeta: crates/topology/src/lib.rs crates/topology/src/coord.rs crates/topology/src/direction.rs crates/topology/src/mesh.rs crates/topology/src/routing.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/coord.rs:
+crates/topology/src/direction.rs:
+crates/topology/src/mesh.rs:
+crates/topology/src/routing.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/noc_traffic-16f97501482b654b.d: crates/traffic/src/lib.rs crates/traffic/src/burst.rs crates/traffic/src/generator.rs crates/traffic/src/injection.rs crates/traffic/src/packet.rs crates/traffic/src/pattern.rs
+
+/root/repo/target/debug/deps/libnoc_traffic-16f97501482b654b.rlib: crates/traffic/src/lib.rs crates/traffic/src/burst.rs crates/traffic/src/generator.rs crates/traffic/src/injection.rs crates/traffic/src/packet.rs crates/traffic/src/pattern.rs
+
+/root/repo/target/debug/deps/libnoc_traffic-16f97501482b654b.rmeta: crates/traffic/src/lib.rs crates/traffic/src/burst.rs crates/traffic/src/generator.rs crates/traffic/src/injection.rs crates/traffic/src/packet.rs crates/traffic/src/pattern.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/burst.rs:
+crates/traffic/src/generator.rs:
+crates/traffic/src/injection.rs:
+crates/traffic/src/packet.rs:
+crates/traffic/src/pattern.rs:

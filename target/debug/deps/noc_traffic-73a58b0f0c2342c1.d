@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/noc_traffic-73a58b0f0c2342c1.d: crates/traffic/src/lib.rs crates/traffic/src/burst.rs crates/traffic/src/generator.rs crates/traffic/src/injection.rs crates/traffic/src/packet.rs crates/traffic/src/pattern.rs
+
+/root/repo/target/debug/deps/noc_traffic-73a58b0f0c2342c1: crates/traffic/src/lib.rs crates/traffic/src/burst.rs crates/traffic/src/generator.rs crates/traffic/src/injection.rs crates/traffic/src/packet.rs crates/traffic/src/pattern.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/burst.rs:
+crates/traffic/src/generator.rs:
+crates/traffic/src/injection.rs:
+crates/traffic/src/packet.rs:
+crates/traffic/src/pattern.rs:

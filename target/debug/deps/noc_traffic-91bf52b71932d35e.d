@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/noc_traffic-91bf52b71932d35e.d: crates/traffic/src/lib.rs crates/traffic/src/burst.rs crates/traffic/src/generator.rs crates/traffic/src/injection.rs crates/traffic/src/packet.rs crates/traffic/src/pattern.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_traffic-91bf52b71932d35e.rmeta: crates/traffic/src/lib.rs crates/traffic/src/burst.rs crates/traffic/src/generator.rs crates/traffic/src/injection.rs crates/traffic/src/packet.rs crates/traffic/src/pattern.rs Cargo.toml
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/burst.rs:
+crates/traffic/src/generator.rs:
+crates/traffic/src/injection.rs:
+crates/traffic/src/packet.rs:
+crates/traffic/src/pattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/noc_vc-2a4d0cc3df0d8454.d: crates/vc/src/lib.rs crates/vc/src/config.rs crates/vc/src/router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnoc_vc-2a4d0cc3df0d8454.rmeta: crates/vc/src/lib.rs crates/vc/src/config.rs crates/vc/src/router.rs Cargo.toml
+
+crates/vc/src/lib.rs:
+crates/vc/src/config.rs:
+crates/vc/src/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

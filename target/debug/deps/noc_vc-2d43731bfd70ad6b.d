@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/noc_vc-2d43731bfd70ad6b.d: crates/vc/src/lib.rs crates/vc/src/config.rs crates/vc/src/router.rs
+
+/root/repo/target/debug/deps/libnoc_vc-2d43731bfd70ad6b.rlib: crates/vc/src/lib.rs crates/vc/src/config.rs crates/vc/src/router.rs
+
+/root/repo/target/debug/deps/libnoc_vc-2d43731bfd70ad6b.rmeta: crates/vc/src/lib.rs crates/vc/src/config.rs crates/vc/src/router.rs
+
+crates/vc/src/lib.rs:
+crates/vc/src/config.rs:
+crates/vc/src/router.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/noc_vc-2ed325559355fafb.d: crates/vc/src/lib.rs crates/vc/src/config.rs crates/vc/src/router.rs
+
+/root/repo/target/debug/deps/noc_vc-2ed325559355fafb: crates/vc/src/lib.rs crates/vc/src/config.rs crates/vc/src/router.rs
+
+crates/vc/src/lib.rs:
+crates/vc/src/config.rs:
+crates/vc/src/router.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/occupancy-0b63e025e6a1d5f9.d: crates/bench/src/bin/occupancy.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboccupancy-0b63e025e6a1d5f9.rmeta: crates/bench/src/bin/occupancy.rs Cargo.toml
+
+crates/bench/src/bin/occupancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/occupancy-6e3b22bfe2b0fa8d.d: crates/bench/src/bin/occupancy.rs
+
+/root/repo/target/debug/deps/occupancy-6e3b22bfe2b0fa8d: crates/bench/src/bin/occupancy.rs
+
+crates/bench/src/bin/occupancy.rs:

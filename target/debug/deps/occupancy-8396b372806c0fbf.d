@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/occupancy-8396b372806c0fbf.d: crates/bench/src/bin/occupancy.rs
+
+/root/repo/target/debug/deps/occupancy-8396b372806c0fbf: crates/bench/src/bin/occupancy.rs
+
+crates/bench/src/bin/occupancy.rs:

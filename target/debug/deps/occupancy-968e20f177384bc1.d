@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/occupancy-968e20f177384bc1.d: crates/bench/src/bin/occupancy.rs
+
+/root/repo/target/debug/deps/occupancy-968e20f177384bc1: crates/bench/src/bin/occupancy.rs
+
+crates/bench/src/bin/occupancy.rs:

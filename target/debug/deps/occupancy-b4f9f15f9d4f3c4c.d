@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/occupancy-b4f9f15f9d4f3c4c.d: crates/bench/src/bin/occupancy.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboccupancy-b4f9f15f9d4f3c4c.rmeta: crates/bench/src/bin/occupancy.rs Cargo.toml
+
+crates/bench/src/bin/occupancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

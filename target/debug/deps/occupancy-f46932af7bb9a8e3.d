@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/occupancy-f46932af7bb9a8e3.d: crates/bench/src/bin/occupancy.rs
+
+/root/repo/target/debug/deps/occupancy-f46932af7bb9a8e3: crates/bench/src/bin/occupancy.rs
+
+crates/bench/src/bin/occupancy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/occupancy-f54bf462221d00f2.d: crates/bench/src/bin/occupancy.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboccupancy-f54bf462221d00f2.rmeta: crates/bench/src/bin/occupancy.rs Cargo.toml
+
+crates/bench/src/bin/occupancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

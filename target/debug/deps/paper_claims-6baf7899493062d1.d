@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-6baf7899493062d1.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-6baf7899493062d1: tests/paper_claims.rs
+
+tests/paper_claims.rs:

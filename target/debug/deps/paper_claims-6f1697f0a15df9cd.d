@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-6f1697f0a15df9cd.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-6f1697f0a15df9cd: tests/paper_claims.rs
+
+tests/paper_claims.rs:

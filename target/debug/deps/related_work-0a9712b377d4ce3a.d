@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work-0a9712b377d4ce3a.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/debug/deps/related_work-0a9712b377d4ce3a: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work-3507c497f69127c6.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/debug/deps/related_work-3507c497f69127c6: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

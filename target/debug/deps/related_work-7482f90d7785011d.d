@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work-7482f90d7785011d.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/debug/deps/related_work-7482f90d7785011d: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

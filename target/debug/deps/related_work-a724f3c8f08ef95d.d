@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/related_work-a724f3c8f08ef95d.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/debug/deps/related_work-a724f3c8f08ef95d: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reservation_properties-21b9660cc63aef8d.d: tests/reservation_properties.rs
+
+/root/repo/target/debug/deps/reservation_properties-21b9660cc63aef8d: tests/reservation_properties.rs
+
+tests/reservation_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reservation_properties-e39365a659fb7931.d: tests/reservation_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreservation_properties-e39365a659fb7931.rmeta: tests/reservation_properties.rs Cargo.toml
+
+tests/reservation_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

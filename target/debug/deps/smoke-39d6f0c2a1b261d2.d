@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-39d6f0c2a1b261d2.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-39d6f0c2a1b261d2: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

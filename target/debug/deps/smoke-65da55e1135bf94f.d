@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-65da55e1135bf94f.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-65da55e1135bf94f: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

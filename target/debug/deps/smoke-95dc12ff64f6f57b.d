@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-95dc12ff64f6f57b.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-95dc12ff64f6f57b: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

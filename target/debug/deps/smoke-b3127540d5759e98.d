@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-b3127540d5759e98.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/debug/deps/smoke-b3127540d5759e98: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-43ec1aa5d24e1520.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-43ec1aa5d24e1520: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

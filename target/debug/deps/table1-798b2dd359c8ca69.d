@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-798b2dd359c8ca69.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-798b2dd359c8ca69: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

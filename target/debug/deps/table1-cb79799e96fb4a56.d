@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-cb79799e96fb4a56.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-cb79799e96fb4a56: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1578b12a1ce87e9c.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-1578b12a1ce87e9c: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

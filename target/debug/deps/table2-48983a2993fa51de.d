@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-48983a2993fa51de.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-48983a2993fa51de: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-81fa9e32e68c5531.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-81fa9e32e68c5531: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f580a06d58b12d72.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-f580a06d58b12d72: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-381d25bfc5639217.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-381d25bfc5639217: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

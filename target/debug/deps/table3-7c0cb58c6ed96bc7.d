@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-7c0cb58c6ed96bc7.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-7c0cb58c6ed96bc7: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-9674414867c4d328.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-9674414867c4d328: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-c844e831c0ea2e21.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-c844e831c0ea2e21: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_determinism-4ea669e270b42ef3.d: tests/trace_determinism.rs
+
+/root/repo/target/debug/deps/trace_determinism-4ea669e270b42ef3: tests/trace_determinism.rs
+
+tests/trace_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_determinism-6c27dab4eaf8b1e5.d: tests/trace_determinism.rs
+
+/root/repo/target/debug/deps/trace_determinism-6c27dab4eaf8b1e5: tests/trace_determinism.rs
+
+tests/trace_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_determinism-b0bcaa388edfebe1.d: tests/trace_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_determinism-b0bcaa388edfebe1.rmeta: tests/trace_determinism.rs Cargo.toml
+
+tests/trace_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversarial_traffic-9bf4a48ff77eeea9.d: examples/adversarial_traffic.rs
+
+/root/repo/target/debug/examples/adversarial_traffic-9bf4a48ff77eeea9: examples/adversarial_traffic.rs
+
+examples/adversarial_traffic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adversarial_traffic-a1d3abd86d529a93.d: examples/adversarial_traffic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadversarial_traffic-a1d3abd86d529a93.rmeta: examples/adversarial_traffic.rs Cargo.toml
+
+examples/adversarial_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adversarial_traffic-f7e3e2c5622682d6.d: examples/adversarial_traffic.rs
+
+/root/repo/target/debug/examples/adversarial_traffic-f7e3e2c5622682d6: examples/adversarial_traffic.rs
+
+examples/adversarial_traffic.rs:

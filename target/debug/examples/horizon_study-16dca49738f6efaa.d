@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/horizon_study-16dca49738f6efaa.d: examples/horizon_study.rs
+
+/root/repo/target/debug/examples/horizon_study-16dca49738f6efaa: examples/horizon_study.rs
+
+examples/horizon_study.rs:

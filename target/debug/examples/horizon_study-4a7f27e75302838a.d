@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/horizon_study-4a7f27e75302838a.d: examples/horizon_study.rs
+
+/root/repo/target/debug/examples/horizon_study-4a7f27e75302838a: examples/horizon_study.rs
+
+examples/horizon_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/horizon_study-82065edfc2f843af.d: examples/horizon_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhorizon_study-82065edfc2f843af.rmeta: examples/horizon_study.rs Cargo.toml
+
+examples/horizon_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

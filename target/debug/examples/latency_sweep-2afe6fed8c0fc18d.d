@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_sweep-2afe6fed8c0fc18d.d: examples/latency_sweep.rs
+
+/root/repo/target/debug/examples/latency_sweep-2afe6fed8c0fc18d: examples/latency_sweep.rs
+
+examples/latency_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_sweep-4089f1ce3320e310.d: examples/latency_sweep.rs
+
+/root/repo/target/debug/examples/latency_sweep-4089f1ce3320e310: examples/latency_sweep.rs
+
+examples/latency_sweep.rs:

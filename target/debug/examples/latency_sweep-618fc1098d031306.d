@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_sweep-618fc1098d031306.d: examples/latency_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_sweep-618fc1098d031306.rmeta: examples/latency_sweep.rs Cargo.toml
+
+examples/latency_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

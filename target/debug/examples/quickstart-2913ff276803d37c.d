@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2913ff276803d37c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2913ff276803d37c: examples/quickstart.rs
+
+examples/quickstart.rs:

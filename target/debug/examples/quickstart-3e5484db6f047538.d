@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3e5484db6f047538.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3e5484db6f047538: examples/quickstart.rs
+
+examples/quickstart.rs:

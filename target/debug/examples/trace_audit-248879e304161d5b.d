@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_audit-248879e304161d5b.d: examples/trace_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_audit-248879e304161d5b.rmeta: examples/trace_audit.rs Cargo.toml
+
+examples/trace_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libnoc_overhead.rlib: /root/repo/crates/overhead/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_scheduling-196e35ed4806640b.d: crates/bench/src/bin/ablation_scheduling.rs
+
+/root/repo/target/release/deps/ablation_scheduling-196e35ed4806640b: crates/bench/src/bin/ablation_scheduling.rs
+
+crates/bench/src/bin/ablation_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_scheduling-8e6209f91f1624a0.d: crates/bench/src/bin/ablation_scheduling.rs
+
+/root/repo/target/release/deps/ablation_scheduling-8e6209f91f1624a0: crates/bench/src/bin/ablation_scheduling.rs
+
+crates/bench/src/bin/ablation_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_scheduling-e55c84725b9704e6.d: crates/bench/src/bin/ablation_scheduling.rs
+
+/root/repo/target/release/deps/ablation_scheduling-e55c84725b9704e6: crates/bench/src/bin/ablation_scheduling.rs
+
+crates/bench/src/bin/ablation_scheduling.rs:

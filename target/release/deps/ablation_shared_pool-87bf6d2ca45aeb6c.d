@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_shared_pool-87bf6d2ca45aeb6c.d: crates/bench/src/bin/ablation_shared_pool.rs
+
+/root/repo/target/release/deps/ablation_shared_pool-87bf6d2ca45aeb6c: crates/bench/src/bin/ablation_shared_pool.rs
+
+crates/bench/src/bin/ablation_shared_pool.rs:

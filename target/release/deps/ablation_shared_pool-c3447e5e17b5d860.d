@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_shared_pool-c3447e5e17b5d860.d: crates/bench/src/bin/ablation_shared_pool.rs
+
+/root/repo/target/release/deps/ablation_shared_pool-c3447e5e17b5d860: crates/bench/src/bin/ablation_shared_pool.rs
+
+crates/bench/src/bin/ablation_shared_pool.rs:

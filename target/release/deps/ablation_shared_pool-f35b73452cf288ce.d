@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_shared_pool-f35b73452cf288ce.d: crates/bench/src/bin/ablation_shared_pool.rs
+
+/root/repo/target/release/deps/ablation_shared_pool-f35b73452cf288ce: crates/bench/src/bin/ablation_shared_pool.rs
+
+crates/bench/src/bin/ablation_shared_pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_transfers-7afe776dfa23c557.d: crates/bench/src/bin/ablation_transfers.rs
+
+/root/repo/target/release/deps/ablation_transfers-7afe776dfa23c557: crates/bench/src/bin/ablation_transfers.rs
+
+crates/bench/src/bin/ablation_transfers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_transfers-a1c454e92606d7e0.d: crates/bench/src/bin/ablation_transfers.rs
+
+/root/repo/target/release/deps/ablation_transfers-a1c454e92606d7e0: crates/bench/src/bin/ablation_transfers.rs
+
+crates/bench/src/bin/ablation_transfers.rs:

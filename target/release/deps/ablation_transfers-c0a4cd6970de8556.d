@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_transfers-c0a4cd6970de8556.d: crates/bench/src/bin/ablation_transfers.rs
+
+/root/repo/target/release/deps/ablation_transfers-c0a4cd6970de8556: crates/bench/src/bin/ablation_transfers.rs
+
+crates/bench/src/bin/ablation_transfers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_bursty-261e3038a44d5b09.d: crates/bench/src/bin/ext_bursty.rs
+
+/root/repo/target/release/deps/ext_bursty-261e3038a44d5b09: crates/bench/src/bin/ext_bursty.rs
+
+crates/bench/src/bin/ext_bursty.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_bursty-5361e08fb3dc54d7.d: crates/bench/src/bin/ext_bursty.rs
+
+/root/repo/target/release/deps/ext_bursty-5361e08fb3dc54d7: crates/bench/src/bin/ext_bursty.rs
+
+crates/bench/src/bin/ext_bursty.rs:

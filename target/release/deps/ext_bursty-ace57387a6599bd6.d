@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_bursty-ace57387a6599bd6.d: crates/bench/src/bin/ext_bursty.rs
+
+/root/repo/target/release/deps/ext_bursty-ace57387a6599bd6: crates/bench/src/bin/ext_bursty.rs
+
+crates/bench/src/bin/ext_bursty.rs:

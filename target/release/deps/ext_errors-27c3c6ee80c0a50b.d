@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_errors-27c3c6ee80c0a50b.d: crates/bench/src/bin/ext_errors.rs
+
+/root/repo/target/release/deps/ext_errors-27c3c6ee80c0a50b: crates/bench/src/bin/ext_errors.rs
+
+crates/bench/src/bin/ext_errors.rs:

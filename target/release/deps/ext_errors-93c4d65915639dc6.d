@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_errors-93c4d65915639dc6.d: crates/bench/src/bin/ext_errors.rs
+
+/root/repo/target/release/deps/ext_errors-93c4d65915639dc6: crates/bench/src/bin/ext_errors.rs
+
+crates/bench/src/bin/ext_errors.rs:

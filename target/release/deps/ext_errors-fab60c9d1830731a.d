@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_errors-fab60c9d1830731a.d: crates/bench/src/bin/ext_errors.rs
+
+/root/repo/target/release/deps/ext_errors-fab60c9d1830731a: crates/bench/src/bin/ext_errors.rs
+
+crates/bench/src/bin/ext_errors.rs:

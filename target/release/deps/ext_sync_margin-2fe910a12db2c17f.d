@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_sync_margin-2fe910a12db2c17f.d: crates/bench/src/bin/ext_sync_margin.rs
+
+/root/repo/target/release/deps/ext_sync_margin-2fe910a12db2c17f: crates/bench/src/bin/ext_sync_margin.rs
+
+crates/bench/src/bin/ext_sync_margin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_sync_margin-8a6e9a4ccbdfd64c.d: crates/bench/src/bin/ext_sync_margin.rs
+
+/root/repo/target/release/deps/ext_sync_margin-8a6e9a4ccbdfd64c: crates/bench/src/bin/ext_sync_margin.rs
+
+crates/bench/src/bin/ext_sync_margin.rs:

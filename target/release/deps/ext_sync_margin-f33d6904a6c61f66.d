@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_sync_margin-f33d6904a6c61f66.d: crates/bench/src/bin/ext_sync_margin.rs
+
+/root/repo/target/release/deps/ext_sync_margin-f33d6904a6c61f66: crates/bench/src/bin/ext_sync_margin.rs
+
+crates/bench/src/bin/ext_sync_margin.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-822853658535c6fe.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-822853658535c6fe: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-b0d079de4e241962.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-b0d079de4e241962: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-bcbf5b77145190cf.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-bcbf5b77145190cf: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-045c6fd6c4084b41.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-045c6fd6c4084b41: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-0cc37ed0cf5f81bc.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-0cc37ed0cf5f81bc: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-dea3bcace687ce94.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-dea3bcace687ce94: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-194aef089f071a54.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-194aef089f071a54: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

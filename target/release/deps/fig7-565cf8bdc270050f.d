@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-565cf8bdc270050f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-565cf8bdc270050f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

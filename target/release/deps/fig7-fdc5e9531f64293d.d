@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-fdc5e9531f64293d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-fdc5e9531f64293d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

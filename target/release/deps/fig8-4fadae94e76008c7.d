@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-4fadae94e76008c7.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-4fadae94e76008c7: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-7d2d42bb9d0d9e03.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-7d2d42bb9d0d9e03: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-be72ac2f9be04934.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-be72ac2f9be04934: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-262b1958c2d42d3c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-262b1958c2d42d3c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-409f73bff8fe712d.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-409f73bff8fe712d: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-ec2abaf5fb705a19.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-ec2abaf5fb705a19: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flit_reservation-67937cab3c57442f.d: crates/flit-reservation/src/lib.rs crates/flit-reservation/src/config.rs crates/flit-reservation/src/input_table.rs crates/flit-reservation/src/output_table.rs crates/flit-reservation/src/router.rs crates/flit-reservation/src/transfers.rs
+
+/root/repo/target/release/deps/libflit_reservation-67937cab3c57442f.rlib: crates/flit-reservation/src/lib.rs crates/flit-reservation/src/config.rs crates/flit-reservation/src/input_table.rs crates/flit-reservation/src/output_table.rs crates/flit-reservation/src/router.rs crates/flit-reservation/src/transfers.rs
+
+/root/repo/target/release/deps/libflit_reservation-67937cab3c57442f.rmeta: crates/flit-reservation/src/lib.rs crates/flit-reservation/src/config.rs crates/flit-reservation/src/input_table.rs crates/flit-reservation/src/output_table.rs crates/flit-reservation/src/router.rs crates/flit-reservation/src/transfers.rs
+
+crates/flit-reservation/src/lib.rs:
+crates/flit-reservation/src/config.rs:
+crates/flit-reservation/src/input_table.rs:
+crates/flit-reservation/src/output_table.rs:
+crates/flit-reservation/src/router.rs:
+crates/flit-reservation/src/transfers.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/frfc-d4abf58173917776.d: src/lib.rs
+
+/root/repo/target/release/deps/libfrfc-d4abf58173917776.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfrfc-d4abf58173917776.rmeta: src/lib.rs
+
+src/lib.rs:

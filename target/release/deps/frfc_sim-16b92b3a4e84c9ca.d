@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frfc_sim-16b92b3a4e84c9ca.d: src/bin/frfc-sim.rs
+
+/root/repo/target/release/deps/frfc_sim-16b92b3a4e84c9ca: src/bin/frfc-sim.rs
+
+src/bin/frfc-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-7b3f590ae5c1a2d6.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-7b3f590ae5c1a2d6: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/network-8ed52bb659e27ffa.d: crates/bench/benches/network.rs
+
+/root/repo/target/release/deps/network-8ed52bb659e27ffa: crates/bench/benches/network.rs
+
+crates/bench/benches/network.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/noc_bench-02ae6638e65dae1d.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libnoc_bench-02ae6638e65dae1d.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libnoc_bench-02ae6638e65dae1d.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

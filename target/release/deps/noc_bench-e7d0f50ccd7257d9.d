@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/noc_bench-e7d0f50ccd7257d9.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/noc_bench-e7d0f50ccd7257d9: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

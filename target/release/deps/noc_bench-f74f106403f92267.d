@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/noc_bench-f74f106403f92267.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libnoc_bench-f74f106403f92267.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libnoc_bench-f74f106403f92267.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/noc_engine-da51dcf9b401d403.d: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/propcheck.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/sweep.rs crates/engine/src/trace.rs crates/engine/src/warmup.rs
+
+/root/repo/target/release/deps/libnoc_engine-da51dcf9b401d403.rlib: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/propcheck.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/sweep.rs crates/engine/src/trace.rs crates/engine/src/warmup.rs
+
+/root/repo/target/release/deps/libnoc_engine-da51dcf9b401d403.rmeta: crates/engine/src/lib.rs crates/engine/src/cycle.rs crates/engine/src/propcheck.rs crates/engine/src/rng.rs crates/engine/src/stats.rs crates/engine/src/sweep.rs crates/engine/src/trace.rs crates/engine/src/warmup.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cycle.rs:
+crates/engine/src/propcheck.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/sweep.rs:
+crates/engine/src/trace.rs:
+crates/engine/src/warmup.rs:

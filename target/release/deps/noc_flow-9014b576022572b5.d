@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/noc_flow-9014b576022572b5.d: crates/flow/src/lib.rs crates/flow/src/buffer.rs crates/flow/src/emit.rs crates/flow/src/flit.rs crates/flow/src/link.rs crates/flow/src/router.rs crates/flow/src/timing.rs
+
+/root/repo/target/release/deps/libnoc_flow-9014b576022572b5.rlib: crates/flow/src/lib.rs crates/flow/src/buffer.rs crates/flow/src/emit.rs crates/flow/src/flit.rs crates/flow/src/link.rs crates/flow/src/router.rs crates/flow/src/timing.rs
+
+/root/repo/target/release/deps/libnoc_flow-9014b576022572b5.rmeta: crates/flow/src/lib.rs crates/flow/src/buffer.rs crates/flow/src/emit.rs crates/flow/src/flit.rs crates/flow/src/link.rs crates/flow/src/router.rs crates/flow/src/timing.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/buffer.rs:
+crates/flow/src/emit.rs:
+crates/flow/src/flit.rs:
+crates/flow/src/link.rs:
+crates/flow/src/router.rs:
+crates/flow/src/timing.rs:

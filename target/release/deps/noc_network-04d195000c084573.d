@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/noc_network-04d195000c084573.d: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs
+
+/root/repo/target/release/deps/libnoc_network-04d195000c084573.rlib: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs
+
+/root/repo/target/release/deps/libnoc_network-04d195000c084573.rmeta: crates/network/src/lib.rs crates/network/src/experiment.rs crates/network/src/network.rs crates/network/src/runner.rs crates/network/src/tracker.rs
+
+crates/network/src/lib.rs:
+crates/network/src/experiment.rs:
+crates/network/src/network.rs:
+crates/network/src/runner.rs:
+crates/network/src/tracker.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/noc_overhead-35a516362ed4898f.d: crates/overhead/src/lib.rs
+
+/root/repo/target/release/deps/libnoc_overhead-35a516362ed4898f.rlib: crates/overhead/src/lib.rs
+
+/root/repo/target/release/deps/libnoc_overhead-35a516362ed4898f.rmeta: crates/overhead/src/lib.rs
+
+crates/overhead/src/lib.rs:

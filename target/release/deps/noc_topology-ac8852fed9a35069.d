@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/noc_topology-ac8852fed9a35069.d: crates/topology/src/lib.rs crates/topology/src/coord.rs crates/topology/src/direction.rs crates/topology/src/mesh.rs crates/topology/src/routing.rs
+
+/root/repo/target/release/deps/libnoc_topology-ac8852fed9a35069.rlib: crates/topology/src/lib.rs crates/topology/src/coord.rs crates/topology/src/direction.rs crates/topology/src/mesh.rs crates/topology/src/routing.rs
+
+/root/repo/target/release/deps/libnoc_topology-ac8852fed9a35069.rmeta: crates/topology/src/lib.rs crates/topology/src/coord.rs crates/topology/src/direction.rs crates/topology/src/mesh.rs crates/topology/src/routing.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/coord.rs:
+crates/topology/src/direction.rs:
+crates/topology/src/mesh.rs:
+crates/topology/src/routing.rs:

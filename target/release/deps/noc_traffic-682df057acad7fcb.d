@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/noc_traffic-682df057acad7fcb.d: crates/traffic/src/lib.rs crates/traffic/src/burst.rs crates/traffic/src/generator.rs crates/traffic/src/injection.rs crates/traffic/src/packet.rs crates/traffic/src/pattern.rs
+
+/root/repo/target/release/deps/libnoc_traffic-682df057acad7fcb.rlib: crates/traffic/src/lib.rs crates/traffic/src/burst.rs crates/traffic/src/generator.rs crates/traffic/src/injection.rs crates/traffic/src/packet.rs crates/traffic/src/pattern.rs
+
+/root/repo/target/release/deps/libnoc_traffic-682df057acad7fcb.rmeta: crates/traffic/src/lib.rs crates/traffic/src/burst.rs crates/traffic/src/generator.rs crates/traffic/src/injection.rs crates/traffic/src/packet.rs crates/traffic/src/pattern.rs
+
+crates/traffic/src/lib.rs:
+crates/traffic/src/burst.rs:
+crates/traffic/src/generator.rs:
+crates/traffic/src/injection.rs:
+crates/traffic/src/packet.rs:
+crates/traffic/src/pattern.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/noc_vc-d458aab4eaebcc6b.d: crates/vc/src/lib.rs crates/vc/src/config.rs crates/vc/src/router.rs
+
+/root/repo/target/release/deps/libnoc_vc-d458aab4eaebcc6b.rlib: crates/vc/src/lib.rs crates/vc/src/config.rs crates/vc/src/router.rs
+
+/root/repo/target/release/deps/libnoc_vc-d458aab4eaebcc6b.rmeta: crates/vc/src/lib.rs crates/vc/src/config.rs crates/vc/src/router.rs
+
+crates/vc/src/lib.rs:
+crates/vc/src/config.rs:
+crates/vc/src/router.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/occupancy-1e07199e320a764e.d: crates/bench/src/bin/occupancy.rs
+
+/root/repo/target/release/deps/occupancy-1e07199e320a764e: crates/bench/src/bin/occupancy.rs
+
+crates/bench/src/bin/occupancy.rs:

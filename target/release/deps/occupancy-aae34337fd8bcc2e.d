@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/occupancy-aae34337fd8bcc2e.d: crates/bench/src/bin/occupancy.rs
+
+/root/repo/target/release/deps/occupancy-aae34337fd8bcc2e: crates/bench/src/bin/occupancy.rs
+
+crates/bench/src/bin/occupancy.rs:

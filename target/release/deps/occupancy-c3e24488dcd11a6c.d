@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/occupancy-c3e24488dcd11a6c.d: crates/bench/src/bin/occupancy.rs
+
+/root/repo/target/release/deps/occupancy-c3e24488dcd11a6c: crates/bench/src/bin/occupancy.rs
+
+crates/bench/src/bin/occupancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_work-934b8decd25774ef.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/release/deps/related_work-934b8decd25774ef: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

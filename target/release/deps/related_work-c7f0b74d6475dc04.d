@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_work-c7f0b74d6475dc04.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/release/deps/related_work-c7f0b74d6475dc04: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

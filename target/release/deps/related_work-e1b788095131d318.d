@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/related_work-e1b788095131d318.d: crates/bench/src/bin/related_work.rs
+
+/root/repo/target/release/deps/related_work-e1b788095131d318: crates/bench/src/bin/related_work.rs
+
+crates/bench/src/bin/related_work.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke-4b27eed8b1c8c47c.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/release/deps/smoke-4b27eed8b1c8c47c: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

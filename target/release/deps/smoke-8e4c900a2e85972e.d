@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke-8e4c900a2e85972e.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/release/deps/smoke-8e4c900a2e85972e: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

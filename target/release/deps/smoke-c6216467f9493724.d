@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smoke-c6216467f9493724.d: crates/bench/src/bin/smoke.rs
+
+/root/repo/target/release/deps/smoke-c6216467f9493724: crates/bench/src/bin/smoke.rs
+
+crates/bench/src/bin/smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-32a69a3c7c2f6a25.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-32a69a3c7c2f6a25: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-a7a29b67fcb66155.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-a7a29b67fcb66155: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

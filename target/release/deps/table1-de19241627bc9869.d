@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-de19241627bc9869.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-de19241627bc9869: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-06b471162ac19713.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-06b471162ac19713: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-901af98e2625b791.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-901af98e2625b791: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-e5b32b0c76100f66.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-e5b32b0c76100f66: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-56d64644e17e8396.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-56d64644e17e8396: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

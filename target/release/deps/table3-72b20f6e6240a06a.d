@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-72b20f6e6240a06a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-72b20f6e6240a06a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-7c343b50c654a87a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-7c343b50c654a87a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adversarial_traffic-d82cdfef6db5fe38.d: examples/adversarial_traffic.rs
+
+/root/repo/target/release/examples/adversarial_traffic-d82cdfef6db5fe38: examples/adversarial_traffic.rs
+
+examples/adversarial_traffic.rs:

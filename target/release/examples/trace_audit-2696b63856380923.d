@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_audit-2696b63856380923.d: examples/trace_audit.rs
+
+/root/repo/target/release/examples/trace_audit-2696b63856380923: examples/trace_audit.rs
+
+examples/trace_audit.rs:

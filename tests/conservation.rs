@@ -16,9 +16,13 @@ fn fr_net(mesh: Mesh, cfg: FrConfig, load: f64, length: u32, seed: u64) -> Netwo
     let root = Rng::from_seed(seed);
     let spec = LoadSpec::fraction_of_capacity(load, length);
     let generator = TrafficGenerator::uniform(mesh, spec, root.fork(1));
-    Network::new(mesh, cfg.timing, cfg.control_lanes, generator, move |node| {
-        FrRouter::new(mesh, node, cfg, root.fork(node.raw() as u64))
-    })
+    Network::new(
+        mesh,
+        cfg.timing,
+        cfg.control_lanes,
+        generator,
+        move |node| FrRouter::new(mesh, node, cfg, root.fork(node.raw() as u64)),
+    )
 }
 
 fn vc_net(
@@ -113,13 +117,24 @@ fn fr_conserves_under_overload() {
     net.run_cycles(2_000);
     net.stop_injection();
     net.run_cycles(20_000);
-    assert_eq!(net.tracker().in_flight(), 0, "overloaded network must drain");
+    assert_eq!(
+        net.tracker().in_flight(),
+        0,
+        "overloaded network must drain"
+    );
 }
 
 #[test]
 fn vc_fast_control_conserves() {
     let mesh = Mesh::new(6, 6);
-    let mut net = vc_net(mesh, VcConfig::vc8(), LinkTiming::fast_control(), 0.5, 5, 49);
+    let mut net = vc_net(
+        mesh,
+        VcConfig::vc8(),
+        LinkTiming::fast_control(),
+        0.5,
+        5,
+        49,
+    );
     assert_drains(&mut net, 3_000, 3_000, 150);
 }
 
@@ -142,7 +157,14 @@ fn wormhole_conserves() {
 #[test]
 fn vc_conserves_under_overload() {
     let mesh = Mesh::new(4, 4);
-    let mut net = vc_net(mesh, VcConfig::vc8(), LinkTiming::fast_control(), 1.3, 5, 52);
+    let mut net = vc_net(
+        mesh,
+        VcConfig::vc8(),
+        LinkTiming::fast_control(),
+        1.3,
+        5,
+        52,
+    );
     net.run_cycles(2_000);
     net.stop_injection();
     net.run_cycles(20_000);

@@ -8,9 +8,7 @@ use frfc::engine::Rng;
 use frfc::fr::{FrConfig, FrRouter};
 use frfc::network::{run_simulation, Network, SimConfig};
 use frfc::topology::Mesh;
-use frfc::traffic::{
-    InjectionKind, LengthDistribution, LoadSpec, TrafficGenerator, Uniform,
-};
+use frfc::traffic::{InjectionKind, LengthDistribution, LoadSpec, TrafficGenerator, Uniform};
 
 fn sim(seed: u64) -> SimConfig {
     SimConfig {
@@ -36,9 +34,13 @@ fn fr_network(
 ) -> Network<FrRouter> {
     let root = Rng::from_seed(seed);
     let generator = TrafficGenerator::new(mesh, load, Box::new(Uniform), kind, root.fork(1));
-    Network::new(mesh, cfg.timing, cfg.control_lanes, generator, move |node| {
-        FrRouter::new(mesh, node, cfg, root.fork(node.raw() as u64))
-    })
+    Network::new(
+        mesh,
+        cfg.timing,
+        cfg.control_lanes,
+        generator,
+        move |node| FrRouter::new(mesh, node, cfg, root.fork(node.raw() as u64)),
+    )
 }
 
 /// Section 5 error recovery: with control flits corrupted and
@@ -157,7 +159,13 @@ fn bimodal_length_mix_conserves() {
             short_fraction: 0.75,
         },
     );
-    let mut net = fr_network(mesh, FrConfig::fr13(), load, InjectionKind::ConstantRate, 35);
+    let mut net = fr_network(
+        mesh,
+        FrConfig::fr13(),
+        load,
+        InjectionKind::ConstantRate,
+        35,
+    );
     let r = run_simulation(&mut net, &sim(35));
     assert!(r.completed, "mixed lengths must drain");
     assert!(r.mean_latency() > 10.0);

@@ -64,10 +64,7 @@ fn fr13() -> FlowControl {
 fn fr_base_latency_beats_vc() {
     let vc = latency(&vc8(), 0.1, 5);
     let fr = latency(&fr6(), 0.1, 5);
-    assert!(
-        fr < vc,
-        "FR base latency {fr:.1} must undercut VC {vc:.1}"
-    );
+    assert!(fr < vc, "FR base latency {fr:.1} must undercut VC {vc:.1}");
     let saving = (vc - fr) / vc;
     assert!(
         (0.05..0.35).contains(&saving),
@@ -97,10 +94,7 @@ fn fr6_outlives_vc8_saturation() {
 fn fr6_matches_vc16_class_throughput() {
     let limit = 3.0 * latency(&vc16(), 0.1, 5);
     let load = 0.7;
-    assert!(
-        sustains(&vc16(), load, 5, limit),
-        "VC16 sustains {load}"
-    );
+    assert!(sustains(&vc16(), load, 5, limit), "VC16 sustains {load}");
     assert!(
         sustains(&fr6(), load, 5, limit),
         "FR6 with 6 buffers must keep up with VC16's 16 buffers at {load}"

@@ -6,14 +6,15 @@
 //! steady-state inheritance, credit mis-application), the router either
 //! deadlocks or silently overbooks buffers. We drive it with arbitrary
 //! operation sequences and compare every observable against a brute-force
-//! interval model.
+//! interval model. Generation runs on the repo's own
+//! [`frfc::engine::propcheck`] harness, so the suite needs no external
+//! crates and replays deterministically.
 
+use frfc::engine::propcheck::{check, vec_of, AnyBool};
 use frfc::engine::Cycle;
 use frfc::fr::{InputReservationTable, OutputReservationTable};
 use frfc::topology::{NodeId, Port};
 use frfc::traffic::PacketId;
-use proptest::prelude::*;
-use proptest::test_runner::TestCaseError;
 
 /// Brute-force reference: a list of buffer holds and busy cycles.
 #[derive(Default)]
@@ -37,21 +38,19 @@ impl RefModel {
 
 const HORIZON: u64 = 24;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Random schedule/credit/advance sequences: the table's free counts
-    /// always match the reference interval model, and `find_departure`
-    /// never returns a cycle that is busy, out of horizon, or that would
-    /// overbook a downstream buffer.
-    #[test]
-    fn output_table_matches_reference(
-        capacity in 1usize..6,
-        prop_delay in 0u64..5,
-        ops in proptest::collection::vec(0u8..10, 1..120),
-    ) {
+/// Random schedule/credit/advance sequences: the table's free counts
+/// always match the reference interval model, and `find_departure`
+/// never returns a cycle that is busy, out of horizon, or that would
+/// overbook a downstream buffer.
+#[test]
+fn output_table_matches_reference() {
+    let strategy = (1usize..6, 0u64..5, vec_of(0u8..10, 1..120));
+    check(64, strategy, |(capacity, prop_delay, ops)| {
         let mut table = OutputReservationTable::new(HORIZON, Some(capacity), prop_delay);
-        let mut reference = RefModel { capacity: capacity as i64, ..Default::default() };
+        let mut reference = RefModel {
+            capacity: capacity as i64,
+            ..Default::default()
+        };
         let mut now = Cycle::ZERO;
         table.advance_to(now);
         // Reservations whose credit has not been sent yet.
@@ -68,12 +67,12 @@ proptest! {
                 4..=7 => {
                     let t_a = now.saturating_sub(1);
                     if let Some(t_d) = table.find_departure(t_a, now, |_| true) {
-                        prop_assert!(t_d > t_a && t_d > now);
-                        prop_assert!(t_d <= now + HORIZON);
-                        prop_assert!(!reference.busy.contains(&t_d.raw()));
+                        assert!(t_d > t_a && t_d > now);
+                        assert!(t_d <= now + HORIZON);
+                        assert!(!reference.busy.contains(&t_d.raw()));
                         // A buffer must be free for the entire hold.
                         for t in (t_d.raw() + prop_delay)..(now.raw() + HORIZON + prop_delay + 2) {
-                            prop_assert!(reference.free_at(t) >= 1, "overbooked at {t}");
+                            assert!(reference.free_at(t) >= 1, "overbooked at {t}");
                         }
                         table.reserve(t_d);
                         reference.busy.push(t_d.raw());
@@ -102,54 +101,54 @@ proptest! {
             }
             // Compare observable free counts across the visible window.
             for t in now.raw()..now.raw() + HORIZON {
-                prop_assert_eq!(
+                assert_eq!(
                     table.free_at(Cycle::new(t)),
                     reference.free_at(t),
-                    "free count diverged at cycle {} (now {})", t, now
+                    "free count diverged at cycle {t} (now {now})"
                 );
             }
         }
-    }
+    });
+}
 
-    /// The input reservation table delivers exactly the reserved flits at
-    /// exactly the reserved cycles, regardless of arrival/reservation
-    /// interleaving (early data flits go through the schedule list).
-    #[test]
-    fn input_table_delivers_reservations(
-        flits in proptest::collection::vec((2u64..5, 1u64..8, proptest::bool::ANY), 1..20),
-    ) {
+/// Advances to `target` inclusive, draining (and checking) any departure
+/// that falls due along the way.
+fn advance(
+    table: &mut InputReservationTable,
+    now: &mut Cycle,
+    target: Cycle,
+    expected: &mut Vec<(u64, u32)>,
+) {
+    while *now < target {
+        *now = now.next();
+        table.advance_to(*now);
+        if let Some((f, port, _buffer)) = table.take_departure(*now) {
+            assert_eq!(port, Port::East);
+            let pos = expected.iter().position(|&(d, _)| d == now.raw());
+            let pos = pos.unwrap_or_else(|| panic!("unexpected departure at {now}"));
+            let (_, seq) = expected.remove(pos);
+            assert_eq!(f.seq, seq);
+        }
+    }
+}
+
+/// The input reservation table delivers exactly the reserved flits at
+/// exactly the reserved cycles, regardless of arrival/reservation
+/// interleaving (early data flits go through the schedule list).
+#[test]
+fn input_table_delivers_reservations() {
+    let strategy = vec_of((2u64..5, 1u64..8, AnyBool), 1..20);
+    check(64, strategy, |flits| {
         let mut table = InputReservationTable::new(64, 32, 4);
         let mut now = Cycle::ZERO;
         table.advance_to(now);
         // (departure cycle, expected seq) of booked flits.
         let mut expected: Vec<(u64, u32)> = Vec::new();
 
-        /// Advances to `target` inclusive, draining (and checking) any
-        /// departure that falls due along the way.
-        fn advance(
-            table: &mut InputReservationTable,
-            now: &mut Cycle,
-            target: Cycle,
-            expected: &mut Vec<(u64, u32)>,
-        ) -> Result<(), TestCaseError> {
-            while *now < target {
-                *now = now.next();
-                table.advance_to(*now);
-                if let Some((f, port)) = table.take_departure(*now) {
-                    prop_assert_eq!(port, Port::East);
-                    let pos = expected.iter().position(|&(d, _)| d == now.raw());
-                    prop_assert!(pos.is_some(), "unexpected departure at {}", now);
-                    let (_, seq) = expected.remove(pos.expect("checked"));
-                    prop_assert_eq!(f.seq, seq);
-                }
-            }
-            Ok(())
-        }
-
         let mut t_a = Cycle::ZERO;
         let mut last_depart = 0u64;
         for (i, &(gap, extra, reservation_first)) in flits.iter().enumerate() {
-            t_a = t_a + gap;
+            t_a += gap;
             let t_d = (t_a.raw() + extra).max(last_depart + 1);
             last_depart = t_d;
             let flit = frfc::flow::DataFlit {
@@ -161,24 +160,32 @@ proptest! {
             };
             if reservation_first {
                 // Book while the arrival is still in the future...
-                advance(&mut table, &mut now, t_a - 1, &mut expected)?;
+                advance(&mut table, &mut now, t_a - 1, &mut expected);
                 table.apply_reservation(t_a, Cycle::new(t_d), Port::East, now);
                 // ...then the flit arrives on time.
-                advance(&mut table, &mut now, t_a, &mut expected)?;
+                advance(&mut table, &mut now, t_a, &mut expected);
                 table.on_data_arrival(flit, now);
             } else {
                 // The flit arrives early and parks in the schedule list;
                 // the reservation catches up afterwards.
-                advance(&mut table, &mut now, t_a, &mut expected)?;
+                advance(&mut table, &mut now, t_a, &mut expected);
                 table.on_data_arrival(flit, now);
                 table.apply_reservation(t_a, Cycle::new(t_d), Port::East, now);
             }
             expected.push((t_d, i as u32));
         }
         // Drain every remaining departure.
-        advance(&mut table, &mut now, Cycle::new(last_depart + 1), &mut expected)?;
-        prop_assert!(expected.is_empty(), "undelivered reservations: {:?}", expected);
-        prop_assert_eq!(table.occupied(), 0);
-        prop_assert_eq!(table.parked(), 0);
-    }
+        advance(
+            &mut table,
+            &mut now,
+            Cycle::new(last_depart + 1),
+            &mut expected,
+        );
+        assert!(
+            expected.is_empty(),
+            "undelivered reservations: {expected:?}"
+        );
+        assert_eq!(table.occupied(), 0);
+        assert_eq!(table.parked(), 0);
+    });
 }
