@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_audit-42d7f681d052f7c5.d: examples/trace_audit.rs
+
+/root/repo/target/debug/examples/trace_audit-42d7f681d052f7c5: examples/trace_audit.rs
+
+examples/trace_audit.rs:
