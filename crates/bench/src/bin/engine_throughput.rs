@@ -1,0 +1,215 @@
+//! Stepping-engine throughput baseline: simulated cycles per second.
+//!
+//! Measures the raw speed of the phase-separated stepping engine —
+//! *simulated network cycles per wall-clock second* — for the VC
+//! baseline and the FR router at low, moderate and near-saturation
+//! offered loads, in three engine modes:
+//!
+//! * `step-all` — idle-skipping off: every router steps every cycle.
+//!   This is the reference engine (the behaviour of the pre-refactor
+//!   interleaved loop) and the denominator for speedups;
+//! * `idle-skip` — the default: quiescent routers are skipped via the
+//!   wake-list. At low load most of the mesh is asleep most cycles, so
+//!   this is where the win concentrates;
+//! * `sharded(N)` — idle-skip plus the router-step phase sharded over N
+//!   scoped worker threads. On a small mesh the per-cycle join dominates
+//!   and this mode mostly documents the overhead floor; it exists for
+//!   large-mesh work where per-router stepping dwarfs the barrier.
+//!
+//! All modes produce bit-identical traces (enforced by
+//! `tests/engine_equivalence.rs`); this harness only times them.
+//!
+//! Results print as a table and are written to `BENCH_engine.json` in
+//! the working directory so successive commits can be compared. Pass
+//! `--quick` (or set `FRFC_SCALE=tiny`) for a seconds-long smoke run —
+//! CI uses this to keep the harness from bit-rotting.
+
+use flit_reservation::{FrConfig, FrRouter};
+use noc_bench::seed_from_env;
+use noc_engine::Rng;
+use noc_flow::{LinkTiming, Router};
+use noc_network::Network;
+use noc_topology::Mesh;
+use noc_traffic::{LoadSpec, TrafficGenerator};
+use noc_vc::{VcConfig, VcRouter};
+use std::time::Instant;
+
+/// One measured configuration.
+struct Row {
+    router: &'static str,
+    load: f64,
+    mode: String,
+    threads: usize,
+    cycles: u64,
+    cycles_per_sec: f64,
+}
+
+/// Engine mode under test.
+#[derive(Clone, Copy)]
+enum Mode {
+    StepAll,
+    IdleSkip,
+    Sharded(usize),
+}
+
+impl Mode {
+    fn label(self) -> String {
+        match self {
+            Mode::StepAll => "step-all".into(),
+            Mode::IdleSkip => "idle-skip".into(),
+            Mode::Sharded(n) => format!("sharded({n})"),
+        }
+    }
+
+    fn threads(self) -> usize {
+        match self {
+            Mode::Sharded(n) => n,
+            _ => 1,
+        }
+    }
+}
+
+fn vc_network(mesh: Mesh, load: f64, seed: u64) -> Network<VcRouter> {
+    let root = Rng::from_seed(seed);
+    let spec = LoadSpec::fraction_of_capacity(load, 5);
+    let generator = TrafficGenerator::uniform(mesh, spec, root.fork(99));
+    Network::new(mesh, LinkTiming::fast_control(), 2, generator, |node| {
+        VcRouter::new(mesh, node, VcConfig::vc8(), root.fork(node.raw() as u64))
+    })
+}
+
+fn fr_network(mesh: Mesh, load: f64, seed: u64) -> Network<FrRouter> {
+    let root = Rng::from_seed(seed);
+    let spec = LoadSpec::fraction_of_capacity(load, 5);
+    let generator = TrafficGenerator::uniform(mesh, spec, root.fork(99));
+    let cfg = FrConfig::fr6();
+    Network::new(mesh, cfg.timing, cfg.control_lanes, generator, |node| {
+        FrRouter::new(mesh, node, cfg, root.fork(node.raw() as u64))
+    })
+}
+
+/// Warm the network into steady state, then time `measure` cycles.
+fn time_run<R: Router + Send>(mut net: Network<R>, mode: Mode, warmup: u64, measure: u64) -> f64 {
+    match mode {
+        Mode::StepAll => net.set_idle_skip(false),
+        Mode::IdleSkip | Mode::Sharded(_) => net.set_idle_skip(true),
+    }
+    match mode {
+        Mode::Sharded(n) => net.run_cycles_sharded(warmup, n),
+        _ => net.run_cycles(warmup),
+    }
+    let start = Instant::now();
+    match mode {
+        Mode::Sharded(n) => net.run_cycles_sharded(measure, n),
+        _ => net.run_cycles(measure),
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    // Keep the network alive through the timer so drop cost is excluded.
+    drop(net);
+    measure as f64 / secs
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("FRFC_SCALE").as_deref() == Ok("tiny");
+    let seed = seed_from_env();
+    let mesh = Mesh::new(8, 8);
+    let (warmup, measure) = if quick { (500, 2_000) } else { (5_000, 50_000) };
+    let shard_threads = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2);
+
+    let loads = [("low", 0.02), ("mid", 0.40), ("sat", 0.80)];
+    let modes = [Mode::StepAll, Mode::IdleSkip, Mode::Sharded(shard_threads)];
+
+    println!(
+        "engine_throughput: {}x{} mesh, {} warm-up + {} measured cycles{}",
+        mesh.width(),
+        mesh.height(),
+        warmup,
+        measure,
+        if quick { " (quick)" } else { "" }
+    );
+    println!(
+        "{:<6} {:>5} {:<12} {:>8} {:>14}",
+        "router", "load", "mode", "threads", "cycles/sec"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (_, load) in loads {
+        for mode in modes {
+            for router in ["vc8", "fr6"] {
+                let cps = match router {
+                    "vc8" => time_run(vc_network(mesh, load, seed), mode, warmup, measure),
+                    _ => time_run(fr_network(mesh, load, seed), mode, warmup, measure),
+                };
+                println!(
+                    "{:<6} {:>5.2} {:<12} {:>8} {:>14.0}",
+                    router,
+                    load,
+                    mode.label(),
+                    mode.threads(),
+                    cps
+                );
+                rows.push(Row {
+                    router,
+                    load,
+                    mode: mode.label(),
+                    threads: mode.threads(),
+                    cycles: measure,
+                    cycles_per_sec: cps,
+                });
+            }
+        }
+    }
+
+    // Idle-skip speedup over the reference engine, per router, low load.
+    println!();
+    for router in ["vc8", "fr6"] {
+        let find = |mode: &str| {
+            rows.iter()
+                .find(|r| r.router == router && r.load == loads[0].1 && r.mode == mode)
+                .map(|r| r.cycles_per_sec)
+                .unwrap_or(0.0)
+        };
+        let base = find("step-all");
+        let skip = find("idle-skip");
+        if base > 0.0 {
+            println!(
+                "{router} low-load idle-skip speedup: {:.2}x ({:.0} -> {:.0} cycles/sec)",
+                skip / base,
+                base,
+                skip
+            );
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"engine_throughput\",\n");
+    json.push_str(&format!(
+        "  \"mesh\": \"{}x{}\",\n  \"seed\": {},\n  \"quick\": {},\n  \"rows\": [\n",
+        mesh.width(),
+        mesh.height(),
+        seed,
+        quick
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"router\": \"{}\", \"load\": {}, \"mode\": \"{}\", \"threads\": {}, \"cycles\": {}, \"cycles_per_sec\": {:.1}}}{}\n",
+            json_escape(&format!("{}-{:.2}-{}", r.router, r.load, r.mode)),
+            r.router,
+            r.load,
+            json_escape(&r.mode),
+            r.threads,
+            r.cycles,
+            r.cycles_per_sec,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json ({} rows)", rows.len());
+}

@@ -101,6 +101,10 @@ pub struct InputReservationTable {
     pool: BufferPool,
     /// Schedule list: (arrival time, buffer) of parked, unscheduled flits.
     early: Vec<(Cycle, BufferId)>,
+    /// Outstanding departure bookings (`outgoing` rows still set), kept as
+    /// a counter so the router's quiescence query is O(1) instead of a
+    /// scan of the window.
+    booked: usize,
 }
 
 impl InputReservationTable {
@@ -116,6 +120,7 @@ impl InputReservationTable {
             outgoing: vec![None; window],
             pool: BufferPool::new(pool_size),
             early: Vec::new(),
+            booked: 0,
         }
     }
 
@@ -176,6 +181,7 @@ impl InputReservationTable {
             self.outgoing[ds].is_none(),
             "input read port double-booked at {t_d}"
         );
+        self.booked += 1;
         // Has the flit already arrived? (Arrivals happen before control
         // processing within a cycle, so `t_a <= now` means it is parked.)
         if t_a <= now {
@@ -227,6 +233,7 @@ impl InputReservationTable {
                     .take()
                     .expect("bypass reservation without departure row");
                 debug_assert!(dep.bypass, "same-cycle departure must be a bypass");
+                self.booked -= 1;
                 return ArrivalOutcome::Bypass {
                     out_port: dep.out_port,
                 };
@@ -267,6 +274,7 @@ impl InputReservationTable {
             return None;
         }
         let dep = self.outgoing[s].take()?;
+        self.booked -= 1;
         let buffer = dep
             .buffer
             .expect("departure due but data flit never arrived");
@@ -292,6 +300,21 @@ impl InputReservationTable {
     /// Number of parked (arrived-but-unscheduled) flits.
     pub fn parked(&self) -> usize {
         self.early.len()
+    }
+
+    /// Outstanding departure bookings (reservations applied but not yet
+    /// executed), including bookings whose data flit has not arrived yet.
+    pub fn pending_departures(&self) -> usize {
+        self.booked
+    }
+
+    /// `true` when the table holds no state that obligates future work:
+    /// no buffered flits, no parked flits and no outstanding bookings.
+    /// In this state [`Self::advance_to`] may jump any number of cycles
+    /// without tripping its expired-slot assertions, which is what lets
+    /// the network skip stepping an idle router.
+    pub fn is_quiet(&self) -> bool {
+        self.booked == 0 && self.early.is_empty() && self.pool.occupied_count() == 0
     }
 }
 
@@ -360,6 +383,43 @@ mod tests {
         let (f, port, _) = t.take_departure(Cycle::new(9)).unwrap();
         assert_eq!(f.seq, 1);
         assert_eq!(port, Port::South);
+    }
+
+    #[test]
+    fn quiescence_tracks_bookings_parked_and_occupancy() {
+        let mut t = table();
+        t.advance_to(Cycle::ZERO);
+        assert!(t.is_quiet());
+        assert_eq!(t.pending_departures(), 0);
+        // A booking alone (flit not yet arrived) is not quiet.
+        t.apply_reservation(Cycle::new(5), Cycle::new(8), Port::East, Cycle::ZERO);
+        assert!(!t.is_quiet());
+        assert_eq!(t.pending_departures(), 1);
+        t.advance_to(Cycle::new(5));
+        t.on_data_arrival(flit(0), Cycle::new(5));
+        assert!(!t.is_quiet());
+        t.advance_to(Cycle::new(8));
+        t.take_departure(Cycle::new(8)).unwrap();
+        assert!(t.is_quiet());
+        // A parked flit alone is not quiet either.
+        t.advance_to(Cycle::new(9));
+        t.on_data_arrival(flit(1), Cycle::new(9));
+        assert!(!t.is_quiet());
+        assert_eq!(t.pending_departures(), 0);
+    }
+
+    #[test]
+    fn bypass_consumes_its_booking() {
+        let mut t = table();
+        t.advance_to(Cycle::ZERO);
+        t.apply_reservation(Cycle::new(4), Cycle::new(4), Port::East, Cycle::ZERO);
+        assert_eq!(t.pending_departures(), 1);
+        t.advance_to(Cycle::new(4));
+        assert!(matches!(
+            t.on_data_arrival(flit(0), Cycle::new(4)),
+            ArrivalOutcome::Bypass { .. }
+        ));
+        assert!(t.is_quiet());
     }
 
     #[test]

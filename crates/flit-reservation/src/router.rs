@@ -740,7 +740,15 @@ impl<S: TraceSink> Router for FrRouter<S> {
                 );
             }
             LinkEvent::FrCredit { frees_at } => {
-                self.output_tables[port].credit(frees_at, now);
+                // Slide the window to `now` before applying: if this
+                // router was idle-skipped, the table base is stale and the
+                // credit could land beyond the old window. Advancing first
+                // is state-identical to the advance the step phase would
+                // have performed (recycled slots inherit `tail_free`
+                // either way), so stepped and skipped runs stay bit-equal.
+                let table = &mut self.output_tables[port];
+                table.advance_to(now);
+                table.credit(frees_at, now);
             }
             other => panic!("FR router received foreign event {other:?}"),
         }
@@ -787,6 +795,30 @@ impl<S: TraceSink> Router for FrRouter<S> {
             .map(|p| p.length_flits as usize)
             .sum();
         pooled + pending + self.ni.data_ready.len()
+    }
+
+    /// Quiescent when no control flit is queued at any input, the NI has
+    /// nothing pending, staged or scheduled for injection, no data flit
+    /// awaits buffering and every input reservation table is free of
+    /// bookings, parked flits and buffered flits. Output-table `busy`
+    /// entries need no separate check: every future departure booked on an
+    /// output channel is paired with an input-table booking here, and the
+    /// remaining free-buffer bookkeeping advances identically whether the
+    /// window slides one cycle at a time or jumps on wake-up. The
+    /// buffer-transfer ablation keeps per-buffer interval state with its
+    /// own garbage-collection schedule, so it conservatively never idles.
+    fn is_idle(&self) -> bool {
+        if self.transfer_counters.is_some() {
+            return false;
+        }
+        self.pending_data.is_empty()
+            && self.ni.pending.is_empty()
+            && self.ni.staged.is_empty()
+            && self.ni.data_ready.is_empty()
+            && Port::ALL.iter().all(|&p| {
+                self.input_tables[p].is_quiet()
+                    && self.control_inputs[p].iter().all(|vc| vc.queue.is_empty())
+            })
     }
 }
 

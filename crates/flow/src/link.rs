@@ -123,19 +123,31 @@ impl<T> Link<T> {
         Ok(())
     }
 
+    /// Removes and returns the next item arriving at or before cycle
+    /// `now`, or `None` once every due arrival has been drained.
+    ///
+    /// This is the allocation-free form of [`Link::take_arrivals`]: the
+    /// network's delivery phase pops arrivals one by one straight off the
+    /// in-flight queue instead of collecting them into a fresh `Vec`
+    /// every cycle. Items come out in push order; an item with extra
+    /// delay blocks the items behind it until it delivers (FIFO links).
+    pub fn pop_arrival(&mut self, now: Cycle) -> Option<T> {
+        match self.in_flight.front() {
+            Some((arrives, _)) if *arrives <= now => {
+                self.in_flight.pop_front().map(|(_, item)| item)
+            }
+            _ => None,
+        }
+    }
+
     /// Removes and returns every item arriving at or before cycle `now`.
     ///
     /// Items are returned in push order; an item with extra delay blocks
     /// the items behind it until it delivers (FIFO links).
     pub fn take_arrivals(&mut self, now: Cycle) -> Vec<T> {
         let mut out = Vec::new();
-        while let Some((arrives, _)) = self.in_flight.front() {
-            if *arrives <= now {
-                let (_, item) = self.in_flight.pop_front().expect("front checked");
-                out.push(item);
-            } else {
-                break;
-            }
+        while let Some(item) = self.pop_arrival(now) {
+            out.push(item);
         }
         out
     }
@@ -179,6 +191,20 @@ mod tests {
         assert!(link.can_push(Cycle::new(1)));
         link.push(Cycle::new(1), 3).unwrap();
         assert_eq!(link.pushed_this_cycle(Cycle::new(1)), 1);
+    }
+
+    #[test]
+    fn pop_arrival_drains_in_place() {
+        let mut link: Link<u32> = Link::new(2, 4);
+        link.push(Cycle::new(0), 1).unwrap();
+        link.push(Cycle::new(0), 2).unwrap();
+        link.push(Cycle::new(1), 3).unwrap();
+        assert_eq!(link.pop_arrival(Cycle::new(1)), None);
+        assert_eq!(link.pop_arrival(Cycle::new(2)), Some(1));
+        assert_eq!(link.pop_arrival(Cycle::new(2)), Some(2));
+        assert_eq!(link.pop_arrival(Cycle::new(2)), None, "3 arrives at 3");
+        assert_eq!(link.pop_arrival(Cycle::new(3)), Some(3));
+        assert!(link.is_empty());
     }
 
     #[test]

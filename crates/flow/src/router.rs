@@ -136,6 +136,28 @@ pub trait Router {
     /// Flits currently queued anywhere inside the router (including its
     /// network-interface queues); used by warm-up detection.
     fn queued_flits(&self) -> usize;
+
+    /// `true` when the router is quiescent: no buffered flits, no pending
+    /// reservations anywhere in the horizon window, no queued control
+    /// state. The network uses this to skip stepping the router entirely.
+    ///
+    /// # Contract
+    ///
+    /// If `is_idle()` returns `true`, then [`Router::step`] — called with
+    /// any `now` and no intervening [`Router::receive`] or
+    /// [`Router::try_inject`] — must be a pure no-op: it emits nothing
+    /// into its [`StepOutputs`], emits no trace events, draws nothing
+    /// from any internal RNG, and leaves the router in a state
+    /// observationally identical to not having been stepped at all
+    /// (sliding windows may advance, but only in ways that make a jumped
+    /// advance indistinguishable from repeated single-cycle advances).
+    /// Skipping idle routers must therefore be bit-exactly trace-neutral.
+    ///
+    /// The default is conservatively `false`, which disables idle
+    /// skipping for routers that have not audited their `step` path.
+    fn is_idle(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,33 @@
 //! Wiring routers into a mesh network.
 //!
 //! The network owns all routers and every directed inter-router link
-//! (three wire classes per link: data, control, credit), delivers arrivals
-//! at the start of each cycle, injects offered traffic, steps every
-//! router, and routes the outputs back onto the wires. All routers
-//! observe a consistent snapshot: every arrival for cycle `t` is delivered
-//! before any router steps cycle `t`.
+//! (three wire classes per link: data, control, credit) and drives them
+//! through an explicit phase-separated cycle:
+//!
+//! 1. **deliver** — every link arrival for cycle `t` is drained in place
+//!    and handed to its receiving router (which is woken);
+//! 2. **inject** — offered traffic is generated into a reusable scratch
+//!    buffer and pushed through the per-node backlogs;
+//! 3. **step** — every *awake* router advances one cycle into its own
+//!    retained [`StepOutputs`] arena. Routers touch only their own state
+//!    here, so this phase may run sharded across threads
+//!    ([`Network::cycle_sharded`]) with no effect on the trace;
+//! 4. **apply** — the staged outputs are committed to links and the
+//!    delivery tracker sequentially in router order (this serialises the
+//!    control-error RNG and every network-level trace event, which is
+//!    what keeps sharded and sequential runs bit-identical);
+//! 5. **observe** — probes sample and time advances.
+//!
+//! All routers observe a consistent snapshot: every arrival for cycle `t`
+//! is delivered before any router steps cycle `t`, and nothing sent at
+//! cycle `t` is seen before `t + delay` (all wires have delay ≥ 1).
+//!
+//! The steady state allocates nothing: arrivals pop off links in place,
+//! traffic lands in a retained scratch `Vec`, and each router's
+//! [`StepOutputs`] arena is drained and reused, so per-cycle `Vec` churn
+//! is gone. Quiescent routers ([`noc_flow::Router::is_idle`]) are skipped
+//! entirely unless [`Network::set_idle_skip`] turns the wake-list off —
+//! by the idle contract, both modes produce bit-identical traces.
 
 use crate::DeliveryTracker;
 use noc_engine::trace::{NullSink, TraceSink};
@@ -20,6 +42,41 @@ struct LinkSet {
     data: Link<LinkEvent>,
     control: Link<LinkEvent>,
     credit: Link<LinkEvent>,
+}
+
+/// One router plus the per-router state the stepping engine needs: the
+/// retained output arena its step phase writes into, and the wake flag
+/// that lets quiescent routers be skipped. Keeping these together (rather
+/// than in parallel vectors) lets the sharded step phase hand each worker
+/// thread a contiguous, self-contained chunk with no unsafe splitting.
+#[derive(Debug)]
+struct RouterSlot<R> {
+    router: R,
+    /// Outputs staged by this cycle's step, drained by the apply phase.
+    /// Retained across cycles so the steady state never allocates.
+    out: StepOutputs,
+    /// Wake flag: step this router this cycle. Set by arrivals and
+    /// accepted injections, recomputed from `is_idle` after each step.
+    active: bool,
+}
+
+/// Steps one router slot for cycle `now`. With `idle_skip`, a slot that
+/// is not awake is passed over: its arena is already empty (the apply
+/// phase drains it every cycle) and, by the [`Router::is_idle`] contract,
+/// stepping it would change nothing.
+fn step_slot<R: Router>(slot: &mut RouterSlot<R>, now: Cycle, idle_skip: bool) {
+    if idle_skip && !slot.active {
+        debug_assert!(slot.out.sends.is_empty() && slot.out.ejections.is_empty());
+        return;
+    }
+    slot.out.clear();
+    slot.router.step(now, &mut slot.out);
+    // A step that produced output proves the router is still active, so
+    // the (comparatively costly) `is_idle` scan only runs on quiet
+    // steps. Keeping an idle router awake one extra cycle is harmless:
+    // by the idle contract that extra step is a pure no-op.
+    slot.active =
+        !slot.out.sends.is_empty() || !slot.out.ejections.is_empty() || !slot.router.is_idle();
 }
 
 /// Per-cycle observation knobs (warm-up signal, occupancy probe).
@@ -79,7 +136,7 @@ impl ProbeState {
 pub struct Network<R: Router, S: TraceSink = NullSink> {
     mesh: Mesh,
     timing: LinkTiming,
-    routers: Vec<R>,
+    slots: Vec<RouterSlot<R>>,
     /// Directed links: `links[node][mesh port]`.
     links: Vec<PortMap<Option<LinkSet>>>,
     generator: TrafficGenerator,
@@ -90,10 +147,14 @@ pub struct Network<R: Router, S: TraceSink = NullSink> {
     probe_enabled: bool,
     /// Packets still being offered to a router that refused them.
     backlog: Vec<std::collections::VecDeque<noc_traffic::Packet>>,
+    /// Retained scratch for the generator's per-cycle packet batch.
+    packet_scratch: Vec<noc_traffic::Packet>,
     /// Marks injected packets as "measured" while active.
     measuring: bool,
     /// Set while draining: no new traffic is offered.
     injection_stopped: bool,
+    /// Skip stepping quiescent routers (trace-neutral; on by default).
+    idle_skip: bool,
     /// Control-wire error model (Section 5, "Error recovery"): each
     /// control flit transmission is independently corrupted with this
     /// probability; the error-detection code catches it and the flit is
@@ -102,7 +163,6 @@ pub struct Network<R: Router, S: TraceSink = NullSink> {
     control_error_rate: f64,
     error_rng: noc_engine::Rng,
     control_retries: u64,
-    scratch: StepOutputs,
     sink: S,
 }
 
@@ -141,7 +201,16 @@ impl<R: Router, S: TraceSink> Network<R, S> {
         mut make_router: impl FnMut(NodeId) -> R,
         sink: S,
     ) -> Self {
-        let routers: Vec<R> = mesh.nodes().map(&mut make_router).collect();
+        let slots: Vec<RouterSlot<R>> = mesh
+            .nodes()
+            .map(|n| RouterSlot {
+                router: make_router(n),
+                out: StepOutputs::new(),
+                // Every router starts awake; the first step settles the
+                // flag from its actual state.
+                active: true,
+            })
+            .collect();
         let links = mesh
             .nodes()
             .map(|n| {
@@ -168,7 +237,7 @@ impl<R: Router, S: TraceSink> Network<R, S> {
         Network {
             mesh,
             timing,
-            routers,
+            slots,
             links,
             generator,
             tracker: DeliveryTracker::new(4096),
@@ -177,12 +246,13 @@ impl<R: Router, S: TraceSink> Network<R, S> {
             probe_state: ProbeState::default(),
             probe_enabled: false,
             backlog,
+            packet_scratch: Vec::new(),
             measuring: false,
             injection_stopped: false,
+            idle_skip: true,
             control_error_rate: 0.0,
             error_rng: noc_engine::Rng::from_seed(0xE44),
             control_retries: 0,
-            scratch: StepOutputs::new(),
             sink,
         }
     }
@@ -221,6 +291,37 @@ impl<R: Router, S: TraceSink> Network<R, S> {
         self.control_retries
     }
 
+    /// Turns the idle-skip wake-list on or off. Skipping is on by default
+    /// and trace-neutral (see [`Router::is_idle`]); turning it off forces
+    /// every router to step every cycle, which the equivalence tests and
+    /// the `engine_throughput` benchmark use as the reference engine.
+    pub fn set_idle_skip(&mut self, on: bool) {
+        self.idle_skip = on;
+        if !on {
+            // Every router steps from now on; re-arm the wake flags so
+            // re-enabling later starts from a conservative state.
+            for slot in &mut self.slots {
+                slot.active = true;
+            }
+        }
+    }
+
+    /// Whether quiescent routers are currently being skipped.
+    pub fn idle_skip(&self) -> bool {
+        self.idle_skip
+    }
+
+    /// Number of routers that would step if the current cycle ran now —
+    /// the instantaneous wake-list size (all routers when idle-skip is
+    /// off).
+    pub fn awake_routers(&self) -> usize {
+        if self.idle_skip {
+            self.slots.iter().filter(|s| s.active).count()
+        } else {
+            self.slots.len()
+        }
+    }
+
     /// The mesh being simulated.
     pub fn mesh(&self) -> Mesh {
         self.mesh
@@ -243,12 +344,12 @@ impl<R: Router, S: TraceSink> Network<R, S> {
 
     /// Immutable access to a router, e.g. for FR statistics.
     pub fn router(&self, node: NodeId) -> &R {
-        &self.routers[node.index()]
+        &self.slots[node.index()].router
     }
 
     /// Iterates over all routers.
     pub fn routers(&self) -> impl Iterator<Item = &R> {
-        self.routers.iter()
+        self.slots.iter().map(|s| &s.router)
     }
 
     /// Starts/stops marking newly injected packets as measured.
@@ -274,40 +375,52 @@ impl<R: Router, S: TraceSink> Network<R, S> {
 
     /// Average number of flits queued per router — the warm-up signal.
     pub fn mean_queued_flits(&self) -> f64 {
-        let total: usize = self.routers.iter().map(|r| r.queued_flits()).sum();
-        total as f64 / self.routers.len() as f64
+        let total: usize = self.slots.iter().map(|s| s.router.queued_flits()).sum();
+        total as f64 / self.slots.len() as f64
     }
 
-    /// Stops offering new traffic (used while draining).
+    /// Stops offering new traffic (used while draining). Packets already
+    /// generated but not yet accepted by their source router stay in the
+    /// per-node backlogs and keep being offered each cycle: they were
+    /// counted by the delivery tracker at generation time, so dropping
+    /// them would make a drained network look lossy.
     pub fn stop_injection(&mut self) {
-        self.backlog.iter_mut().for_each(|q| q.clear());
         self.injection_stopped = true;
     }
 
-    /// Advances the network by one cycle.
-    pub fn cycle(&mut self) {
-        let now = self.now;
-        // Phase 1: deliver link arrivals.
-        for n in 0..self.routers.len() {
+    /// Phase 1: drain every link arrival for cycle `now` in place and
+    /// deliver it to the receiving router, waking it.
+    fn deliver_arrivals(&mut self, now: Cycle) {
+        for n in 0..self.slots.len() {
             for &port in &Port::MESH {
-                let Some(set) = self.links[n].index_mut_opt(port) else {
+                let Some(set) = self.links[n][port].as_mut() else {
                     continue;
                 };
+                if set.data.is_empty() && set.control.is_empty() && set.credit.is_empty() {
+                    continue;
+                }
                 let deliver_port = port.opposite().expect("mesh port");
                 let to = self
                     .mesh
                     .neighbor(NodeId::new(n as u16), port)
                     .expect("link implies neighbor");
                 for wire in [&mut set.data, &mut set.control, &mut set.credit] {
-                    for event in wire.take_arrivals(now) {
-                        self.routers[to.index()].receive(deliver_port, event, now);
+                    while let Some(event) = wire.pop_arrival(now) {
+                        let slot = &mut self.slots[to.index()];
+                        slot.router.receive(deliver_port, event, now);
+                        slot.active = true;
                     }
                 }
             }
         }
-        // Phase 2: offer traffic.
+    }
+
+    /// Phase 2: generate this cycle's traffic (unless stopped) and offer
+    /// each node's backlog to its router, waking routers that accept.
+    fn offer_traffic(&mut self, now: Cycle) {
         if !self.injection_stopped {
-            for packet in self.generator.tick(now) {
+            self.generator.tick_into(now, &mut self.packet_scratch);
+            for packet in self.packet_scratch.drain(..) {
                 self.tracker.on_inject(&packet, self.measuring);
                 self.sink.packet_injected(
                     now,
@@ -320,25 +433,45 @@ impl<R: Router, S: TraceSink> Network<R, S> {
                 self.backlog[packet.src.index()].push_back(packet);
             }
         }
-        for n in 0..self.routers.len() {
+        for n in 0..self.slots.len() {
             while let Some(&packet) = self.backlog[n].front() {
-                if self.routers[n].try_inject(packet, now) {
+                if self.slots[n].router.try_inject(packet, now) {
                     self.backlog[n].pop_front();
+                    self.slots[n].active = true;
                 } else {
                     break;
                 }
             }
         }
-        // Phase 3: step every router and route its outputs.
-        for n in 0..self.routers.len() {
-            self.scratch.clear();
-            self.routers[n].step(now, &mut self.scratch);
+    }
+
+    /// Phase 3, sequential form: step every awake router in node order.
+    fn step_routers(&mut self, now: Cycle) {
+        let idle_skip = self.idle_skip;
+        for slot in &mut self.slots {
+            step_slot(slot, now, idle_skip);
+        }
+    }
+
+    /// Phase 4: commit every staged output to the wires and the delivery
+    /// tracker, in node order. All cross-router effects happen here, on
+    /// one thread, whatever the step phase did — the control-error RNG
+    /// draws and the network-level trace events occur in the same order
+    /// in sequential and sharded runs.
+    fn apply_outputs(&mut self, now: Cycle) {
+        for n in 0..self.slots.len() {
+            if self.slots[n].out.sends.is_empty() && self.slots[n].out.ejections.is_empty() {
+                continue;
+            }
             let node = NodeId::new(n as u16);
-            let sends = std::mem::take(&mut self.scratch.sends);
-            for (port, event) in sends {
+            // Move the arena out so its drains don't hold a borrow of
+            // `self.slots` across the link/tracker updates; moving a
+            // `StepOutputs` moves two Vec headers, not their contents.
+            let mut out = std::mem::take(&mut self.slots[n].out);
+            for (port, event) in out.sends.drain(..) {
                 assert!(port.is_mesh(), "routers send on mesh ports only");
-                let set = self.links[n]
-                    .index_mut_opt(port)
+                let set = self.links[n][port]
+                    .as_mut()
                     .unwrap_or_else(|| panic!("send on missing link {node} {port}"));
                 let class = event.wire_class();
                 let wire = match class {
@@ -359,8 +492,7 @@ impl<R: Router, S: TraceSink> Network<R, S> {
                 wire.push_with_extra_delay(now, event, extra)
                     .expect("link bandwidth exceeded: flow-control protocol bug");
             }
-            let ejections = std::mem::take(&mut self.scratch.ejections);
-            for e in ejections {
+            for e in out.ejections.drain(..) {
                 self.sink.flit_ejected(e.at, node, &e.flit);
                 let done = self.tracker.on_eject(e.flit.packet, e.flit.seq, node, e.at);
                 if let Some(latency) = done {
@@ -368,10 +500,14 @@ impl<R: Router, S: TraceSink> Network<R, S> {
                         .packet_delivered(e.at, node, e.flit.packet, latency);
                 }
             }
+            self.slots[n].out = out;
         }
-        // Phase 4: probes.
+    }
+
+    /// Phase 5: probes sample and the clock advances.
+    fn finish_cycle(&mut self, now: Cycle) {
         if self.probe_enabled {
-            let r = &self.routers[self.probe.node.index()];
+            let r = &self.slots[self.probe.node.index()].router;
             let occ = r.occupied_data_buffers(self.probe.port);
             let cap = r.data_buffer_capacity(self.probe.port).max(1);
             self.probe_state.cycles += 1;
@@ -383,6 +519,16 @@ impl<R: Router, S: TraceSink> Network<R, S> {
         self.now = now.next();
     }
 
+    /// Advances the network by one cycle (sequential step phase).
+    pub fn cycle(&mut self) {
+        let now = self.now;
+        self.deliver_arrivals(now);
+        self.offer_traffic(now);
+        self.step_routers(now);
+        self.apply_outputs(now);
+        self.finish_cycle(now);
+    }
+
     /// Runs `n` cycles.
     pub fn run_cycles(&mut self, n: u64) {
         for _ in 0..n {
@@ -391,15 +537,37 @@ impl<R: Router, S: TraceSink> Network<R, S> {
     }
 }
 
-// A small extension so `Network::cycle` can get `Option<&mut LinkSet>`
-// out of a `PortMap<Option<LinkSet>>` without fighting the borrow checker.
-trait PortMapOptExt {
-    fn index_mut_opt(&mut self, port: Port) -> Option<&mut LinkSet>;
-}
+impl<R: Router + Send, S: TraceSink> Network<R, S> {
+    /// Advances the network by one cycle with the router-step phase
+    /// sharded over up to `threads` scoped worker threads.
+    ///
+    /// Only the step phase parallelises: routers interact exclusively
+    /// through links, and links are read (deliver) and written (apply) in
+    /// the sequential phases, so sharding cannot reorder any cross-router
+    /// effect. The per-cycle join is the determinism barrier. Produces
+    /// the same trace, delivery record and RNG trajectory as
+    /// [`Network::cycle`] for any thread count.
+    ///
+    /// Requires `R: Send` — a router traced through a
+    /// [`noc_engine::trace::SharedSink`] is not `Send`, which statically
+    /// rules out sharing one sink from concurrent step phases.
+    pub fn cycle_sharded(&mut self, threads: usize) {
+        let now = self.now;
+        self.deliver_arrivals(now);
+        self.offer_traffic(now);
+        let idle_skip = self.idle_skip;
+        noc_engine::sweep::run_parallel_mut(&mut self.slots, threads, |_, slot| {
+            step_slot(slot, now, idle_skip);
+        });
+        self.apply_outputs(now);
+        self.finish_cycle(now);
+    }
 
-impl PortMapOptExt for PortMap<Option<LinkSet>> {
-    fn index_mut_opt(&mut self, port: Port) -> Option<&mut LinkSet> {
-        self[port].as_mut()
+    /// Runs `n` cycles with the step phase sharded over `threads`.
+    pub fn run_cycles_sharded(&mut self, n: u64, threads: usize) {
+        for _ in 0..n {
+            self.cycle_sharded(threads);
+        }
     }
 }
 
@@ -495,6 +663,142 @@ mod tests {
         b.run_cycles(1_500);
         // Latency trajectories differ with overwhelming probability.
         assert_ne!(a.tracker().latency().mean(), b.tracker().latency().mean());
+    }
+
+    #[test]
+    fn idle_skip_matches_always_step() {
+        let mesh = Mesh::new(4, 4);
+        let mut skipping = fr_network(mesh, 0.2, 7);
+        let mut stepping = fr_network(mesh, 0.2, 7);
+        assert!(skipping.idle_skip());
+        stepping.set_idle_skip(false);
+        skipping.set_measuring(true);
+        stepping.set_measuring(true);
+        skipping.run_cycles(1_200);
+        stepping.run_cycles(1_200);
+        skipping.stop_injection();
+        stepping.stop_injection();
+        skipping.run_cycles(2_000);
+        stepping.run_cycles(2_000);
+        assert_eq!(
+            skipping.tracker().delivered_flits(),
+            stepping.tracker().delivered_flits()
+        );
+        assert_eq!(
+            skipping.tracker().latency().mean(),
+            stepping.tracker().latency().mean()
+        );
+        assert_eq!(skipping.tracker().in_flight(), 0);
+        assert_eq!(stepping.tracker().in_flight(), 0);
+    }
+
+    #[test]
+    fn drained_network_goes_fully_idle() {
+        let mesh = Mesh::new(4, 4);
+        let mut net = vc_network(mesh, 0.2, 3);
+        net.run_cycles(500);
+        net.stop_injection();
+        net.run_cycles(2_000);
+        assert_eq!(net.tracker().in_flight(), 0);
+        assert_eq!(
+            net.awake_routers(),
+            0,
+            "a drained network must have an empty wake list"
+        );
+    }
+
+    #[test]
+    fn sharded_step_matches_sequential() {
+        let mesh = Mesh::new(4, 4);
+        let mut seq = fr_network(mesh, 0.4, 17);
+        let mut par = fr_network(mesh, 0.4, 17);
+        seq.set_measuring(true);
+        par.set_measuring(true);
+        seq.run_cycles(1_000);
+        par.run_cycles_sharded(1_000, 4);
+        seq.stop_injection();
+        par.stop_injection();
+        seq.run_cycles(3_000);
+        par.run_cycles_sharded(3_000, 4);
+        assert_eq!(
+            seq.tracker().delivered_flits(),
+            par.tracker().delivered_flits()
+        );
+        assert_eq!(
+            seq.tracker().latency().mean(),
+            par.tracker().latency().mean()
+        );
+        assert_eq!(seq.tracker().in_flight(), 0);
+        assert_eq!(par.tracker().in_flight(), 0);
+    }
+
+    /// A router that refuses injections until a set cycle, exposing the
+    /// backlog between generation and acceptance.
+    struct Reluctant {
+        inner: VcRouter,
+        accept_from: Cycle,
+    }
+
+    impl Router for Reluctant {
+        fn node(&self) -> NodeId {
+            self.inner.node()
+        }
+        fn receive(&mut self, port: Port, event: LinkEvent, now: Cycle) {
+            self.inner.receive(port, event, now);
+        }
+        fn try_inject(&mut self, packet: noc_traffic::Packet, now: Cycle) -> bool {
+            now >= self.accept_from && self.inner.try_inject(packet, now)
+        }
+        fn step(&mut self, now: Cycle, out: &mut StepOutputs) {
+            self.inner.step(now, out);
+        }
+        fn occupied_data_buffers(&self, port: Port) -> usize {
+            self.inner.occupied_data_buffers(port)
+        }
+        fn data_buffer_capacity(&self, port: Port) -> usize {
+            self.inner.data_buffer_capacity(port)
+        }
+        fn queued_flits(&self) -> usize {
+            self.inner.queued_flits()
+        }
+        fn is_idle(&self) -> bool {
+            self.inner.is_idle()
+        }
+    }
+
+    /// Regression test: `stop_injection` used to clear the per-node
+    /// backlogs, dropping packets the tracker had already counted as
+    /// injected — the network could then never drain to zero in-flight.
+    #[test]
+    fn stop_injection_keeps_backlogged_packets() {
+        let mesh = Mesh::new(4, 4);
+        let root = Rng::from_seed(23);
+        let spec = LoadSpec::fraction_of_capacity(0.3, 5);
+        let generator = TrafficGenerator::uniform(mesh, spec, root.fork(99));
+        let mut net = Network::new(mesh, LinkTiming::fast_control(), 2, generator, |node| {
+            Reluctant {
+                inner: VcRouter::new(mesh, node, VcConfig::vc8(), root.fork(node.raw() as u64)),
+                // Nothing is accepted until after injection stops, so
+                // every generated packet sits in a backlog at stop time.
+                accept_from: Cycle::new(400),
+            }
+        });
+        net.run_cycles(300);
+        assert_eq!(
+            net.tracker().delivered_packets(),
+            0,
+            "nothing can deliver before routers accept"
+        );
+        let offered = net.tracker().in_flight() as u64;
+        assert!(offered > 10, "the generator must have offered packets");
+        net.stop_injection();
+        net.run_cycles(4_000);
+        assert_eq!(
+            net.tracker().delivered_packets(),
+            offered,
+            "backlogged packets must survive stop_injection and deliver"
+        );
+        assert_eq!(net.tracker().in_flight(), 0, "network must drain");
     }
 
     #[test]

@@ -270,6 +270,16 @@ impl TrafficGenerator {
     /// Produces the packets created network-wide during cycle `now`.
     pub fn tick(&mut self, now: Cycle) -> Vec<Packet> {
         let mut out = Vec::new();
+        self.tick_into(now, &mut out);
+        out
+    }
+
+    /// Appends the packets created network-wide during cycle `now` to
+    /// `out`, reusing the caller's buffer. The allocation-free form of
+    /// [`Self::tick`] used by the network's hot loop: at steady state a
+    /// retained scratch `Vec` reaches its high-water capacity once and
+    /// never allocates again.
+    pub fn tick_into(&mut self, now: Cycle, out: &mut Vec<Packet>) {
         for (i, src) in self.sources.iter_mut().enumerate() {
             let n = src.process.arrivals(&mut src.rng);
             for _ in 0..n {
@@ -286,7 +296,6 @@ impl TrafficGenerator {
                 self.next_id += 1;
             }
         }
-        out
     }
 }
 

@@ -518,6 +518,18 @@ impl<S: TraceSink> Router for VcRouter<S> {
             .sum();
         buffered + self.ni.fifo.len()
     }
+
+    /// Quiescent when every input VC queue and the injection FIFO are
+    /// empty. Residual `route`/`out_vc` state on a drained VC is inert:
+    /// `allocate_vcs` and `traverse_switch` act only on queued flits, and
+    /// `inject_from_ni` returns before any RNG draw when the FIFO is
+    /// empty, so `step` is a pure no-op in this state.
+    fn is_idle(&self) -> bool {
+        self.ni.fifo.is_empty()
+            && Port::ALL
+                .iter()
+                .all(|&p| self.inputs[p].iter().all(|vc| vc.queue.is_empty()))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,340 @@
+//! Differential tests for the phase-separated stepping engine.
+//!
+//! The engine refactor's contract is *trace equality*: idle-skipping and
+//! step-phase sharding are pure performance features, so a run with them
+//! on must produce an event stream bit-identical to a run with them off.
+//! This suite pins that contract across traffic patterns (uniform,
+//! transpose, hotspot), loads (low, moderate, near-saturation) and both
+//! router microarchitectures (VC baseline, flit-reservation).
+//!
+//! Two comparisons per configuration:
+//!
+//! * **idle-skip on vs. off** — fully traced (every router plus the
+//!   harness feed one shared [`VecSink`]), so any divergence down to a
+//!   single buffer allocation or switch traversal fails the test;
+//! * **sharded vs. sequential step phase** — traced at network level
+//!   (injections, ejections, deliveries). [`SharedSink`] is deliberately
+//!   not [`Send`], so routers stepped concurrently cannot share a sink;
+//!   the per-router stream is instead covered by the sequential
+//!   comparison above, and sharding only reorders *stepping*, never the
+//!   cross-router effects, which all commit in the sequential apply
+//!   phase.
+
+use frfc::engine::trace::{SharedSink, TraceEvent, VecSink};
+use frfc::engine::Rng;
+use frfc::flow::{LinkTiming, Router};
+use frfc::fr::{FrConfig, FrRouter};
+use frfc::network::Network;
+use frfc::topology::Mesh;
+use frfc::traffic::{
+    Hotspot, InjectionKind, LoadSpec, TrafficGenerator, TrafficPattern, Transpose, Uniform,
+};
+
+const MESH: (u16, u16) = (4, 4);
+const PACKET_FLITS: u32 = 5;
+
+/// A named factory producing fresh boxed copies of one traffic pattern.
+type PatternFactory = (&'static str, Box<dyn Fn() -> Box<dyn TrafficPattern>>);
+
+/// The traffic patterns the suite sweeps.
+fn patterns(mesh: Mesh) -> Vec<PatternFactory> {
+    let hotspot = mesh.node_at(1, 1);
+    vec![
+        (
+            "uniform",
+            Box::new(|| Box::new(Uniform) as Box<dyn TrafficPattern>) as _,
+        ),
+        (
+            "transpose",
+            Box::new(|| Box::new(Transpose) as Box<dyn TrafficPattern>) as _,
+        ),
+        (
+            "hotspot",
+            Box::new(move || Box::new(Hotspot::new(hotspot, 0.2)) as Box<dyn TrafficPattern>) as _,
+        ),
+    ]
+}
+
+fn generator(
+    mesh: Mesh,
+    pattern: Box<dyn TrafficPattern>,
+    load: f64,
+    root: &Rng,
+) -> TrafficGenerator {
+    TrafficGenerator::new(
+        mesh,
+        LoadSpec::fraction_of_capacity(load, PACKET_FLITS),
+        pattern,
+        InjectionKind::ConstantRate,
+        root.fork(99),
+    )
+}
+
+/// Fully traced sequential FR run; returns the complete event stream.
+fn fr_full_trace(
+    pattern: Box<dyn TrafficPattern>,
+    load: f64,
+    seed: u64,
+    idle_skip: bool,
+    cycles: u64,
+    drain: u64,
+) -> Vec<TraceEvent> {
+    let shared = SharedSink::new(VecSink::new());
+    let mesh = Mesh::new(MESH.0, MESH.1);
+    let root = Rng::from_seed(seed);
+    let cfg = FrConfig::fr6();
+    let router_sink = shared.clone();
+    let mut net = Network::with_tracer(
+        mesh,
+        cfg.timing,
+        cfg.control_lanes,
+        generator(mesh, pattern, load, &root),
+        move |node| {
+            FrRouter::with_tracer(
+                mesh,
+                node,
+                cfg,
+                root.fork(node.raw() as u64),
+                router_sink.clone(),
+            )
+        },
+        shared.clone(),
+    );
+    net.set_idle_skip(idle_skip);
+    net.run_cycles(cycles);
+    net.stop_injection();
+    net.run_cycles(drain);
+    assert_eq!(net.tracker().in_flight(), 0, "network must drain");
+    drop(net);
+    shared.into_inner().into_events()
+}
+
+/// Fully traced sequential VC run; returns the complete event stream.
+fn vc_full_trace(
+    pattern: Box<dyn TrafficPattern>,
+    load: f64,
+    seed: u64,
+    idle_skip: bool,
+    cycles: u64,
+    drain: u64,
+) -> Vec<TraceEvent> {
+    let shared = SharedSink::new(VecSink::new());
+    let mesh = Mesh::new(MESH.0, MESH.1);
+    let root = Rng::from_seed(seed);
+    let router_sink = shared.clone();
+    let mut net = Network::with_tracer(
+        mesh,
+        LinkTiming::fast_control(),
+        2,
+        generator(mesh, pattern, load, &root),
+        move |node| {
+            frfc::vc::VcRouter::with_tracer(
+                mesh,
+                node,
+                frfc::vc::VcConfig::vc8(),
+                root.fork(node.raw() as u64),
+                router_sink.clone(),
+            )
+        },
+        shared.clone(),
+    );
+    net.set_idle_skip(idle_skip);
+    net.run_cycles(cycles);
+    net.stop_injection();
+    net.run_cycles(drain);
+    assert_eq!(net.tracker().in_flight(), 0, "network must drain");
+    drop(net);
+    shared.into_inner().into_events()
+}
+
+/// Network-level trace of a run whose step phase is sharded over
+/// `threads` worker threads (untraced routers: they must be `Send`).
+fn network_trace_sharded<R: Router + Send>(
+    make: impl FnOnce(VecSink) -> Network<R, VecSink>,
+    threads: usize,
+    cycles: u64,
+    drain: u64,
+) -> Vec<TraceEvent> {
+    let mut net = make(VecSink::new());
+    if threads == 1 {
+        net.run_cycles(cycles);
+        net.stop_injection();
+        net.run_cycles(drain);
+    } else {
+        net.run_cycles_sharded(cycles, threads);
+        net.stop_injection();
+        net.run_cycles_sharded(drain, threads);
+    }
+    assert_eq!(net.tracker().in_flight(), 0, "network must drain");
+    net.tracer().events().to_vec()
+}
+
+fn fr_net(
+    pattern: Box<dyn TrafficPattern>,
+    load: f64,
+    seed: u64,
+    sink: VecSink,
+) -> Network<FrRouter, VecSink> {
+    let mesh = Mesh::new(MESH.0, MESH.1);
+    let root = Rng::from_seed(seed);
+    let cfg = FrConfig::fr6();
+    Network::with_tracer(
+        mesh,
+        cfg.timing,
+        cfg.control_lanes,
+        generator(mesh, pattern, load, &root),
+        |node| FrRouter::new(mesh, node, cfg, root.fork(node.raw() as u64)),
+        sink,
+    )
+}
+
+fn vc_net(
+    pattern: Box<dyn TrafficPattern>,
+    load: f64,
+    seed: u64,
+    sink: VecSink,
+) -> Network<frfc::vc::VcRouter, VecSink> {
+    let mesh = Mesh::new(MESH.0, MESH.1);
+    let root = Rng::from_seed(seed);
+    Network::with_tracer(
+        mesh,
+        LinkTiming::fast_control(),
+        2,
+        generator(mesh, pattern, load, &root),
+        |node| {
+            frfc::vc::VcRouter::new(
+                mesh,
+                node,
+                frfc::vc::VcConfig::vc8(),
+                root.fork(node.raw() as u64),
+            )
+        },
+        sink,
+    )
+}
+
+/// The load points swept: low (where idle-skip matters most), moderate,
+/// and near saturation (where nearly every router is always awake).
+const LOADS: [f64; 3] = [0.1, 0.4, 0.7];
+
+#[test]
+fn fr_idle_skip_preserves_full_trace() {
+    let mesh = Mesh::new(MESH.0, MESH.1);
+    for (name, make_pattern) in patterns(mesh) {
+        for (i, &load) in LOADS.iter().enumerate() {
+            let seed = 0x1000 + i as u64;
+            let skip = fr_full_trace(make_pattern(), load, seed, true, 700, 3_000);
+            let step = fr_full_trace(make_pattern(), load, seed, false, 700, 3_000);
+            assert!(!skip.is_empty(), "{name}@{load}: run produced no events");
+            assert_eq!(
+                skip, step,
+                "{name}@{load}: idle-skip changed the FR event stream"
+            );
+        }
+    }
+}
+
+#[test]
+fn vc_idle_skip_preserves_full_trace() {
+    let mesh = Mesh::new(MESH.0, MESH.1);
+    for (name, make_pattern) in patterns(mesh) {
+        for (i, &load) in LOADS.iter().enumerate() {
+            let seed = 0x2000 + i as u64;
+            let skip = vc_full_trace(make_pattern(), load, seed, true, 700, 3_000);
+            let step = vc_full_trace(make_pattern(), load, seed, false, 700, 3_000);
+            assert!(!skip.is_empty(), "{name}@{load}: run produced no events");
+            assert_eq!(
+                skip, step,
+                "{name}@{load}: idle-skip changed the VC event stream"
+            );
+        }
+    }
+}
+
+#[test]
+fn fr_sharded_step_preserves_network_trace() {
+    let mesh = Mesh::new(MESH.0, MESH.1);
+    for (name, make_pattern) in patterns(mesh) {
+        for (i, &load) in LOADS.iter().enumerate() {
+            let seed = 0x3000 + i as u64;
+            let seq =
+                network_trace_sharded(|s| fr_net(make_pattern(), load, seed, s), 1, 700, 3_000);
+            let par =
+                network_trace_sharded(|s| fr_net(make_pattern(), load, seed, s), 4, 700, 3_000);
+            assert!(!seq.is_empty(), "{name}@{load}: run produced no events");
+            assert_eq!(
+                seq, par,
+                "{name}@{load}: sharding changed the FR network trace"
+            );
+        }
+    }
+}
+
+#[test]
+fn vc_sharded_step_preserves_network_trace() {
+    let mesh = Mesh::new(MESH.0, MESH.1);
+    for (name, make_pattern) in patterns(mesh) {
+        for (i, &load) in LOADS.iter().enumerate() {
+            let seed = 0x4000 + i as u64;
+            let seq =
+                network_trace_sharded(|s| vc_net(make_pattern(), load, seed, s), 1, 700, 3_000);
+            let par =
+                network_trace_sharded(|s| vc_net(make_pattern(), load, seed, s), 4, 700, 3_000);
+            assert!(!seq.is_empty(), "{name}@{load}: run produced no events");
+            assert_eq!(
+                seq, par,
+                "{name}@{load}: sharding changed the VC network trace"
+            );
+        }
+    }
+}
+
+/// Sharding composes with idle-skipping off too: the skip flag and the
+/// thread count are independent axes, and every combination must agree.
+#[test]
+fn sharding_and_idle_skip_axes_are_independent() {
+    let mesh = Mesh::new(MESH.0, MESH.1);
+    let hotspot = mesh.node_at(1, 1);
+    let make = |skip: bool, sink: VecSink| {
+        let mut net = fr_net(Box::new(Hotspot::new(hotspot, 0.2)), 0.3, 0x5005, sink);
+        net.set_idle_skip(skip);
+        net
+    };
+    let mut traces = Vec::new();
+    for skip in [true, false] {
+        for threads in [1, 3] {
+            let t = network_trace_sharded(|s| make(skip, s), threads, 700, 3_000);
+            assert!(!t.is_empty());
+            traces.push(t);
+        }
+    }
+    for t in &traces[1..] {
+        assert_eq!(&traces[0], t, "some (skip, threads) combination diverged");
+    }
+}
+
+/// The control-error model draws its RNG in the sequential apply phase,
+/// so even a lossy control wire must not break sharded determinism.
+#[test]
+fn sharded_step_is_deterministic_under_control_errors() {
+    let run = |threads: usize| {
+        let mut net = fr_net(Box::new(Uniform), 0.3, 0x6006, VecSink::new());
+        net.set_control_error_rate(0.02, 0xBAD5EED);
+        if threads == 1 {
+            net.run_cycles(700);
+            net.stop_injection();
+            net.run_cycles(4_000);
+        } else {
+            net.run_cycles_sharded(700, threads);
+            net.stop_injection();
+            net.run_cycles_sharded(4_000, threads);
+        }
+        assert_eq!(net.tracker().in_flight(), 0);
+        assert!(net.control_retries() > 0, "2% error rate must retry");
+        (net.control_retries(), net.tracer().events().to_vec())
+    };
+    let (seq_retries, seq) = run(1);
+    let (par_retries, par) = run(4);
+    assert_eq!(seq_retries, par_retries);
+    assert_eq!(seq, par, "error-model RNG must be thread-count invariant");
+}
