@@ -3,6 +3,7 @@
 //! control with 5-flit packets under fast control.
 
 use flit_reservation::FrConfig;
+use noc_bench::report::{manifest, write_curves_json};
 use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
 use noc_flow::LinkTiming;
 use noc_network::{sweep_loads, FlowControl};
@@ -11,7 +12,9 @@ use noc_vc::VcConfig;
 
 fn main() {
     let mesh = Mesh::new(8, 8);
-    let sim = Scale::from_env().sim(seed_from_env());
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sim = scale.sim(seed);
     let loads = default_loads();
     let t = LinkTiming::fast_control();
     let configs = [
@@ -29,4 +32,6 @@ fn main() {
         curves.push(curve);
     }
     print_summary(&curves);
+    let m = manifest("fig5", scale, seed, "VC8/VC16/FR6/FR13");
+    write_curves_json(&m, &curves);
 }

@@ -3,13 +3,16 @@
 //! insensitive beyond 32 cycles.
 
 use flit_reservation::FrConfig;
+use noc_bench::report::{manifest, write_curves_json};
 use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
 use noc_network::{sweep_loads, FlowControl};
 use noc_topology::Mesh;
 
 fn main() {
     let mesh = Mesh::new(8, 8);
-    let sim = Scale::from_env().sim(seed_from_env());
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sim = scale.sim(seed);
     let loads = default_loads();
     println!("Figure 7: FR6 with scheduling horizon 16/32/64/128, 5-flit packets");
     println!("(paper: within 10% of optimum at 16; little gain beyond 32)");
@@ -22,4 +25,6 @@ fn main() {
         curves.push(curve);
     }
     print_summary(&curves);
+    let m = manifest("fig7", scale, seed, "FR6 horizon sweep");
+    write_curves_json(&m, &curves);
 }

@@ -4,6 +4,7 @@
 //! the lead time.
 
 use flit_reservation::FrConfig;
+use noc_bench::report::{manifest, write_curves_json};
 use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
 use noc_flow::LinkTiming;
 use noc_network::{sweep_loads, FlowControl};
@@ -11,7 +12,9 @@ use noc_topology::Mesh;
 
 fn main() {
     let mesh = Mesh::new(8, 8);
-    let sim = Scale::from_env().sim(seed_from_env());
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sim = scale.sim(seed);
     let loads = default_loads();
     println!("Figure 8: FR6 leading control, lead = 1/2/4 cycles, all wires 1 cycle");
     println!("(paper: throughput independent of lead; ~75% capacity)");
@@ -25,4 +28,6 @@ fn main() {
         curves.push(curve);
     }
     print_summary(&curves);
+    let m = manifest("fig8", scale, seed, "FR6 lead sweep");
+    write_curves_json(&m, &curves);
 }

@@ -1,0 +1,197 @@
+//! Renders metrics-registry JSON exports into human-readable reports:
+//! a per-router occupancy heatmap for each file plus a
+//! utilization-vs-load table across files.
+//!
+//! Usage: `metrics_report [FILE...]` — with no arguments it scans the
+//! results directory (`FRFC_RESULTS_DIR`, default `results/`) for
+//! `*.metrics.json` sidecars.
+
+use noc_bench::report::results_dir;
+use noc_metrics::Json;
+use std::path::PathBuf;
+
+/// One parsed export with the fields the report renders.
+struct Export {
+    path: PathBuf,
+    doc: Json,
+}
+
+impl Export {
+    fn counter(&self, key: &str) -> Option<u64> {
+        self.doc.get("counters")?.get(key)?.as_u64()
+    }
+
+    fn gauge(&self, key: &str) -> Option<f64> {
+        self.doc.get("gauges")?.get(key)?.as_f64()
+    }
+
+    fn manifest_str(&self, key: &str) -> &str {
+        self.doc
+            .get("manifest")
+            .and_then(|m| m.get(key))
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+    }
+
+    /// Mean buffer occupancy of router `i`, averaged over its input
+    /// ports (0..=1), from the per-port `occupancy_avg` gauges.
+    fn router_occupancy(&self, i: usize) -> Option<f64> {
+        let gauges = self.doc.get("gauges")?;
+        let prefix = format!("router.{i}.");
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (key, value) in gauges.entries()? {
+            if let Some(rest) = key.strip_prefix(&prefix) {
+                if rest.ends_with(".occupancy_avg") {
+                    sum += value.as_f64()?;
+                    n += 1;
+                }
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+fn load(path: PathBuf) -> Option<Export> {
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("skipping {}: {e}", path.display());
+            return None;
+        }
+    };
+    match Json::parse(&text) {
+        Ok(doc) => Some(Export { path, doc }),
+        Err(e) => {
+            eprintln!("skipping {}: invalid JSON: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn scan_results_dir() -> Vec<PathBuf> {
+    let dir = results_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.ends_with(".metrics.json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    paths.sort();
+    paths
+}
+
+fn print_heatmap(export: &Export) {
+    let (Some(width), Some(height)) = (
+        export.counter("net.mesh_width"),
+        export.counter("net.mesh_height"),
+    ) else {
+        println!("  (no mesh dimensions in export — heatmap skipped)");
+        return;
+    };
+    println!("  per-router mean buffer occupancy (%):");
+    for y in 0..height {
+        print!("   ");
+        for x in 0..width {
+            let i = (y * width + x) as usize;
+            match export.router_occupancy(i) {
+                Some(occ) => print!(" {:>3.0}", occ * 100.0),
+                None => print!("   ."),
+            }
+        }
+        println!();
+    }
+}
+
+fn print_file_report(export: &Export) {
+    println!("\n=== {} ===", export.path.display());
+    println!(
+        "  {} | config {} | scale {} | seed {} | git {} ",
+        export.manifest_str("experiment"),
+        export.manifest_str("config"),
+        export.manifest_str("scale"),
+        export
+            .doc
+            .get("manifest")
+            .and_then(|m| m.get("seed"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        export.manifest_str("git_rev"),
+    );
+    if let (Some(cycles), Some(routers)) =
+        (export.counter("net.cycles"), export.counter("net.routers"))
+    {
+        let idle_skip = export.gauge("net.idle_skip_fraction").unwrap_or(0.0);
+        println!(
+            "  {cycles} cycles, {routers} routers, idle-skip {:.1}%",
+            idle_skip * 100.0
+        );
+    }
+    print_heatmap(export);
+    let hits = export.counter("total.reservation_hits").unwrap_or(0);
+    let misses = export.counter("total.reservation_misses").unwrap_or(0);
+    let zt = export
+        .counter("total.zero_turnaround_departures")
+        .unwrap_or(0);
+    if hits + misses + zt > 0 {
+        println!("  reservations: {hits} hits, {misses} misses, {zt} zero-turnaround departures");
+    }
+}
+
+fn print_load_table(exports: &[Export]) {
+    println!(
+        "\n{:<28} {:>8} {:>9} {:>9} {:>10} {:>10} {:>10}",
+        "file", "offered", "accepted", "data-util", "ctrl-util", "res-hits", "zero-turn"
+    );
+    for e in exports {
+        let name = e
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .trim_end_matches(".metrics.json");
+        let pct =
+            |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{:.1}%", v * 100.0));
+        let cnt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+        println!(
+            "{name:<28} {:>8} {:>9} {:>9} {:>10} {:>10} {:>10}",
+            pct(e.gauge("run.offered_fraction")),
+            pct(e.gauge("run.accepted_fraction")),
+            pct(e.gauge("net.mean_data_link_utilization")),
+            pct(e.gauge("net.mean_control_link_utilization")),
+            cnt(e.counter("total.reservation_hits")),
+            cnt(e.counter("total.zero_turnaround_departures")),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let paths = if args.is_empty() {
+        scan_results_dir()
+    } else {
+        args
+    };
+    if paths.is_empty() {
+        println!(
+            "no *.metrics.json exports found in {} — run a bin with metrics \
+             enabled first (e.g. `smoke --metrics`)",
+            results_dir().display()
+        );
+        return;
+    }
+    let exports: Vec<Export> = paths.into_iter().filter_map(load).collect();
+    for export in &exports {
+        print_file_report(export);
+    }
+    if !exports.is_empty() {
+        print_load_table(&exports);
+    }
+}

@@ -2,10 +2,17 @@
 //! with 21-flit packets, the FR6 buffer pool of a mid-mesh router is full
 //! ~40% of the time, while the VC baseline saturates with its pool full
 //! less than 5% of the time.
+//!
+//! Runs metered and reads the mid-mesh West-input pool statistics out of
+//! the metrics registry (`router.{n}.west.occupancy_avg` /
+//! `.full_fraction`), writing one `*.metrics.json` sidecar per
+//! configuration plus a row-table sidecar with the printed numbers.
 
 use flit_reservation::FrConfig;
+use noc_bench::report::{manifest, write_metrics_json, write_rows_json};
 use noc_bench::{seed_from_env, Scale};
 use noc_flow::LinkTiming;
+use noc_metrics::Json;
 use noc_network::FlowControl;
 use noc_topology::Mesh;
 use noc_traffic::LoadSpec;
@@ -13,7 +20,14 @@ use noc_vc::VcConfig;
 
 fn main() {
     let mesh = Mesh::new(8, 8);
-    let sim = Scale::from_env().sim(seed_from_env());
+    let scale = Scale::from_env();
+    let seed = seed_from_env();
+    let sim = scale.sim(seed);
+    // The network probes the mesh-centre router's West input; query the
+    // same pool from the registry.
+    let probe_router = (mesh.height() / 2) * mesh.width() + mesh.width() / 2;
+    let occ_key = format!("router.{probe_router}.west.occupancy_avg");
+    let full_key = format!("router.{probe_router}.west.full_fraction");
     println!("Section 4.2 probe: mid-mesh buffer pool occupancy near saturation (21-flit packets)");
     println!("(paper: FR6 pool full ~40% of the time; VC saturates with pool full <5%)");
     println!(
@@ -32,16 +46,48 @@ fn main() {
             0.6,
         ),
     ];
+    let mut rows = Vec::new();
     for (fc, load) in &cases {
         let spec = LoadSpec::fraction_of_capacity(*load, 21);
-        let r = fc.run(mesh, spec, &sim);
+        let (r, registry) = fc.run_metered(mesh, spec, &sim, 64);
+        // The registry gauges cover the whole run (warm-up included);
+        // the probe counters cover the measurement window only. Both
+        // describe the same pool.
+        let full_fraction = registry.gauge(&full_key).unwrap_or(0.0);
+        let mean_occupancy = registry.gauge(&occ_key).unwrap_or(0.0);
         println!(
             "{:>8} {:>9.0}% {:>11.1}% {:>11.1}% {:>11.0}c",
             fc.label(),
             load * 100.0,
-            r.probe_full_fraction * 100.0,
-            r.probe_mean_occupancy * 100.0,
+            full_fraction * 100.0,
+            mean_occupancy * 100.0,
             r.mean_latency()
         );
+        let m = manifest(
+            &format!("occupancy_{}", fc.label().to_lowercase()),
+            scale,
+            seed,
+            &fc.label(),
+        );
+        write_metrics_json(&m, &registry);
+        rows.push((
+            fc.label(),
+            vec![
+                ("offered".into(), Json::Num(*load)),
+                ("full_fraction".into(), Json::Num(full_fraction)),
+                ("mean_occupancy".into(), Json::Num(mean_occupancy)),
+                ("mean_latency".into(), Json::Num(r.mean_latency())),
+                (
+                    "probe_full_fraction".into(),
+                    Json::Num(r.probe_full_fraction),
+                ),
+                (
+                    "probe_mean_occupancy".into(),
+                    Json::Num(r.probe_mean_occupancy),
+                ),
+            ],
+        ));
     }
+    let m = manifest("occupancy", scale, seed, "FR6/VC8/VC32");
+    write_rows_json(&m, &rows);
 }

@@ -1,17 +1,27 @@
 //! Quick health check: base latencies and knee positions for the four
 //! headline configurations (internal validation harness).
+//!
+//! Flags:
+//!
+//! * `--quick` — a much smaller sample so CI finishes in seconds;
+//! * `--metrics` — additionally run metered VC8/FR6 points, write
+//!   `*.metrics.json` sidecars, then parse them back and validate the
+//!   export contract (schema version, manifest keys, nonzero FR
+//!   reservation hits, sane link utilization, same-seed determinism).
+//!   Any violation panics, failing the process loudly.
 
 use flit_reservation::FrConfig;
+use noc_bench::report::{manifest, write_metrics_json};
+use noc_bench::{seed_from_env, Scale};
 use noc_flow::LinkTiming;
-use noc_network::{FlowControl, SimConfig};
+use noc_metrics::{strip_nondeterministic, Json, RunManifest, SCHEMA_VERSION};
+use noc_network::{FlowControl, RunResult, SimConfig};
 use noc_topology::Mesh;
 use noc_traffic::LoadSpec;
 use noc_vc::VcConfig;
 
-fn main() {
+fn health_check(sim: &SimConfig, loads: &[f64], lead_loads: &[f64]) {
     let mesh = Mesh::new(8, 8);
-    let mut sim = SimConfig::quick(7);
-    sim.sample_packets = 1500;
     let fast = LinkTiming::fast_control();
     let lead = LinkTiming::leading_control(1);
     println!("fast control, 5-flit (paper base: VC 32, FR 27):");
@@ -22,8 +32,8 @@ fn main() {
         ("FR13", FlowControl::FlitReservation(FrConfig::fr13())),
     ] {
         print!("{name}:");
-        for frac in [0.05, 0.5, 0.63, 0.70, 0.77, 0.85] {
-            let r = fc.run(mesh, LoadSpec::fraction_of_capacity(frac, 5), &sim);
+        for &frac in loads {
+            let r = fc.run(mesh, LoadSpec::fraction_of_capacity(frac, 5), sim);
             if r.completed {
                 print!("  {:.0}%:{:.0}", frac * 100.0, r.mean_latency());
             } else {
@@ -44,8 +54,8 @@ fn main() {
         ),
     ] {
         print!("{name}:");
-        for frac in [0.05, 0.5, 0.65, 0.75] {
-            let r = fc.run(mesh, LoadSpec::fraction_of_capacity(frac, 5), &sim);
+        for &frac in lead_loads {
+            let r = fc.run(mesh, LoadSpec::fraction_of_capacity(frac, 5), sim);
             if r.completed {
                 print!("  {:.0}%:{:.0}", frac * 100.0, r.mean_latency());
             } else {
@@ -53,5 +63,205 @@ fn main() {
             }
         }
         println!();
+    }
+}
+
+/// Asserts two `RunResult`s from the same seed are identical — the
+/// metered run must not perturb the simulation in any way.
+fn assert_zero_perturbation(plain: &RunResult, metered: &RunResult, label: &str) {
+    assert_eq!(
+        plain.delivered, metered.delivered,
+        "{label}: metered run delivered a different packet count"
+    );
+    assert_eq!(
+        plain.end_cycle, metered.end_cycle,
+        "{label}: metered run ended on a different cycle"
+    );
+    assert_eq!(
+        plain.mean_latency().to_bits(),
+        metered.mean_latency().to_bits(),
+        "{label}: metered run changed the measured latency"
+    );
+    assert_eq!(
+        plain.accepted_fraction.to_bits(),
+        metered.accepted_fraction.to_bits(),
+        "{label}: metered run changed the accepted throughput"
+    );
+}
+
+/// Parses a written sidecar back and checks the export contract.
+fn validate_export(path: &std::path::Path, config: &str, offered: f64) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read back {}: {e}", path.display()));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| panic!("{} is not valid JSON: {e}", path.display()));
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(SCHEMA_VERSION),
+        "{}: wrong or missing schema_version",
+        path.display()
+    );
+    let m = doc.get("manifest").expect("export has a manifest");
+    for key in [
+        "experiment",
+        "seed",
+        "scale",
+        "config",
+        "git_rev",
+        "toolchain",
+        "wall_ms",
+    ] {
+        assert!(
+            m.get(key).is_some(),
+            "{}: manifest missing key {key}",
+            path.display()
+        );
+    }
+    assert_eq!(m.get("config").and_then(Json::as_str), Some(config));
+    let counters = doc.get("counters").expect("export has counters");
+    let gauges = doc.get("gauges").expect("export has gauges");
+    assert!(
+        counters
+            .get("net.cycles")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0,
+        "{}: no cycles recorded",
+        path.display()
+    );
+    // Data links must have carried flits, and mean utilization must be a
+    // sane fraction consistent with a loaded network: nonzero, below 1,
+    // and not wildly above the offered load.
+    let data_util = gauges
+        .get("net.mean_data_link_utilization")
+        .and_then(Json::as_f64)
+        .expect("data-link utilization gauge");
+    assert!(
+        data_util > 0.0 && data_util < 1.0,
+        "{}: implausible data-link utilization {data_util}",
+        path.display()
+    );
+    assert!(
+        data_util < offered * 2.0 + 0.05,
+        "{}: data-link utilization {data_util} inconsistent with offered load {offered}",
+        path.display()
+    );
+    if config.starts_with("FR") {
+        let hits = counters
+            .get("total.reservation_hits")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        assert!(
+            hits > 0,
+            "{}: FR run recorded no reservation-table hits",
+            path.display()
+        );
+        assert!(
+            counters
+                .get("total.control_flits_sent")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0,
+            "{}: FR run sent no control flits",
+            path.display()
+        );
+    }
+    let run_offered = gauges
+        .get("run.offered_fraction")
+        .and_then(Json::as_f64)
+        .expect("run.offered_fraction gauge");
+    assert!(
+        (run_offered - offered).abs() < 1e-9,
+        "{}: run.offered_fraction {run_offered} != {offered}",
+        path.display()
+    );
+    doc
+}
+
+fn metrics_check(scale: Scale, seed: u64, sim: &SimConfig) {
+    let mesh = Mesh::new(8, 8);
+    let offered = 0.5;
+    let load = LoadSpec::fraction_of_capacity(offered, 5);
+    println!("\nmetrics validation (offered {:.0}%):", offered * 100.0);
+    for fc in [
+        FlowControl::VirtualChannel(VcConfig::vc8(), LinkTiming::fast_control()),
+        FlowControl::FlitReservation(FrConfig::fr6()),
+    ] {
+        let label = fc.label();
+        // Zero perturbation: plain and metered runs must agree exactly.
+        let plain = fc.run(mesh, load, sim);
+        let (metered, registry) = fc.run_metered(mesh, load, sim, 64);
+        assert_zero_perturbation(&plain, &metered, &label);
+
+        // Export, parse back, validate the contract.
+        let m = manifest(
+            &format!("smoke_{}", label.to_lowercase()),
+            scale,
+            seed,
+            &label,
+        );
+        let path = write_metrics_json(&m, &registry);
+        let doc = validate_export(&path, &label, offered);
+
+        // Same-seed determinism: a second metered run must export
+        // byte-identical JSON once wall-clock data is stripped.
+        let (_, registry2) = fc.run_metered(mesh, load, sim, 64);
+        let m2 = RunManifest::new(m.experiment.clone(), seed, scale.name(), label.clone());
+        let mut doc2 = registry2.to_json(&m2);
+        let mut doc1 = doc;
+        strip_nondeterministic(&mut doc1);
+        strip_nondeterministic(&mut doc2);
+        assert_eq!(
+            doc1.render(),
+            doc2.render(),
+            "{label}: same-seed metered runs exported different metrics"
+        );
+        println!(
+            "  {label}: zero-perturbation ok, schema ok, determinism ok ({})",
+            path.display()
+        );
+    }
+    println!("metrics validation passed");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let metrics = args.iter().any(|a| a == "--metrics");
+    if let Some(unknown) = args.iter().find(|a| *a != "--quick" && *a != "--metrics") {
+        eprintln!("unknown flag {unknown}; usage: smoke [--quick] [--metrics]");
+        std::process::exit(2);
+    }
+
+    let seed = seed_from_env();
+    let scale = if quick {
+        Scale::Tiny
+    } else {
+        Scale::from_env()
+    };
+    let mut sim = SimConfig::quick(7);
+    if quick {
+        sim = Scale::Tiny.sim(7);
+        sim.sample_packets = 400;
+    } else {
+        sim.sample_packets = 1500;
+    }
+
+    if quick {
+        health_check(&sim, &[0.05, 0.5, 0.7], &[0.05, 0.5]);
+    } else {
+        health_check(
+            &sim,
+            &[0.05, 0.5, 0.63, 0.70, 0.77, 0.85],
+            &[0.05, 0.5, 0.65, 0.75],
+        );
+    }
+
+    if metrics {
+        let mut msim = scale.sim(seed);
+        if quick {
+            msim.sample_packets = msim.sample_packets.min(600);
+        }
+        metrics_check(scale, seed, &msim);
     }
 }

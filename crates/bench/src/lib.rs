@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod report;
 
 use noc_engine::warmup::WarmupConfig;
 use noc_network::{Curve, SimConfig};
@@ -42,6 +43,15 @@ impl Scale {
             Ok("paper") => Scale::Paper,
             Ok("quick") | Err(_) => Scale::Quick,
             Ok(other) => panic!("FRFC_SCALE must be tiny|quick|paper, got {other}"),
+        }
+    }
+
+    /// The scale's name as spelled in `FRFC_SCALE` and run manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
         }
     }
 
@@ -82,12 +92,18 @@ pub fn default_loads() -> Vec<f64> {
     ]
 }
 
-/// Prints one curve in the fixed-width format shared by all figures.
+/// Formats an optional cycle quantile as a fixed-width cell.
+fn quantile_cell(q: Option<u64>) -> String {
+    q.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+/// Prints one curve in the fixed-width format shared by all figures,
+/// including the tail-latency percentiles of the sample.
 pub fn print_curve(curve: &Curve) {
     println!("\n{}", curve.label);
     println!(
-        "{:>10} {:>12} {:>10} {:>10} {:>10}",
-        "offered", "latency", "ci95", "accepted", "status"
+        "{:>10} {:>12} {:>10} {:>6} {:>6} {:>6} {:>10} {:>10}",
+        "offered", "latency", "ci95", "p50", "p95", "p99", "accepted", "status"
     );
     for p in &curve.points {
         let status = if p.result.completed {
@@ -101,27 +117,53 @@ pub fn print_curve(curve: &Curve) {
             "-".to_string()
         };
         println!(
-            "{:>9.0}% {:>12} {:>10.2} {:>9.1}% {:>10}",
+            "{:>9.0}% {:>12} {:>10.2} {:>6} {:>6} {:>6} {:>9.1}% {:>10}",
             p.offered * 100.0,
             lat,
             p.result.latency.ci95_half_width(),
+            quantile_cell(p.result.p50_latency),
+            quantile_cell(p.result.p95_latency),
+            quantile_cell(p.result.p99_latency),
             p.result.accepted_fraction * 100.0,
             status
         );
     }
 }
 
-/// Prints a one-line per-curve summary: base latency and saturation
-/// throughput under a `3 × base` latency knee criterion.
+/// Prints a one-line per-curve summary: base latency, saturation
+/// throughput under a `3 × base` latency knee criterion, and the tail
+/// latencies (p50/p95/p99) at the highest completed load.
 pub fn print_summary(curves: &[Curve]) {
     println!(
-        "\n{:>8} {:>14} {:>22}",
-        "config", "base latency", "saturation throughput"
+        "\n{:>8} {:>14} {:>22} {:>20}",
+        "config", "base latency", "saturation throughput", "tail p50/p95/p99"
     );
     for c in curves {
         let base = c.base_latency();
         let sat = c.saturation_throughput(base * 3.0);
-        println!("{:>8} {:>13.1}c {:>21.0}%", c.label, base, sat * 100.0);
+        let tail = c
+            .points
+            .iter()
+            .filter(|p| p.result.completed)
+            .max_by(|a, b| a.offered.total_cmp(&b.offered))
+            .map_or_else(
+                || "-".to_string(),
+                |p| {
+                    format!(
+                        "{}/{}/{}",
+                        quantile_cell(p.result.p50_latency),
+                        quantile_cell(p.result.p95_latency),
+                        quantile_cell(p.result.p99_latency)
+                    )
+                },
+            );
+        println!(
+            "{:>8} {:>13.1}c {:>21.0}% {:>20}",
+            c.label,
+            base,
+            sat * 100.0,
+            tail
+        );
     }
 }
 

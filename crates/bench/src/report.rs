@@ -1,0 +1,205 @@
+//! JSON sidecar writing shared by the experiment bins.
+//!
+//! Every bin that prints a table or figure can also drop a
+//! machine-readable document into the results directory:
+//!
+//! * `<experiment>.json` — the printed curves/rows (offered load, mean
+//!   latency, CI, percentiles, accepted throughput) plus a
+//!   [`RunManifest`];
+//! * `<experiment>.metrics.json` — a full [`MetricsRegistry`] export
+//!   when the bin ran metered.
+//!
+//! The directory defaults to `results/` and can be redirected with the
+//! `FRFC_RESULTS_DIR` environment variable (used by CI and tests to
+//! write into a temp dir).
+
+use crate::Scale;
+use noc_metrics::{write_json_file, Json, MetricsRegistry, RunManifest, SCHEMA_VERSION};
+use noc_network::Curve;
+use std::path::PathBuf;
+
+/// The directory sidecars are written to (`FRFC_RESULTS_DIR`, default
+/// `results`). Created if missing.
+///
+/// # Panics
+///
+/// Panics when the directory cannot be created — sidecars are part of
+/// the experiment contract, so failing silently would hide data loss.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("FRFC_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| panic!("cannot create results dir {}: {e}", dir.display()));
+    dir
+}
+
+/// Builds the manifest for an experiment bin from the environment-derived
+/// scale and seed, with `config` labelling the swept configurations.
+pub fn manifest(experiment: &str, scale: Scale, seed: u64, config: &str) -> RunManifest {
+    RunManifest::new(experiment, seed, scale.name(), config)
+}
+
+/// Renders a set of latency-throughput curves as a JSON document:
+/// schema version, manifest, then one entry per curve with the full
+/// per-point measurement record.
+pub fn curves_to_json(manifest: &RunManifest, curves: &[Curve]) -> Json {
+    let curves_json = curves
+        .iter()
+        .map(|c| {
+            let points = c
+                .points
+                .iter()
+                .map(|p| {
+                    let mut fields = vec![
+                        ("offered".into(), Json::Num(p.offered)),
+                        ("accepted".into(), Json::Num(p.result.accepted_fraction)),
+                        ("completed".into(), Json::Bool(p.result.completed)),
+                        ("delivered".into(), Json::Num(p.result.delivered as f64)),
+                    ];
+                    if p.result.completed {
+                        fields.push(("mean_latency".into(), Json::Num(p.result.mean_latency())));
+                        fields.push((
+                            "latency_ci95".into(),
+                            Json::Num(p.result.latency.ci95_half_width()),
+                        ));
+                    }
+                    for (key, q) in [
+                        ("p50_latency", p.result.p50_latency),
+                        ("p95_latency", p.result.p95_latency),
+                        ("p99_latency", p.result.p99_latency),
+                    ] {
+                        if let Some(v) = q {
+                            fields.push((key.into(), Json::Num(v as f64)));
+                        }
+                    }
+                    Json::Obj(fields)
+                })
+                .collect();
+            Json::Obj(vec![
+                ("label".into(), Json::str(&c.label)),
+                ("points".into(), Json::Arr(points)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+        ("manifest".into(), manifest.to_json()),
+        ("curves".into(), Json::Arr(curves_json)),
+    ])
+}
+
+/// Writes the curves sidecar to `results/<experiment>.json` and returns
+/// the path. Failures print a warning rather than aborting the bin — the
+/// text output already happened and remains valid.
+pub fn write_curves_json(manifest: &RunManifest, curves: &[Curve]) -> PathBuf {
+    let path = results_dir().join(format!("{}.json", manifest.experiment));
+    let doc = curves_to_json(manifest, curves);
+    match write_json_file(&path, &doc) {
+        Ok(()) => println!("\n[sidecar] wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    path
+}
+
+/// Writes a table-style sidecar (`results/<experiment>.json`) holding
+/// named rows of key/value cells instead of curves.
+pub fn write_rows_json(manifest: &RunManifest, rows: &[(String, Vec<(String, Json)>)]) -> PathBuf {
+    let rows_json = rows
+        .iter()
+        .map(|(name, cells)| {
+            let mut fields = vec![("name".into(), Json::str(name))];
+            fields.extend(cells.iter().cloned());
+            Json::Obj(fields)
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
+        ("manifest".into(), manifest.to_json()),
+        ("rows".into(), Json::Arr(rows_json)),
+    ]);
+    let path = results_dir().join(format!("{}.json", manifest.experiment));
+    match write_json_file(&path, &doc) {
+        Ok(()) => println!("\n[sidecar] wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    path
+}
+
+/// Writes a full metrics-registry export to
+/// `results/<experiment>.metrics.json` and returns the path.
+pub fn write_metrics_json(manifest: &RunManifest, registry: &MetricsRegistry) -> PathBuf {
+    let path = results_dir().join(format!("{}.metrics.json", manifest.experiment));
+    let doc = registry.to_json(manifest);
+    match write_json_file(&path, &doc) {
+        Ok(()) => println!("[sidecar] wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_engine::stats::RunningStats;
+    use noc_network::{LoadPoint, RunResult};
+
+    fn fake_result(completed: bool) -> RunResult {
+        let mut latency = RunningStats::new();
+        latency.record(20.0);
+        latency.record(30.0);
+        RunResult {
+            offered_fraction: 0.5,
+            packet_length: 5,
+            latency,
+            accepted_flits_per_node_cycle: 0.2,
+            accepted_fraction: 0.5,
+            completed,
+            measure_start: 1000,
+            end_cycle: 5000,
+            probe_full_fraction: 0.0,
+            probe_mean_occupancy: 0.0,
+            delivered: 100,
+            p50_latency: Some(24),
+            p95_latency: Some(40),
+            p99_latency: None,
+        }
+    }
+
+    #[test]
+    fn curves_json_contains_schema_and_points() {
+        let m = RunManifest::new("unit", 1, "tiny", "FR6");
+        let curve = Curve {
+            label: "FR6".into(),
+            points: vec![
+                LoadPoint {
+                    offered: 0.5,
+                    result: fake_result(true),
+                },
+                LoadPoint {
+                    offered: 0.9,
+                    result: fake_result(false),
+                },
+            ],
+        };
+        let doc = curves_to_json(&m, &[curve]);
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        let curves = doc.get("curves").and_then(Json::as_array).expect("curves");
+        let points = curves[0]
+            .get("points")
+            .and_then(Json::as_array)
+            .expect("points");
+        assert_eq!(points.len(), 2);
+        // Completed point carries the mean; saturated one omits it.
+        assert!(points[0].get("mean_latency").is_some());
+        assert!(points[1].get("mean_latency").is_none());
+        assert_eq!(
+            points[0].get("p95_latency").and_then(Json::as_u64),
+            Some(40)
+        );
+        assert!(points[0].get("p99_latency").is_none());
+    }
+}

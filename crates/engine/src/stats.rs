@@ -507,6 +507,28 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_boundaries_with_all_mass_in_overflow() {
+        // When every sample overflows, even the extreme quantiles have no
+        // in-range answer: q=0 and q=1 must return None, not a bucket edge.
+        let mut h = Histogram::new(4);
+        for _ in 0..3 {
+            h.record(99);
+        }
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn histogram_quantile_boundaries_single_sample() {
+        let mut h = Histogram::new(10);
+        h.record(7);
+        assert_eq!(h.quantile(0.0), Some(7));
+        assert_eq!(h.quantile(1.0), Some(7));
+    }
+
+    #[test]
     fn histogram_iter_skips_empty() {
         let mut h = Histogram::new(5);
         h.record(2);
@@ -531,6 +553,24 @@ mod tests {
         tw.set(Cycle::new(10), 2.0);
         tw.reset(Cycle::new(10));
         assert!((tw.average(Cycle::new(20)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_average_across_reset_is_multi_segment() {
+        // Warm-up segment: 0.0 over [0,10), then 4.0 over [10,20).
+        let mut tw = TimeWeighted::new(Cycle::ZERO, 0.0);
+        tw.set(Cycle::new(10), 4.0);
+        assert!((tw.average(Cycle::new(20)) - 2.0).abs() < 1e-12);
+
+        // Reset at the measurement boundary: history is dropped, but the
+        // held value (4.0) carries over as the first measured segment.
+        tw.reset(Cycle::new(20));
+        assert_eq!(tw.current(), 4.0);
+        tw.set(Cycle::new(25), 8.0);
+        tw.set(Cycle::new(30), 0.0);
+        // [20,25): 4.0, [25,30): 8.0 -> average over [20,30) = 6.0, with no
+        // contamination from the pre-reset 0.0 segment.
+        assert!((tw.average(Cycle::new(30)) - 6.0).abs() < 1e-12);
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub struct OutputReservationTable {
     /// unbounded, used for the ejection channel whose "far end" is the
     /// reassembly buffer space).
     capacity: Option<i64>,
+    /// Credits whose release cycle lies at or beyond the window's far
+    /// edge (possible when a synchronization margin pushes the release
+    /// past `base + window`); held back and applied by
+    /// [`Self::advance_to`] once the window reaches them. Until then the
+    /// buffer conservatively counts as occupied.
+    pending_credits: Vec<Cycle>,
 }
 
 impl OutputReservationTable {
@@ -78,6 +84,7 @@ impl OutputReservationTable {
             free: vec![initial; window],
             tail_free: initial,
             capacity: capacity.map(|c| c as i64),
+            pending_credits: Vec::new(),
         }
     }
 
@@ -118,6 +125,19 @@ impl OutputReservationTable {
             self.free[s] = self.tail_free;
         }
         self.base = now;
+        // Deferred credits whose release cycle the window now reaches.
+        if !self.pending_credits.is_empty() {
+            let end = self.base + self.window as u64;
+            let mut i = 0;
+            while i < self.pending_credits.len() {
+                if self.pending_credits[i] < end {
+                    let from = self.pending_credits.swap_remove(i);
+                    self.apply_credit(from);
+                } else {
+                    i += 1;
+                }
+            }
+        }
     }
 
     /// `true` if the channel is already reserved for cycle `t`.
@@ -260,7 +280,10 @@ impl OutputReservationTable {
     }
 
     /// Applies an advance credit: the downstream buffer frees again at
-    /// `frees_at` (clamped to `now` if the credit arrives late).
+    /// `frees_at` (clamped to `now` if the credit arrives late). A
+    /// release cycle at or beyond the window's far edge — reachable when
+    /// a synchronization margin extends the hold — is deferred until the
+    /// window slides up to it.
     ///
     /// # Panics
     ///
@@ -268,10 +291,17 @@ impl OutputReservationTable {
     /// capacity.
     pub fn credit(&mut self, frees_at: Cycle, now: Cycle) {
         let from = frees_at.max(now).max(self.base);
-        assert!(
-            self.in_window(from),
-            "credit start {from} beyond window at {now}"
-        );
+        if !self.in_window(from) {
+            self.pending_credits.push(from);
+            return;
+        }
+        self.apply_credit(from);
+    }
+
+    /// Restores one free buffer from `from` (in or before the window)
+    /// through the window's end and the steady-state tail.
+    fn apply_credit(&mut self, from: Cycle) {
+        let from = from.max(self.base);
         let end = self.base + self.window as u64;
         let mut t = from;
         while t < end {
@@ -295,6 +325,37 @@ mod tests {
 
     fn table() -> OutputReservationTable {
         OutputReservationTable::new(32, Some(6), 4)
+    }
+
+    #[test]
+    fn credit_beyond_window_defers_until_window_reaches_it() {
+        let mut t = table();
+        let now = Cycle::ZERO;
+        t.advance_to(now);
+        // Drain the pool: 6 reservations consume every downstream buffer.
+        for i in 1..=6u64 {
+            let t_d = t
+                .find_departure(Cycle::ZERO, now, |_| true)
+                .expect("buffer available");
+            assert_eq!(t_d, Cycle::new(i));
+            t.reserve(t_d);
+        }
+        assert_eq!(t.free_at(Cycle::new(20)), 0);
+        assert!(t.find_departure(Cycle::ZERO, now, |_| true).is_none());
+        // A release cycle past the window's far edge (window = 32+4+2)
+        // must not apply yet — the buffer stays conservatively held.
+        let far = Cycle::new(60);
+        t.credit(far, now);
+        assert_eq!(t.free_at(Cycle::new(20)), 0);
+        assert!(t.find_departure(Cycle::ZERO, now, |_| true).is_none());
+        // Once the window slides up to contain it, the credit lands.
+        let later = Cycle::new(30);
+        t.advance_to(later);
+        assert_eq!(t.free_at(far), 1);
+        assert_eq!(
+            t.find_departure(Cycle::new(55), later, |_| true),
+            Some(Cycle::new(56))
+        );
     }
 
     #[test]

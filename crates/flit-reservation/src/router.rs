@@ -84,6 +84,13 @@ pub struct FrStats {
     pub parked_arrivals: u64,
     /// Data flits that crossed the router in their arrival cycle.
     pub bypassed_flits: u64,
+    /// Scheduling attempts that found no feasible departure slot and
+    /// stalled their control flit for at least a cycle (table misses).
+    pub reservation_misses: u64,
+    /// Control flits forwarded onto outgoing control links.
+    pub control_flits_sent: u64,
+    /// Data flits forwarded onto outgoing data links (excludes ejections).
+    pub data_flits_sent: u64,
 }
 
 /// A flit-reservation flow-control router.
@@ -286,6 +293,7 @@ impl<S: TraceSink> FrRouter<S> {
                     if out_port == Port::Local {
                         out.eject(flit, now);
                     } else {
+                        self.stats.data_flits_sent += 1;
                         self.sink.data_sent(now, self.node, out_port, &flit);
                         out.send(out_port, LinkEvent::Data(flit));
                     }
@@ -363,7 +371,10 @@ impl<S: TraceSink> FrRouter<S> {
                         booked.push(t_d);
                         remaining -= 1;
                     }
-                    None => return false,
+                    None => {
+                        self.stats.reservation_misses += 1;
+                        return false;
+                    }
                 }
             }
         }
@@ -415,7 +426,11 @@ impl<S: TraceSink> FrRouter<S> {
             );
             let t_d = match found {
                 Some(t) => t,
-                None => return false, // stall; already-booked flits stand
+                None => {
+                    // Stall; already-booked flits stand.
+                    self.stats.reservation_misses += 1;
+                    return false;
+                }
             };
             self.output_tables[out_port].reserve(t_d);
             self.input_tables[in_port].apply_reservation(t_a, t_d, out_port, now);
@@ -546,6 +561,7 @@ impl<S: TraceSink> FrRouter<S> {
         } else {
             self.control_credits[out_port][out_vc as usize] -= 1;
             flit.vc = out_vc;
+            self.stats.control_flits_sent += 1;
             self.sink
                 .control_sent(now, self.node, out_port, out_vc, flit.packet);
             out.send(out_port, LinkEvent::Control(flit));
@@ -569,6 +585,7 @@ impl<S: TraceSink> FrRouter<S> {
                 if out_port == Port::Local {
                     out.eject(flit, now);
                 } else {
+                    self.stats.data_flits_sent += 1;
                     self.sink.data_sent(now, self.node, out_port, &flit);
                     out.send(out_port, LinkEvent::Data(flit));
                 }
@@ -819,6 +836,21 @@ impl<S: TraceSink> Router for FrRouter<S> {
                 self.input_tables[p].is_quiet()
                     && self.control_inputs[p].iter().all(|vc| vc.queue.is_empty())
             })
+    }
+
+    fn collect_counters(&self, out: &mut noc_flow::RouterCounters) {
+        out.reservation_hits = self.stats.scheduled_flits;
+        out.reservation_misses = self.stats.reservation_misses;
+        out.control_flits_sent = self.stats.control_flits_sent;
+        out.zero_turnaround_departures = self.stats.bypassed_flits;
+        out.parked_arrivals = self.stats.parked_arrivals;
+        out.data_flits_sent = self.stats.data_flits_sent;
+        out.bookings_in_flight = Port::ALL
+            .iter()
+            .map(|&p| {
+                (self.input_tables[p].pending_departures() + self.input_tables[p].parked()) as u64
+            })
+            .sum();
     }
 }
 

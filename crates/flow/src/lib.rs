@@ -33,5 +33,5 @@ pub use buffer::{BufferId, BufferPool};
 pub use emit::TraceEmit;
 pub use flit::{ControlFlit, ControlKind, DataFlit, FlitType, LedFlit, VcTag};
 pub use link::{BandwidthExceeded, Link};
-pub use router::{Ejection, LinkEvent, Router, StepOutputs, WireClass};
+pub use router::{Ejection, LinkEvent, Router, RouterCounters, StepOutputs, WireClass};
 pub use timing::LinkTiming;

@@ -109,6 +109,63 @@ impl StepOutputs {
     }
 }
 
+/// Event counts a router can report to the metrics layer.
+///
+/// One flat struct shared by every flow-control discipline keeps the
+/// `Router` trait object-safe-ish and the network's collection loop free of
+/// downcasts; fields that do not apply to a discipline simply stay zero and
+/// are omitted from exports. All fields are cumulative since construction
+/// except `bookings_in_flight`, which is an instantaneous gauge sampled at
+/// collection time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterCounters {
+    /// Flits that could not traverse the switch for lack of downstream
+    /// credit (virtual-channel disciplines).
+    pub credit_stalls: u64,
+    /// Packets that requested an output VC in a cycle where every candidate
+    /// VC was already held (virtual-channel disciplines).
+    pub vc_alloc_conflicts: u64,
+    /// Losing requests in switch output arbitration: contenders that had a
+    /// flit ready but were not picked this cycle and must retry.
+    pub switch_arb_retries: u64,
+    /// Control flits whose reservation schedule was fully booked
+    /// (flit-reservation: scheduling attempts that failed and stalled).
+    pub reservation_misses: u64,
+    /// Data flits successfully scheduled into reservation tables
+    /// (flit-reservation: table hits).
+    pub reservation_hits: u64,
+    /// Control flits forwarded onto control links (flit-reservation).
+    pub control_flits_sent: u64,
+    /// Data flits that departed on their arrival cycle without being
+    /// buffered — the paper's zero-turnaround signature (flit-reservation).
+    pub zero_turnaround_departures: u64,
+    /// Data flits that arrived without a booked departure and had to park
+    /// in the reservation table (flit-reservation).
+    pub parked_arrivals: u64,
+    /// Data flits forwarded onto data links (any discipline).
+    pub data_flits_sent: u64,
+    /// Reservations currently booked but not yet departed, summed over all
+    /// input tables; an instantaneous gauge (flit-reservation).
+    pub bookings_in_flight: u64,
+}
+
+impl RouterCounters {
+    /// Adds every cumulative field of `other` into `self` (including the
+    /// `bookings_in_flight` gauge, which sums into a network-wide total).
+    pub fn absorb(&mut self, other: &RouterCounters) {
+        self.credit_stalls += other.credit_stalls;
+        self.vc_alloc_conflicts += other.vc_alloc_conflicts;
+        self.switch_arb_retries += other.switch_arb_retries;
+        self.reservation_misses += other.reservation_misses;
+        self.reservation_hits += other.reservation_hits;
+        self.control_flits_sent += other.control_flits_sent;
+        self.zero_turnaround_departures += other.zero_turnaround_departures;
+        self.parked_arrivals += other.parked_arrivals;
+        self.data_flits_sent += other.data_flits_sent;
+        self.bookings_in_flight += other.bookings_in_flight;
+    }
+}
+
 /// A flow-control router that can be wired into a `Network`.
 pub trait Router {
     /// The node this router serves.
@@ -157,6 +214,17 @@ pub trait Router {
     /// skipping for routers that have not audited their `step` path.
     fn is_idle(&self) -> bool {
         false
+    }
+
+    /// Writes this router's event counts into `out` for the metrics layer.
+    ///
+    /// Implementations overwrite the fields they track and leave the rest
+    /// untouched. The default reports nothing, so routers without
+    /// instrumentation keep working unchanged. Collection must not mutate
+    /// simulation state: it is only ever called from metrics flushes, never
+    /// from the cycle loop.
+    fn collect_counters(&self, out: &mut RouterCounters) {
+        let _ = out;
     }
 }
 

@@ -1,0 +1,121 @@
+//! The run manifest: everything needed to reproduce or audit a metrics
+//! export — seed, scale, configuration label, toolchain and source revision.
+
+use crate::json::Json;
+use std::process::Command;
+
+/// Version number of the metrics JSON document layout. Bump when the
+/// top-level structure or the meaning of existing keys changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Identifying metadata written at the top of every metrics export.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunManifest {
+    /// Experiment name, e.g. `fig5` or `smoke`.
+    pub experiment: String,
+    /// Root RNG seed the run derives all randomness from.
+    pub seed: u64,
+    /// Scale preset (`tiny` / `quick` / `paper`).
+    pub scale: String,
+    /// Flow-control configuration label, e.g. `FR6` or `VC8`.
+    pub config: String,
+    /// Short git revision of the source tree, or `unknown` outside a repo.
+    pub git_rev: String,
+    /// `rustc --version` of the toolchain that built the binary.
+    pub toolchain: String,
+    /// Wall-clock duration of the run in milliseconds. Nondeterministic;
+    /// stripped by [`crate::json::strip_nondeterministic`].
+    pub wall_ms: u64,
+}
+
+impl RunManifest {
+    /// Builds a manifest, capturing the git revision and toolchain from the
+    /// environment. `wall_ms` starts at zero — fill it in after the run.
+    pub fn new(
+        experiment: impl Into<String>,
+        seed: u64,
+        scale: impl Into<String>,
+        config: impl Into<String>,
+    ) -> Self {
+        RunManifest {
+            experiment: experiment.into(),
+            seed,
+            scale: scale.into(),
+            config: config.into(),
+            git_rev: capture_git_rev(),
+            toolchain: capture_toolchain(),
+            wall_ms: 0,
+        }
+    }
+
+    /// Renders the manifest as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("experiment".into(), Json::str(&self.experiment)),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("scale".into(), Json::str(&self.scale)),
+            ("config".into(), Json::str(&self.config)),
+            ("git_rev".into(), Json::str(&self.git_rev)),
+            ("toolchain".into(), Json::str(&self.toolchain)),
+            ("wall_ms".into(), Json::Num(self.wall_ms as f64)),
+        ])
+    }
+}
+
+fn first_line(bytes: &[u8]) -> Option<String> {
+    let text = String::from_utf8_lossy(bytes);
+    let line = text.lines().next()?.trim().to_string();
+    if line.is_empty() {
+        None
+    } else {
+        Some(line)
+    }
+}
+
+/// The short git revision of the working tree, or `"unknown"` when git is
+/// unavailable or the process runs outside a repository.
+pub fn capture_git_rev() -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| first_line(&o.stdout))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The `rustc --version` string, or `"unknown"` when rustc is not on PATH.
+pub fn capture_toolchain() -> String {
+    Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| first_line(&o.stdout))
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_exports_required_keys() {
+        let mut m = RunManifest::new("smoke", 2000, "quick", "FR6");
+        m.wall_ms = 42;
+        let doc = m.to_json();
+        for key in [
+            "experiment",
+            "seed",
+            "scale",
+            "config",
+            "git_rev",
+            "toolchain",
+            "wall_ms",
+        ] {
+            assert!(doc.get(key).is_some(), "missing manifest key {key}");
+        }
+        assert_eq!(doc.get("seed").and_then(Json::as_u64), Some(2000));
+        assert_eq!(doc.get("config").and_then(Json::as_str), Some("FR6"));
+    }
+}

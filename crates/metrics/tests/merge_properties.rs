@@ -1,0 +1,54 @@
+//! Property test: merging per-shard registries is equivalent to recording
+//! everything sequentially into one registry.
+//!
+//! This is the contract the sharded step phase relies on if per-worker
+//! registries are ever collected independently: slicing a stream of
+//! per-router counter/gauge updates into shards, recording each shard into
+//! its own registry and merging must reproduce the sequential totals
+//! exactly.
+
+use noc_engine::propcheck::{check, vec_of};
+use noc_metrics::MetricsRegistry;
+
+#[test]
+fn sharded_merge_equals_sequential_totals() {
+    // Each event is (router, kind, amount): kind 0 => counter, 1 => gauge.
+    let event = (0u64..64, 0u64..2, 1u64..100);
+    let strategy = (vec_of(event, 0..200), 2u64..6);
+    check(200, strategy, |(events, shards)| {
+        let mut sequential = MetricsRegistry::new();
+        for &(router, kind, amount) in &events {
+            apply(&mut sequential, router, kind, amount);
+        }
+
+        // Shard by router (as the step phase would) and merge.
+        let mut merged = MetricsRegistry::new();
+        for shard in 0..shards {
+            let mut part = MetricsRegistry::new();
+            for &(router, kind, amount) in &events {
+                if router % shards == shard {
+                    apply(&mut part, router, kind, amount);
+                }
+            }
+            merged.merge(part);
+        }
+
+        let seq_counters: Vec<_> = sequential.counters().collect();
+        let merged_counters: Vec<_> = merged.counters().collect();
+        assert_eq!(seq_counters, merged_counters);
+        let seq_gauges: Vec<_> = sequential.gauges().collect();
+        let merged_gauges: Vec<_> = merged.gauges().collect();
+        assert_eq!(seq_gauges, merged_gauges);
+    });
+}
+
+fn apply(reg: &mut MetricsRegistry, router: u64, kind: u64, amount: u64) {
+    match kind {
+        0 => reg.counter_add(&format!("router.{router}.events"), amount),
+        _ => {
+            let key = format!("router.{router}.load");
+            let prior = reg.gauge(&key).unwrap_or(0.0);
+            reg.gauge_set(&key, prior + amount as f64);
+        }
+    }
+}

@@ -4,8 +4,10 @@
 
 use crate::{run_simulation, Network, RunResult, SimConfig};
 use flit_reservation::{FrConfig, FrRouter};
+use noc_engine::trace::NullSink;
 use noc_engine::{sweep, Rng};
 use noc_flow::LinkTiming;
+use noc_metrics::MetricsRegistry;
 use noc_topology::Mesh;
 use noc_traffic::{LoadSpec, TrafficGenerator};
 use noc_vc::{VcConfig, VcRouter};
@@ -63,6 +65,55 @@ impl FlowControl {
                         FrRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64))
                     });
                 run_simulation(&mut network, sim)
+            }
+        }
+    }
+
+    /// Runs one simulation at `load` with metrics collection enabled,
+    /// returning the run result together with the filled registry.
+    ///
+    /// Identical methodology to [`FlowControl::run`] — same seeds, same
+    /// traffic, same warm-up/measure/drain — and, because metrics never
+    /// feed back into the simulation, identical `RunResult`s. The
+    /// registry's time-axis series sample every `sample_period` cycles
+    /// (0 disables series; counters and gauges are always collected).
+    pub fn run_metered(
+        &self,
+        mesh: Mesh,
+        load: LoadSpec,
+        sim: &SimConfig,
+        sample_period: u64,
+    ) -> (RunResult, MetricsRegistry) {
+        let root = Rng::from_seed(sim.seed);
+        let generator = TrafficGenerator::uniform(mesh, load, root.fork(0x7261_6666_6963)); // "raffic"
+        match self {
+            FlowControl::VirtualChannel(cfg, timing) => {
+                let mut network = Network::with_instruments(
+                    mesh,
+                    *timing,
+                    2,
+                    generator,
+                    |node| VcRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64)),
+                    NullSink,
+                    MetricsRegistry::new(),
+                );
+                network.set_metrics_period(sample_period);
+                let result = run_simulation(&mut network, sim);
+                (result, std::mem::take(network.metrics_mut()))
+            }
+            FlowControl::FlitReservation(cfg) => {
+                let mut network = Network::with_instruments(
+                    mesh,
+                    cfg.timing,
+                    cfg.control_lanes,
+                    generator,
+                    |node| FrRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64)),
+                    NullSink,
+                    MetricsRegistry::new(),
+                );
+                network.set_metrics_period(sample_period);
+                let result = run_simulation(&mut network, sim);
+                (result, std::mem::take(network.metrics_mut()))
             }
         }
     }

@@ -32,9 +32,57 @@
 use crate::DeliveryTracker;
 use noc_engine::trace::{NullSink, TraceSink};
 use noc_engine::Cycle;
-use noc_flow::{Link, LinkEvent, LinkTiming, Router, StepOutputs, TraceEmit, WireClass};
+use noc_flow::{
+    Link, LinkEvent, LinkTiming, Router, RouterCounters, StepOutputs, TraceEmit, WireClass,
+};
+use noc_metrics::{NullRecorder, Recorder};
 use noc_topology::{Mesh, NodeId, Port, PortMap};
 use noc_traffic::TrafficGenerator;
+use std::time::Instant;
+
+/// Phase indices into [`Instruments::phase_ns`].
+const PHASE_DELIVER: usize = 0;
+const PHASE_INJECT: usize = 1;
+const PHASE_STEP: usize = 2;
+const PHASE_APPLY: usize = 3;
+const PHASE_OBSERVE: usize = 4;
+const PHASE_NAMES: [&str; 5] = ["deliver", "inject", "step", "apply", "observe"];
+
+/// Flits committed onto one directed link, split by wire class.
+#[derive(Clone, Copy, Debug, Default)]
+struct LinkFlits {
+    data: u64,
+    control: u64,
+    credit: u64,
+}
+
+/// Per-input-pool occupancy accumulators (sampled once per cycle).
+#[derive(Clone, Copy, Debug, Default)]
+struct PoolStat {
+    /// Sum of per-cycle occupancy fractions.
+    occ_sum: f64,
+    /// Cycles the pool was completely full.
+    full_cycles: u64,
+}
+
+/// Retained instrumentation state. Present in every network but only ever
+/// touched under `M::ENABLED`, so the metrics-off path pays one unused
+/// struct per network and nothing per cycle.
+#[derive(Debug, Default)]
+struct Instruments {
+    /// Wall-clock nanoseconds per engine phase (self-profiler).
+    phase_ns: [u64; 5],
+    /// Cycles observed while metrics were enabled.
+    observed_cycles: u64,
+    /// Sum over cycles of the wake-list size (idle-skip effectiveness).
+    awake_sum: u64,
+    /// Per-router, per-input-port occupancy accumulators.
+    pools: Vec<PortMap<PoolStat>>,
+    /// Per-link flit commit counters: `link_flits[node][out port]`.
+    link_flits: Vec<PortMap<LinkFlits>>,
+    /// Control-wire bandwidth in flits/cycle (for utilization gauges).
+    control_bandwidth: u32,
+}
 
 /// The three wires of one directed inter-router link.
 #[derive(Debug)]
@@ -129,11 +177,19 @@ impl ProbeState {
 /// from sinks handed to the routers via `make_router`, typically clones
 /// of one [`noc_engine::trace::SharedSink`].
 ///
+/// The third type parameter is the metrics [`Recorder`]; with the default
+/// [`NullRecorder`] every instrumentation site compiles away, which is what
+/// keeps the trace-equality and determinism suites bit-identical with
+/// metrics off. Plug a [`noc_metrics::MetricsRegistry`] in via
+/// [`Network::with_instruments`] to collect per-phase wall-clock profiles,
+/// per-link flit counts, per-router occupancy and the router-level counters
+/// from [`Router::collect_counters`].
+///
 /// [`packet_injected`]: noc_flow::TraceEmit::packet_injected
 /// [`flit_ejected`]: noc_flow::TraceEmit::flit_ejected
 /// [`packet_delivered`]: noc_flow::TraceEmit::packet_delivered
 /// [`control_retried`]: noc_flow::TraceEmit::control_retried
-pub struct Network<R: Router, S: TraceSink = NullSink> {
+pub struct Network<R: Router, S: TraceSink = NullSink, M: Recorder = NullRecorder> {
     mesh: Mesh,
     timing: LinkTiming,
     slots: Vec<RouterSlot<R>>,
@@ -164,6 +220,13 @@ pub struct Network<R: Router, S: TraceSink = NullSink> {
     error_rng: noc_engine::Rng,
     control_retries: u64,
     sink: S,
+    /// Metrics recorder; `NullRecorder` by default.
+    metrics: M,
+    /// Series sampling period in cycles; 0 disables series sampling.
+    metrics_period: u64,
+    /// Retained instrumentation accumulators (untouched when `M` is the
+    /// null recorder).
+    instruments: Instruments,
 }
 
 impl<R: Router> Network<R> {
@@ -198,8 +261,33 @@ impl<R: Router, S: TraceSink> Network<R, S> {
         timing: LinkTiming,
         control_bandwidth: u32,
         generator: TrafficGenerator,
+        make_router: impl FnMut(NodeId) -> R,
+        sink: S,
+    ) -> Self {
+        Network::with_instruments(
+            mesh,
+            timing,
+            control_bandwidth,
+            generator,
+            make_router,
+            sink,
+            NullRecorder,
+        )
+    }
+}
+
+impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
+    /// Builds a network with both a trace sink and a metrics recorder.
+    /// This is the fully instrumented constructor; [`Network::new`] and
+    /// [`Network::with_tracer`] delegate here with null instruments.
+    pub fn with_instruments(
+        mesh: Mesh,
+        timing: LinkTiming,
+        control_bandwidth: u32,
+        generator: TrafficGenerator,
         mut make_router: impl FnMut(NodeId) -> R,
         sink: S,
+        metrics: M,
     ) -> Self {
         let slots: Vec<RouterSlot<R>> = mesh
             .nodes()
@@ -234,6 +322,16 @@ impl<R: Router, S: TraceSink> Network<R, S> {
             node: mesh.node_at(mesh.width() / 2, mesh.height() / 2),
             port: Port::West,
         };
+        let instruments = Instruments {
+            pools: (0..mesh.node_count())
+                .map(|_| PortMap::from_fn(|_| PoolStat::default()))
+                .collect(),
+            link_flits: (0..mesh.node_count())
+                .map(|_| PortMap::from_fn(|_| LinkFlits::default()))
+                .collect(),
+            control_bandwidth,
+            ..Instruments::default()
+        };
         Network {
             mesh,
             timing,
@@ -254,7 +352,35 @@ impl<R: Router, S: TraceSink> Network<R, S> {
             error_rng: noc_engine::Rng::from_seed(0xE44),
             control_retries: 0,
             sink,
+            metrics,
+            metrics_period: 64,
+            instruments,
         }
+    }
+
+    /// The metrics recorder.
+    pub fn metrics(&self) -> &M {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics recorder (e.g. to
+    /// `std::mem::take` a filled `MetricsRegistry` after a run).
+    pub fn metrics_mut(&mut self) -> &mut M {
+        &mut self.metrics
+    }
+
+    /// Runs `f` against the metrics registry when metrics are enabled;
+    /// a no-op (the closure is never built) under the null recorder.
+    #[inline(always)]
+    pub fn metrics_record(&mut self, f: impl FnOnce(&mut noc_metrics::MetricsRegistry)) {
+        self.metrics.record(f);
+    }
+
+    /// Sets the series sampling period in cycles (0 disables series).
+    /// Counter/gauge collection is unaffected — only the time-axis series
+    /// density changes.
+    pub fn set_metrics_period(&mut self, period: u64) {
+        self.metrics_period = period;
     }
 
     /// The network-level trace sink.
@@ -491,6 +617,16 @@ impl<R: Router, S: TraceSink> Network<R, S> {
                 }
                 wire.push_with_extra_delay(now, event, extra)
                     .expect("link bandwidth exceeded: flow-control protocol bug");
+                if M::ENABLED {
+                    let flits = &mut self.instruments.link_flits[n][port];
+                    match class {
+                        WireClass::Data => flits.data += 1,
+                        WireClass::Control => {
+                            flits.control += 1 + extra / self.timing.control_delay.max(1)
+                        }
+                        WireClass::Credit => flits.credit += 1,
+                    }
+                }
             }
             for e in out.ejections.drain(..) {
                 self.sink.flit_ejected(e.at, node, &e.flit);
@@ -504,7 +640,8 @@ impl<R: Router, S: TraceSink> Network<R, S> {
         }
     }
 
-    /// Phase 5: probes sample and the clock advances.
+    /// Phase 5: probes sample, the metrics sampler runs and the clock
+    /// advances.
     fn finish_cycle(&mut self, now: Cycle) {
         if self.probe_enabled {
             let r = &self.slots[self.probe.node.index()].router;
@@ -516,17 +653,244 @@ impl<R: Router, S: TraceSink> Network<R, S> {
             }
             self.probe_state.occupancy_sum += occ as f64 / cap as f64;
         }
+        if M::ENABLED {
+            self.observe_metrics(now);
+        }
         self.now = now.next();
+    }
+
+    /// Per-cycle metrics observation: occupancy accumulators every cycle,
+    /// time-axis series every `metrics_period` cycles. Only ever called
+    /// with metrics enabled; it reads state the routers never see, so it
+    /// cannot perturb the simulation.
+    fn observe_metrics(&mut self, now: Cycle) {
+        self.instruments.observed_cycles += 1;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let pools = &mut self.instruments.pools[i];
+            for &port in &Port::ALL {
+                let cap = slot.router.data_buffer_capacity(port);
+                if cap == 0 {
+                    continue;
+                }
+                let occ = slot.router.occupied_data_buffers(port);
+                let stat = &mut pools[port];
+                stat.occ_sum += occ as f64 / cap as f64;
+                if occ >= cap {
+                    stat.full_cycles += 1;
+                }
+            }
+        }
+        let period = self.metrics_period;
+        if period > 0 && now.raw().is_multiple_of(period) {
+            let queued = self.mean_queued_flits();
+            let awake = self.awake_routers() as f64;
+            let in_flight = self.tracker.in_flight() as f64;
+            let slots = &self.slots;
+            self.metrics.with(|reg| {
+                reg.time_weighted_set("net.queued_flits", now, queued);
+                reg.series_push("net.queued_flits", period, now, queued);
+                reg.series_push("net.awake_routers", period, now, awake);
+                reg.series_push("net.in_flight_packets", period, now, in_flight);
+                for (i, slot) in slots.iter().enumerate() {
+                    reg.series_push(
+                        &format!("router.{i}.occupancy"),
+                        period,
+                        now,
+                        mean_pool_fraction(&slot.router),
+                    );
+                }
+            });
+        }
+    }
+
+    /// Times one engine phase when metrics are enabled; transparent (and
+    /// branchless after const folding) under the null recorder.
+    #[inline(always)]
+    fn timed<T>(&mut self, phase: usize, f: impl FnOnce(&mut Self) -> T) -> T {
+        if M::ENABLED {
+            let start = Instant::now();
+            let result = f(self);
+            self.instruments.phase_ns[phase] += start.elapsed().as_nanos() as u64;
+            result
+        } else {
+            f(self)
+        }
+    }
+
+    /// Writes every accumulated metric into the registry: router counters
+    /// ([`Router::collect_counters`]) and their network totals, per-link
+    /// flit counts and utilizations, per-pool occupancy, idle-skip
+    /// effectiveness, and the wall-clock phase profile (under `profile.*`
+    /// keys, which exports segregate for determinism stripping).
+    ///
+    /// Call once after a run, before taking the registry. A no-op under
+    /// the null recorder.
+    pub fn flush_metrics(&mut self) {
+        if !M::ENABLED {
+            return;
+        }
+        let cycles = self.instruments.observed_cycles.max(1);
+        let mut per_router: Vec<RouterCounters> = Vec::with_capacity(self.slots.len());
+        let mut totals = RouterCounters::default();
+        for slot in &self.slots {
+            let mut counters = RouterCounters::default();
+            slot.router.collect_counters(&mut counters);
+            totals.absorb(&counters);
+            per_router.push(counters);
+        }
+        let mut caps: Vec<PortMap<usize>> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            caps.push(PortMap::from_fn(|p| slot.router.data_buffer_capacity(p)));
+        }
+        let num_routers = self.slots.len() as f64;
+        let num_links: u64 = self
+            .links
+            .iter()
+            .map(|ports| Port::MESH.iter().filter(|&&p| ports[p].is_some()).count() as u64)
+            .sum();
+        let mesh = self.mesh;
+        let control_retries = self.control_retries;
+        let total_cycles = self.now.raw();
+        let instruments = &self.instruments;
+        self.metrics.with(|reg| {
+            reg.counter_set("net.cycles", total_cycles);
+            reg.counter_set("net.links", num_links);
+            reg.counter_set("net.routers", mesh.node_count() as u64);
+            reg.counter_set("net.mesh_width", mesh.width() as u64);
+            reg.counter_set("net.mesh_height", mesh.height() as u64);
+            reg.counter_set("net.control_retries", control_retries);
+            reg.counter_set("net.awake_router_cycles", instruments.awake_sum);
+            reg.gauge_set(
+                "net.mean_awake_routers",
+                instruments.awake_sum as f64 / cycles as f64,
+            );
+            reg.gauge_set(
+                "net.idle_skip_fraction",
+                1.0 - instruments.awake_sum as f64 / (cycles as f64 * num_routers),
+            );
+
+            // Per-router counters (sparse: zero counters are omitted) and
+            // network-wide totals (dense: always present for validators).
+            for (i, c) in per_router.iter().enumerate() {
+                let fields: [(&str, u64); 10] = [
+                    ("credit_stalls", c.credit_stalls),
+                    ("vc_alloc_conflicts", c.vc_alloc_conflicts),
+                    ("switch_arb_retries", c.switch_arb_retries),
+                    ("reservation_hits", c.reservation_hits),
+                    ("reservation_misses", c.reservation_misses),
+                    ("control_flits_sent", c.control_flits_sent),
+                    ("zero_turnaround_departures", c.zero_turnaround_departures),
+                    ("parked_arrivals", c.parked_arrivals),
+                    ("data_flits_sent", c.data_flits_sent),
+                    ("bookings_in_flight", c.bookings_in_flight),
+                ];
+                for (name, value) in fields {
+                    if value > 0 {
+                        reg.counter_set(&format!("router.{i}.{name}"), value);
+                    }
+                }
+            }
+            let total_fields: [(&str, u64); 10] = [
+                ("credit_stalls", totals.credit_stalls),
+                ("vc_alloc_conflicts", totals.vc_alloc_conflicts),
+                ("switch_arb_retries", totals.switch_arb_retries),
+                ("reservation_hits", totals.reservation_hits),
+                ("reservation_misses", totals.reservation_misses),
+                ("control_flits_sent", totals.control_flits_sent),
+                (
+                    "zero_turnaround_departures",
+                    totals.zero_turnaround_departures,
+                ),
+                ("parked_arrivals", totals.parked_arrivals),
+                ("data_flits_sent", totals.data_flits_sent),
+                ("bookings_in_flight", totals.bookings_in_flight),
+            ];
+            for (name, value) in total_fields {
+                reg.counter_set(&format!("total.{name}"), value);
+            }
+
+            // Per-link flit counts (sparse) and mean utilizations.
+            let mut link_totals = LinkFlits::default();
+            for (i, ports) in instruments.link_flits.iter().enumerate() {
+                for &port in &Port::MESH {
+                    let f = ports[port];
+                    link_totals.data += f.data;
+                    link_totals.control += f.control;
+                    link_totals.credit += f.credit;
+                    let port_name = port_key(port);
+                    for (name, value) in [
+                        ("data_flits", f.data),
+                        ("control_flits", f.control),
+                        ("credit_flits", f.credit),
+                    ] {
+                        if value > 0 {
+                            reg.counter_set(&format!("link.{i}.{port_name}.{name}"), value);
+                        }
+                    }
+                }
+            }
+            reg.counter_set("total.link_data_flits", link_totals.data);
+            reg.counter_set("total.link_control_flits", link_totals.control);
+            reg.counter_set("total.link_credit_flits", link_totals.credit);
+            let link_cycles = (num_links * cycles).max(1) as f64;
+            reg.gauge_set(
+                "net.mean_data_link_utilization",
+                link_totals.data as f64 / link_cycles,
+            );
+            reg.gauge_set(
+                "net.mean_control_link_utilization",
+                link_totals.control as f64
+                    / (link_cycles * instruments.control_bandwidth.max(1) as f64),
+            );
+
+            // Per-pool occupancy gauges (ports that exist on this router).
+            for (i, pools) in instruments.pools.iter().enumerate() {
+                for &port in &Port::ALL {
+                    if caps[i][port] == 0 {
+                        continue;
+                    }
+                    let stat = pools[port];
+                    let port_name = port_key(port);
+                    reg.gauge_set(
+                        &format!("router.{i}.{port_name}.occupancy_avg"),
+                        stat.occ_sum / cycles as f64,
+                    );
+                    reg.gauge_set(
+                        &format!("router.{i}.{port_name}.full_fraction"),
+                        stat.full_cycles as f64 / cycles as f64,
+                    );
+                }
+            }
+
+            // Wall-clock self-profile: nondeterministic by nature, kept
+            // under the `profile.` prefix so exports can segregate it.
+            let mut total_ns = 0u64;
+            for (phase, name) in PHASE_NAMES.iter().enumerate() {
+                let ns = instruments.phase_ns[phase];
+                total_ns += ns;
+                reg.gauge_set(&format!("profile.{name}_ms"), ns as f64 / 1.0e6);
+            }
+            reg.gauge_set("profile.total_ms", total_ns as f64 / 1.0e6);
+            if total_ns > 0 {
+                reg.gauge_set(
+                    "profile.cycles_per_sec",
+                    cycles as f64 / (total_ns as f64 / 1.0e9),
+                );
+            }
+        });
     }
 
     /// Advances the network by one cycle (sequential step phase).
     pub fn cycle(&mut self) {
         let now = self.now;
-        self.deliver_arrivals(now);
-        self.offer_traffic(now);
-        self.step_routers(now);
-        self.apply_outputs(now);
-        self.finish_cycle(now);
+        self.timed(PHASE_DELIVER, |n| n.deliver_arrivals(now));
+        self.timed(PHASE_INJECT, |n| n.offer_traffic(now));
+        if M::ENABLED {
+            self.instruments.awake_sum += self.awake_routers() as u64;
+        }
+        self.timed(PHASE_STEP, |n| n.step_routers(now));
+        self.timed(PHASE_APPLY, |n| n.apply_outputs(now));
+        self.timed(PHASE_OBSERVE, |n| n.finish_cycle(now));
     }
 
     /// Runs `n` cycles.
@@ -537,7 +901,38 @@ impl<R: Router, S: TraceSink> Network<R, S> {
     }
 }
 
-impl<R: Router + Send, S: TraceSink> Network<R, S> {
+/// Mean occupancy fraction over the router's existing input pools, for the
+/// per-router series sampler.
+fn mean_pool_fraction<R: Router>(router: &R) -> f64 {
+    let mut sum = 0.0;
+    let mut ports = 0u32;
+    for &port in &Port::ALL {
+        let cap = router.data_buffer_capacity(port);
+        if cap == 0 {
+            continue;
+        }
+        sum += router.occupied_data_buffers(port) as f64 / cap as f64;
+        ports += 1;
+    }
+    if ports == 0 {
+        0.0
+    } else {
+        sum / ports as f64
+    }
+}
+
+/// Lower-case key fragment for a port, for metric names.
+fn port_key(port: Port) -> &'static str {
+    match port {
+        Port::North => "north",
+        Port::South => "south",
+        Port::East => "east",
+        Port::West => "west",
+        Port::Local => "local",
+    }
+}
+
+impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
     /// Advances the network by one cycle with the router-step phase
     /// sharded over up to `threads` scoped worker threads.
     ///
@@ -553,14 +948,19 @@ impl<R: Router + Send, S: TraceSink> Network<R, S> {
     /// rules out sharing one sink from concurrent step phases.
     pub fn cycle_sharded(&mut self, threads: usize) {
         let now = self.now;
-        self.deliver_arrivals(now);
-        self.offer_traffic(now);
-        let idle_skip = self.idle_skip;
-        noc_engine::sweep::run_parallel_mut(&mut self.slots, threads, |_, slot| {
-            step_slot(slot, now, idle_skip);
+        self.timed(PHASE_DELIVER, |n| n.deliver_arrivals(now));
+        self.timed(PHASE_INJECT, |n| n.offer_traffic(now));
+        if M::ENABLED {
+            self.instruments.awake_sum += self.awake_routers() as u64;
+        }
+        self.timed(PHASE_STEP, |n| {
+            let idle_skip = n.idle_skip;
+            noc_engine::sweep::run_parallel_mut(&mut n.slots, threads, |_, slot| {
+                step_slot(slot, now, idle_skip);
+            });
         });
-        self.apply_outputs(now);
-        self.finish_cycle(now);
+        self.timed(PHASE_APPLY, |n| n.apply_outputs(now));
+        self.timed(PHASE_OBSERVE, |n| n.finish_cycle(now));
     }
 
     /// Runs `n` cycles with the step phase sharded over `threads`.

@@ -16,6 +16,7 @@ use noc_engine::stats::RunningStats;
 use noc_engine::trace::TraceSink;
 use noc_engine::warmup::{WarmupConfig, WarmupDetector};
 use noc_flow::Router;
+use noc_metrics::Recorder;
 
 /// Measurement methodology parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -100,6 +101,8 @@ pub struct RunResult {
     /// Median sample latency in cycles (`None` when it falls beyond the
     /// histogram range or nothing was delivered).
     pub p50_latency: Option<u64>,
+    /// 95th-percentile sample latency in cycles.
+    pub p95_latency: Option<u64>,
     /// 99th-percentile sample latency in cycles.
     pub p99_latency: Option<u64>,
 }
@@ -121,8 +124,8 @@ impl RunResult {
 /// # Panics
 ///
 /// Panics if `sim.sample_packets` is zero.
-pub fn run_simulation<R: Router, S: TraceSink>(
-    network: &mut Network<R, S>,
+pub fn run_simulation<R: Router, S: TraceSink, M: Recorder>(
+    network: &mut Network<R, S, M>,
     sim: &SimConfig,
 ) -> RunResult {
     assert!(sim.sample_packets > 0, "need a non-empty sample");
@@ -177,12 +180,12 @@ pub fn run_simulation<R: Router, S: TraceSink>(
 
     let probe = network.probe_state();
     let hist = network.tracker().latency_histogram();
-    let (p50_latency, p99_latency) = if hist.count() > 0 {
-        (hist.quantile(0.5), hist.quantile(0.99))
+    let (p50_latency, p95_latency, p99_latency) = if hist.count() > 0 {
+        (hist.quantile(0.5), hist.quantile(0.95), hist.quantile(0.99))
     } else {
-        (None, None)
+        (None, None, None)
     };
-    RunResult {
+    let result = RunResult {
         offered_fraction,
         packet_length,
         latency: network.tracker().latency().clone(),
@@ -195,6 +198,32 @@ pub fn run_simulation<R: Router, S: TraceSink>(
         probe_mean_occupancy: probe.mean_occupancy(),
         delivered: network.tracker().measured_delivered(),
         p50_latency,
+        p95_latency,
         p99_latency,
-    }
+    };
+
+    // Close out the metrics registry: run-level context gauges first, then
+    // everything the network accumulated. No-ops under the null recorder.
+    network.metrics_record(|reg| {
+        reg.gauge_set("run.offered_fraction", result.offered_fraction);
+        reg.gauge_set("run.accepted_fraction", result.accepted_fraction);
+        reg.gauge_set("run.mean_latency", result.mean_latency());
+        reg.gauge_set("run.latency_ci95", result.latency.ci95_half_width());
+        reg.gauge_set("run.completed", if result.completed { 1.0 } else { 0.0 });
+        reg.counter_set("run.delivered_packets", result.delivered);
+        reg.counter_set("run.packet_length", result.packet_length as u64);
+        reg.counter_set("run.measure_start", result.measure_start);
+        reg.counter_set("run.end_cycle", result.end_cycle);
+        for (name, q) in [
+            ("run.p50_latency", result.p50_latency),
+            ("run.p95_latency", result.p95_latency),
+            ("run.p99_latency", result.p99_latency),
+        ] {
+            if let Some(v) = q {
+                reg.counter_set(name, v);
+            }
+        }
+    });
+    network.flush_metrics();
+    result
 }

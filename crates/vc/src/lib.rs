@@ -24,4 +24,4 @@ mod config;
 mod router;
 
 pub use config::{AllocationUnit, CreditMode, VcConfig};
-pub use router::VcRouter;
+pub use router::{VcRouter, VcStats};

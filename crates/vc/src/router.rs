@@ -96,7 +96,26 @@ pub struct VcRouter<S: TraceSink = NullSink> {
     inputs: PortMap<Vec<InputVc>>,
     outputs: PortMap<OutputPort>,
     ni: NetworkInterface,
+    stats: VcStats,
     sink: S,
+}
+
+/// Contention counters for the VC router, for the metrics layer.
+///
+/// Plain cumulative `u64`s updated inline; they are never read back by the
+/// simulation, so they cannot perturb traces, and an idle router's step
+/// reaches none of the counting sites, keeping idle-skipping bit-exact.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VcStats {
+    /// Ready flits that lost to missing downstream credit (including
+    /// packet-sized allocation waits in SAF/VCT modes).
+    pub credit_stalls: u64,
+    /// VC-allocation requests that found every downstream VC owned.
+    pub vc_alloc_conflicts: u64,
+    /// Switch bids that lost output arbitration and must retry.
+    pub switch_arb_retries: u64,
+    /// Data flits forwarded onto outgoing links (excludes ejections).
+    pub data_flits_sent: u64,
 }
 
 impl VcRouter {
@@ -129,6 +148,7 @@ impl<S: TraceSink> VcRouter<S> {
             inputs,
             outputs,
             ni: NetworkInterface::default(),
+            stats: VcStats::default(),
             sink,
         }
     }
@@ -136,6 +156,11 @@ impl<S: TraceSink> VcRouter<S> {
     /// The router's configuration.
     pub fn config(&self) -> &VcConfig {
         &self.config
+    }
+
+    /// Cumulative contention counters since construction.
+    pub fn stats(&self) -> &VcStats {
+        &self.stats
     }
 
     fn route_to(&self, dest: NodeId) -> Port {
@@ -250,6 +275,7 @@ impl<S: TraceSink> VcRouter<S> {
                 .map(|(v, _)| v as u8)
                 .collect();
             if free.is_empty() {
+                self.stats.vc_alloc_conflicts += 1;
                 continue;
             }
             let granted = *self.rng.choose(&free);
@@ -285,6 +311,7 @@ impl<S: TraceSink> VcRouter<S> {
                     continue;
                 }
                 if !self.has_credit(route, out_vc) {
+                    self.stats.credit_stalls += 1;
                     continue;
                 }
                 // Packet-sized allocation (store-and-forward and virtual
@@ -308,6 +335,7 @@ impl<S: TraceSink> VcRouter<S> {
                         }
                     };
                     if available < needed {
+                        self.stats.credit_stalls += 1;
                         continue;
                     }
                 }
@@ -343,6 +371,7 @@ impl<S: TraceSink> VcRouter<S> {
                 continue;
             }
             let &(in_port, in_vc) = self.rng.choose(&contenders);
+            self.stats.switch_arb_retries += (contenders.len() - 1) as u64;
             self.forward_flit(in_port, in_vc, out_port, now, out);
         }
     }
@@ -368,6 +397,7 @@ impl<S: TraceSink> VcRouter<S> {
         if out_port == Port::Local {
             out.eject(queued.flit, now);
         } else {
+            self.stats.data_flits_sent += 1;
             self.sink
                 .vc_data_sent(now, self.node, out_port, out_vc, &queued.flit);
             out.send(
@@ -529,6 +559,13 @@ impl<S: TraceSink> Router for VcRouter<S> {
             && Port::ALL
                 .iter()
                 .all(|&p| self.inputs[p].iter().all(|vc| vc.queue.is_empty()))
+    }
+
+    fn collect_counters(&self, out: &mut noc_flow::RouterCounters) {
+        out.credit_stalls = self.stats.credit_stalls;
+        out.vc_alloc_conflicts = self.stats.vc_alloc_conflicts;
+        out.switch_arb_retries = self.stats.switch_arb_retries;
+        out.data_flits_sent = self.stats.data_flits_sent;
     }
 }
 

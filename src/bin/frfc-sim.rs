@@ -7,7 +7,7 @@
 //! frfc-sim --help
 //! ```
 //!
-//! Prints a one-run report: mean latency with 95% CI, p50/p99, accepted
+//! Prints a one-run report: mean latency with 95% CI, p50/p95/p99, accepted
 //! throughput and the occupancy probe.
 
 use frfc::engine::Rng;
@@ -284,10 +284,11 @@ fn main() {
     );
     if r.completed {
         println!(
-            "latency   : {:.1} ± {:.1} cycles (p50 {}, p99 {})",
+            "latency   : {:.1} ± {:.1} cycles (p50 {}, p95 {}, p99 {})",
             r.mean_latency(),
             r.latency.ci95_half_width(),
             r.p50_latency.map_or("-".into(), |v| v.to_string()),
+            r.p95_latency.map_or("-".into(), |v| v.to_string()),
             r.p99_latency.map_or("-".into(), |v| v.to_string()),
         );
     } else {
