@@ -1,0 +1,168 @@
+//! Engine-throughput regression gate: compares a fresh
+//! `BENCH_engine.json` (written by the `engine_throughput` bin) against
+//! a committed baseline and exits nonzero when any configuration
+//! regressed beyond tolerance.
+//!
+//! Rows are matched by their `config` key (`vc8-0.40-idle-skip`, ...)
+//! and compared on `cycles_per_sec`. A row regresses when
+//! `fresh < baseline * (1 - tolerance)`; a baseline row missing from
+//! the fresh run also fails. Extra fresh rows are reported but pass —
+//! they have no baseline to regress against.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare [--baseline bench_baselines/BENCH_engine.json]
+//!               [--fresh BENCH_engine.json] [--tolerance 0.15]
+//! ```
+//!
+//! The default 15% tolerance suits same-machine comparisons (full-scale
+//! runs, pinned host). CI compares a `--quick` run on a shared runner
+//! against the committed full-scale baseline and passes a much looser
+//! tolerance — there the gate is a tripwire for order-of-magnitude
+//! regressions (an accidentally-enabled trace path, a lost fast path),
+//! not a precision benchmark.
+
+use noc_metrics::Json;
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    tolerance: f64,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!(
+        "{msg}; usage: bench_compare [--baseline <path>] [--fresh <path>] [--tolerance <frac>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        baseline: "bench_baselines/BENCH_engine.json".into(),
+        fresh: "BENCH_engine.json".into(),
+        tolerance: 0.15,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--baseline" => parsed.baseline = value("--baseline"),
+            "--fresh" => parsed.fresh = value("--fresh"),
+            "--tolerance" => {
+                parsed.tolerance = value("--tolerance")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--tolerance wants a fraction like 0.15"));
+                if !(0.0..1.0).contains(&parsed.tolerance) {
+                    usage("--tolerance must be in [0, 1)");
+                }
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    parsed
+}
+
+/// Loads a `BENCH_engine.json` document as `(config, cycles_per_sec)`
+/// rows plus its `quick` flag.
+fn load_rows(path: &str) -> (Vec<(String, f64)>, bool) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        eprintln!("(run `cargo run -p noc-bench --release --bin engine_throughput` first)");
+        std::process::exit(2)
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not valid JSON: {e}");
+        std::process::exit(2)
+    });
+    let quick = doc.get("quick").and_then(Json::as_bool).unwrap_or(false);
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| {
+            eprintln!("{path} has no rows array");
+            std::process::exit(2)
+        })
+        .iter()
+        .map(|row| {
+            let config = row
+                .get("config")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| {
+                    eprintln!("{path}: row without a config key");
+                    std::process::exit(2)
+                })
+                .to_string();
+            let cps = row
+                .get("cycles_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| {
+                    eprintln!("{path}: row {config} without cycles_per_sec");
+                    std::process::exit(2)
+                });
+            (config, cps)
+        })
+        .collect();
+    (rows, quick)
+}
+
+fn main() {
+    let args = parse_args();
+    let (baseline, base_quick) = load_rows(&args.baseline);
+    let (fresh, fresh_quick) = load_rows(&args.fresh);
+
+    println!(
+        "bench_compare: {} (baseline{}) vs {} (fresh{}), tolerance {:.0}%",
+        args.baseline,
+        if base_quick { ", quick" } else { "" },
+        args.fresh,
+        if fresh_quick { ", quick" } else { "" },
+        args.tolerance * 100.0
+    );
+    if base_quick != fresh_quick {
+        println!("note: comparing runs of different scales; rates are only roughly comparable");
+    }
+    println!(
+        "{:<24} {:>14} {:>14} {:>8}  status",
+        "config", "baseline c/s", "fresh c/s", "ratio"
+    );
+
+    let mut failures = 0usize;
+    for (config, base_cps) in &baseline {
+        let Some((_, fresh_cps)) = fresh.iter().find(|(c, _)| c == config) else {
+            println!(
+                "{config:<24} {base_cps:>14.0} {:>14} {:>8}  MISSING",
+                "-", "-"
+            );
+            failures += 1;
+            continue;
+        };
+        let ratio = fresh_cps / base_cps.max(1e-9);
+        let regressed = *fresh_cps < base_cps * (1.0 - args.tolerance);
+        if regressed {
+            failures += 1;
+        }
+        println!(
+            "{config:<24} {base_cps:>14.0} {fresh_cps:>14.0} {ratio:>8.2}  {}",
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for (config, cps) in &fresh {
+        if !baseline.iter().any(|(c, _)| c == config) {
+            println!("{config:<24} {:>14} {cps:>14.0} {:>8}  new", "-", "-");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "\n{failures} configuration(s) regressed more than {:.0}% (or went missing)",
+            args.tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("\nall {} configurations within tolerance", baseline.len());
+}

@@ -126,6 +126,21 @@ pub fn write_rows_json(manifest: &RunManifest, rows: &[(String, Vec<(String, Jso
     path
 }
 
+/// Writes a Chrome trace-event document ([`noc_provenance::chrome_trace`])
+/// to `results/<name>.trace.json` and returns the path. The file opens
+/// directly in `ui.perfetto.dev` or `chrome://tracing`.
+pub fn write_chrome_trace(name: &str, doc: &Json) -> PathBuf {
+    let path = results_dir().join(format!("{name}.trace.json"));
+    match write_json_file(&path, doc) {
+        Ok(()) => println!(
+            "[sidecar] wrote {} (open in ui.perfetto.dev)",
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    path
+}
+
 /// Writes a full metrics-registry export to
 /// `results/<experiment>.metrics.json` and returns the path.
 pub fn write_metrics_json(manifest: &RunManifest, registry: &MetricsRegistry) -> PathBuf {

@@ -204,6 +204,39 @@ pub enum TraceKind {
         /// Head-injection-to-tail-ejection latency in cycles.
         latency: u64,
     },
+    /// A head flit spent this cycle waiting for a downstream virtual
+    /// channel grant (VC baseline; emitted by the stall-provenance hook).
+    VcAllocStall {
+        /// Packet the blocked head flit belongs to.
+        packet: u64,
+        /// Flit sequence number within the packet.
+        seq: u32,
+    },
+    /// A routed, VC-holding flit spent this cycle blocked on downstream
+    /// credit — the buffer-turnaround wait the paper's reservation scheme
+    /// eliminates (emitted by the stall-provenance hook).
+    CreditStall {
+        /// Packet the blocked flit belongs to.
+        packet: u64,
+        /// Flit sequence number within the packet.
+        seq: u32,
+    },
+    /// A flit that held route, VC and credit spent this cycle losing (or
+    /// not being nominated for) switch arbitration (emitted by the
+    /// stall-provenance hook).
+    SwitchStall {
+        /// Packet the blocked flit belongs to.
+        packet: u64,
+        /// Flit sequence number within the packet.
+        seq: u32,
+    },
+    /// A control flit spent this cycle blocked in a control input queue
+    /// (FR only: control-VC conflict, exhausted control credit or a
+    /// reservation-table miss; emitted by the stall-provenance hook).
+    ControlStall {
+        /// Packet the blocked control flit reserves for.
+        packet: u64,
+    },
 }
 
 /// A consumer of [`TraceEvent`]s.
@@ -675,6 +708,12 @@ impl TraceSink for InvariantChecker {
                     }
                 }
             }
+            // Stall-provenance markers carry no state the checker tracks;
+            // the monotone-time check above already covers them.
+            TraceKind::VcAllocStall { .. }
+            | TraceKind::CreditStall { .. }
+            | TraceKind::SwitchStall { .. }
+            | TraceKind::ControlStall { .. } => {}
         }
     }
 }

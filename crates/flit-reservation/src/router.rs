@@ -852,6 +852,32 @@ impl<S: TraceSink> Router for FrRouter<S> {
             })
             .sum();
     }
+
+    /// Marks every control flit that was eligible this cycle but is still
+    /// queued after the step: it lost control arbitration, found no free
+    /// downstream control VC, ran out of control credit, or missed a
+    /// reservation-table slot for one of its data flits. Data flits never
+    /// stall on credit here — their departures are pre-reserved — so the
+    /// data plane emits nothing and parked waits fall into the collector's
+    /// buffer-wait bucket, which is exactly the paper's claim rendered as
+    /// attribution.
+    fn emit_stall_provenance(&mut self, now: Cycle) {
+        if !S::ENABLED {
+            return;
+        }
+        for &in_port in &Port::ALL {
+            for cvc in &self.control_inputs[in_port] {
+                if cvc.route.is_none() {
+                    continue;
+                }
+                if let Some(qc) = cvc.queue.front() {
+                    if qc.arrived < now {
+                        self.sink.control_stall(now, self.node, qc.flit.packet);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

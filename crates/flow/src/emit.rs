@@ -325,6 +325,65 @@ pub trait TraceEmit: TraceSink {
             )
         });
     }
+
+    /// A head flit spent this cycle waiting for a VC grant (VC baseline).
+    #[inline(always)]
+    fn vc_alloc_stall(&mut self, now: Cycle, node: NodeId, packet: PacketId, seq: u32) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::VcAllocStall {
+                    packet: packet.raw(),
+                    seq,
+                },
+            )
+        });
+    }
+
+    /// A flit spent this cycle blocked on downstream credit.
+    #[inline(always)]
+    fn credit_stall(&mut self, now: Cycle, node: NodeId, packet: PacketId, seq: u32) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::CreditStall {
+                    packet: packet.raw(),
+                    seq,
+                },
+            )
+        });
+    }
+
+    /// A flit spent this cycle losing switch arbitration.
+    #[inline(always)]
+    fn switch_stall(&mut self, now: Cycle, node: NodeId, packet: PacketId, seq: u32) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::SwitchStall {
+                    packet: packet.raw(),
+                    seq,
+                },
+            )
+        });
+    }
+
+    /// A control flit spent this cycle blocked in a control queue (FR).
+    #[inline(always)]
+    fn control_stall(&mut self, now: Cycle, node: NodeId, packet: PacketId) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::ControlStall {
+                    packet: packet.raw(),
+                },
+            )
+        });
+    }
 }
 
 impl<S: TraceSink + ?Sized> TraceEmit for S {}

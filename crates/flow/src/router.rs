@@ -226,6 +226,24 @@ pub trait Router {
     fn collect_counters(&self, out: &mut RouterCounters) {
         let _ = out;
     }
+
+    /// Emits one stall-provenance trace event for every flit that was
+    /// eligible to make progress this cycle but did not, classified by
+    /// what blocked it (VC allocation, credit, switch arbitration, or —
+    /// for FR control flits — the control plane).
+    ///
+    /// Called by the network at the end of every cycle, after
+    /// `step`/`apply_outputs` and before the clock advances, identically
+    /// in all stepping modes. Implementations must be read-only over
+    /// simulation state (no RNG draws, no mutation beyond the trace sink)
+    /// and must early-return when their sink is disabled so the default
+    /// `NullSink` configuration compiles the scan away. A quiescent
+    /// router emits nothing, preserving idle-skip trace neutrality.
+    ///
+    /// The default is a no-op for routers without stall instrumentation.
+    fn emit_stall_provenance(&mut self, now: Cycle) {
+        let _ = now;
+    }
 }
 
 #[cfg(test)]

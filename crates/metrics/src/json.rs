@@ -183,6 +183,7 @@ impl Json {
     /// Parses a JSON document.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
         let mut p = Parser {
+            text,
             bytes: text.as_bytes(),
             pos: 0,
         };
@@ -246,6 +247,7 @@ impl std::fmt::Display for JsonError {
 }
 
 struct Parser<'a> {
+    text: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -384,11 +386,11 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar; the input is a &str so the
-                    // bytes are valid UTF-8 by construction.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
+                    // Consume one UTF-8 scalar. `pos` always sits on a
+                    // char boundary, so slicing the source &str is O(1)
+                    // (re-validating the tail bytes here would make
+                    // parsing quadratic in the document size).
+                    let c = self.text[self.pos..].chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -4,10 +4,11 @@
 
 use crate::{run_simulation, Network, RunResult, SimConfig};
 use flit_reservation::{FrConfig, FrRouter};
-use noc_engine::trace::NullSink;
+use noc_engine::trace::{NullSink, SharedSink};
 use noc_engine::{sweep, Rng};
 use noc_flow::LinkTiming;
-use noc_metrics::MetricsRegistry;
+use noc_metrics::{MetricsRegistry, NullRecorder};
+use noc_provenance::{ProvenanceCollector, ProvenanceReport};
 use noc_topology::Mesh;
 use noc_traffic::{LoadSpec, TrafficGenerator};
 use noc_vc::{VcConfig, VcRouter};
@@ -114,6 +115,72 @@ impl FlowControl {
                 network.set_metrics_period(sample_period);
                 let result = run_simulation(&mut network, sim);
                 (result, std::mem::take(network.metrics_mut()))
+            }
+        }
+    }
+
+    /// Runs one simulation at `load` with latency-provenance tracing on,
+    /// returning the run result and the reconstructed provenance report.
+    ///
+    /// Identical methodology and seeds to [`FlowControl::run`]; the
+    /// provenance sink is observation-only (the routers' stall scans are
+    /// read-only and draw no randomness), so the returned `RunResult` is
+    /// bit-identical to an untraced run. Packets with
+    /// `id % sample_every == 0` are tracked (1 = every packet).
+    pub fn run_traced(
+        &self,
+        mesh: Mesh,
+        load: LoadSpec,
+        sim: &SimConfig,
+        sample_every: u64,
+    ) -> (RunResult, ProvenanceReport) {
+        let root = Rng::from_seed(sim.seed);
+        let generator = TrafficGenerator::uniform(mesh, load, root.fork(0x7261_6666_6963)); // "raffic"
+        let sink = SharedSink::new(ProvenanceCollector::new(sample_every));
+        match self {
+            FlowControl::VirtualChannel(cfg, timing) => {
+                let mut network = Network::with_instruments(
+                    mesh,
+                    *timing,
+                    2,
+                    generator,
+                    |node| {
+                        VcRouter::with_tracer(
+                            mesh,
+                            node,
+                            *cfg,
+                            root.fork(node.raw() as u64),
+                            sink.clone(),
+                        )
+                    },
+                    sink.clone(),
+                    NullRecorder,
+                );
+                let result = run_simulation(&mut network, sim);
+                drop(network);
+                (result, sink.into_inner().finish())
+            }
+            FlowControl::FlitReservation(cfg) => {
+                let mut network = Network::with_instruments(
+                    mesh,
+                    cfg.timing,
+                    cfg.control_lanes,
+                    generator,
+                    |node| {
+                        FrRouter::with_tracer(
+                            mesh,
+                            node,
+                            *cfg,
+                            root.fork(node.raw() as u64),
+                            sink.clone(),
+                        )
+                    },
+                    sink.clone(),
+                    NullRecorder,
+                );
+                let result = run_simulation(&mut network, sim);
+                drop(network);
+                (result, sink.into_inner().finish())
             }
         }
     }

@@ -656,6 +656,15 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
         if M::ENABLED {
             self.observe_metrics(now);
         }
+        if S::ENABLED {
+            // Stall provenance: each router classifies the flits that were
+            // eligible this cycle but did not move. Runs identically in
+            // every stepping mode (this method is shared by `cycle` and
+            // `cycle_sharded`), and idle routers emit nothing.
+            for slot in &mut self.slots {
+                slot.router.emit_stall_provenance(now);
+            }
+        }
         self.now = now.next();
     }
 

@@ -1,0 +1,850 @@
+//! Span reconstruction: folds the raw trace event stream into per-flit
+//! latency-provenance records.
+//!
+//! The collector is a [`TraceSink`], so it plugs into routers and
+//! network exactly like the invariant checker: share one instance
+//! through a [`noc_engine::trace::SharedSink`]. It tracks a sampled
+//! subset of packets (`packet % sample_every == 0`) through a small
+//! per-flit state machine — in a router, in flight on a wire — and
+//! closes one [`HopSpan`] per router visit with an *exact* cycle
+//! decomposition: the per-hop components always sum to the hop
+//! residency, so a record's phase totals sum to its measured
+//! end-to-end latency by construction.
+
+use crate::phase::{Phase, PHASE_COUNT};
+use noc_engine::trace::{TraceEvent, TraceKind, TraceSink};
+use std::collections::BTreeMap;
+
+/// Which discipline produced a hop's events (decides whether a routing
+/// cycle can be charged to the flit: FR routes in the control plane).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopKind {
+    /// Virtual-channel baseline (arrivals via `QueueEnq`).
+    Vc,
+    /// Flit reservation (arrivals via `BufferAlloc`, or bypass).
+    Fr,
+    /// Injection hop not yet identified (refined by the first
+    /// arrival-class event; stays unknown for same-cycle FR bypass).
+    Unknown,
+}
+
+/// One router visit of one flit, with its exact cycle decomposition.
+///
+/// `route + vc_alloc_stall + credit_stall + buffer_wait + switch +
+/// ejection == depart - arrive` always holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HopSpan {
+    /// Router node visited.
+    pub node: u16,
+    /// Cycle the flit arrived at this router (or was injected).
+    pub arrive: u64,
+    /// Cycle the flit departed (equals `arrive` for an FR bypass).
+    pub depart: u64,
+    /// Discipline that produced the hop.
+    pub kind: HopKind,
+    /// Route-computation cycles (VC heads only; 0 or 1).
+    pub route: u64,
+    /// Cycles waiting for a downstream VC grant.
+    pub vc_alloc_stall: u64,
+    /// Cycles waiting for downstream credit.
+    pub credit_stall: u64,
+    /// Residual queueing/parked wait.
+    pub buffer_wait: u64,
+    /// Switch traversal plus arbitration-loss cycles.
+    pub switch: u64,
+    /// Final delivery cycle (destination hop only; 0 or 1).
+    pub ejection: u64,
+}
+
+impl HopSpan {
+    /// Cycles the flit spent at this router.
+    pub fn residency(&self) -> u64 {
+        self.depart - self.arrive
+    }
+}
+
+/// The complete provenance of one delivered flit.
+#[derive(Clone, Debug)]
+pub struct FlitRecord {
+    /// Packet id.
+    pub packet: u64,
+    /// Flit sequence within the packet.
+    pub seq: u32,
+    /// Source node.
+    pub src: u16,
+    /// Destination node.
+    pub dest: u16,
+    /// Cycle the packet was created (entered its source queue).
+    pub created: u64,
+    /// Cycle this flit entered the network.
+    pub injected: u64,
+    /// Cycle the packet's first control flit was sent (FR only).
+    pub first_control: Option<u64>,
+    /// Cycle this flit was ejected at the destination.
+    pub ejected: u64,
+    /// Router visits in path order (first entry is the source router).
+    pub hops: Vec<HopSpan>,
+    /// Cycles per [`Phase`], indexed by [`Phase::index`]. Sums to
+    /// `ejected - created` exactly.
+    pub phases: [u64; PHASE_COUNT],
+}
+
+impl FlitRecord {
+    /// Measured end-to-end latency of this flit (source queueing
+    /// included, as the paper's Section 4 defines it).
+    pub fn end_to_end(&self) -> u64 {
+        self.ejected - self.created
+    }
+
+    /// Sum of the phase attribution — equals [`FlitRecord::end_to_end`]
+    /// for every well-formed record.
+    pub fn attributed(&self) -> u64 {
+        self.phases.iter().sum()
+    }
+}
+
+/// Per-packet context shared by the packet's flits.
+#[derive(Clone, Debug)]
+struct PacketState {
+    created: u64,
+    src: u16,
+    dest: u16,
+    first_control: Option<u64>,
+    control_stalls: u64,
+    delivered_latency: Option<u64>,
+}
+
+/// Where a tracked flit currently is.
+#[derive(Clone, Debug)]
+enum Cursor {
+    /// Inside a router since `since`, with this hop's stall counts.
+    InRouter {
+        node: u16,
+        since: u64,
+        kind: HopKind,
+        vc_stalls: u64,
+        credit_stalls: u64,
+        switch_stalls: u64,
+    },
+    /// On a wire between routers (wire gaps are recovered from the
+    /// closed hops' depart/arrive cycles at finalization).
+    InFlight,
+}
+
+#[derive(Clone, Debug)]
+struct FlitState {
+    injected: u64,
+    cursor: Cursor,
+    hops: Vec<HopSpan>,
+}
+
+/// A [`TraceSink`] that reconstructs per-flit provenance records from
+/// the event stream.
+///
+/// # Examples
+///
+/// ```
+/// use noc_provenance::ProvenanceCollector;
+/// let collector = ProvenanceCollector::new(1); // sample every packet
+/// let report = collector.finish();
+/// assert_eq!(report.records.len(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProvenanceCollector {
+    sample_every: u64,
+    packets: BTreeMap<u64, PacketState>,
+    flits: BTreeMap<(u64, u32), FlitState>,
+    records: Vec<FlitRecord>,
+    malformed: u64,
+}
+
+impl ProvenanceCollector {
+    /// Creates a collector tracking packets whose id is divisible by
+    /// `sample_every` (1 = every packet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every` is zero.
+    pub fn new(sample_every: u64) -> Self {
+        assert!(sample_every >= 1, "sample_every must be at least 1");
+        ProvenanceCollector {
+            sample_every,
+            packets: BTreeMap::new(),
+            flits: BTreeMap::new(),
+            records: Vec::new(),
+            malformed: 0,
+        }
+    }
+
+    fn sampled(&self, packet: u64) -> bool {
+        packet.is_multiple_of(self.sample_every)
+    }
+
+    /// Closes an open hop with the exact residual decomposition.
+    ///
+    /// Residency `r = depart - arrive`. Stall markers only ever fire on
+    /// the cycles strictly between arrival and departure, so the counts
+    /// sum to at most `r - 1`, one cycle is the traversal itself
+    /// (switch, or ejection at the destination), a VC head flit is
+    /// charged one routing cycle when the residency has room for it,
+    /// and whatever remains is buffer wait. The components therefore
+    /// sum to exactly `r`; a violation (possible only if the router
+    /// emitted inconsistent events) is counted as malformed and clamped.
+    #[allow(clippy::too_many_arguments)]
+    fn close_hop(
+        &mut self,
+        node: u16,
+        arrive: u64,
+        depart: u64,
+        kind: HopKind,
+        seq: u32,
+        vc_stalls: u64,
+        credit_stalls: u64,
+        switch_stalls: u64,
+        eject: bool,
+    ) -> HopSpan {
+        let mut hop = HopSpan {
+            node,
+            arrive,
+            depart,
+            kind,
+            route: 0,
+            vc_alloc_stall: 0,
+            credit_stall: 0,
+            buffer_wait: 0,
+            switch: 0,
+            ejection: 0,
+        };
+        let r = depart.saturating_sub(arrive);
+        if depart < arrive {
+            self.malformed += 1;
+            return hop;
+        }
+        if r == 0 {
+            // FR same-cycle bypass: the flit crossed without residency.
+            return hop;
+        }
+        let stalls = vc_stalls + credit_stalls + switch_stalls;
+        hop.vc_alloc_stall = vc_stalls;
+        hop.credit_stall = credit_stalls;
+        if eject {
+            hop.ejection = 1;
+            hop.switch = switch_stalls;
+        } else {
+            hop.switch = switch_stalls + 1;
+        }
+        if kind == HopKind::Vc && seq == 0 && r >= 2 + stalls {
+            hop.route = 1;
+        }
+        let charged = hop.route + hop.vc_alloc_stall + hop.credit_stall + hop.switch + hop.ejection;
+        match r.checked_sub(charged) {
+            Some(rest) => hop.buffer_wait = rest,
+            None => self.malformed += 1,
+        }
+        hop
+    }
+
+    /// A flit arrived at a router (`QueueEnq` for VC, `BufferAlloc` for
+    /// FR). For the injection hop this refines the discipline; from a
+    /// wire it opens a new hop.
+    fn on_arrival(&mut self, packet: u64, seq: u32, node: u16, t: u64, kind: HopKind) {
+        let Some(f) = self.flits.get_mut(&(packet, seq)) else {
+            return;
+        };
+        let mut bad = false;
+        match &mut f.cursor {
+            Cursor::InRouter {
+                node: n,
+                since,
+                kind: k,
+                ..
+            } => {
+                if *n == node && *since == t {
+                    *k = kind;
+                } else {
+                    bad = true;
+                }
+            }
+            Cursor::InFlight => {
+                f.cursor = Cursor::InRouter {
+                    node,
+                    since: t,
+                    kind,
+                    vc_stalls: 0,
+                    credit_stalls: 0,
+                    switch_stalls: 0,
+                };
+            }
+        }
+        if bad {
+            self.malformed += 1;
+        }
+    }
+
+    /// A flit departed a router onto a link (`DataSent`/`VcDataSent`).
+    fn on_departure(&mut self, packet: u64, seq: u32, node: u16, t: u64) {
+        let Some(mut f) = self.flits.remove(&(packet, seq)) else {
+            return;
+        };
+        match f.cursor {
+            Cursor::InRouter {
+                node: n,
+                since,
+                kind,
+                vc_stalls,
+                credit_stalls,
+                switch_stalls,
+            } => {
+                if n != node {
+                    self.malformed += 1;
+                }
+                let hop = self.close_hop(
+                    n,
+                    since,
+                    t,
+                    kind,
+                    seq,
+                    vc_stalls,
+                    credit_stalls,
+                    switch_stalls,
+                    false,
+                );
+                f.hops.push(hop);
+            }
+            Cursor::InFlight => {
+                // FR bypass: the flit crossed this router in its arrival
+                // cycle without ever being buffered. Zero-residency hop.
+                f.hops.push(HopSpan {
+                    node,
+                    arrive: t,
+                    depart: t,
+                    kind: HopKind::Fr,
+                    route: 0,
+                    vc_alloc_stall: 0,
+                    credit_stall: 0,
+                    buffer_wait: 0,
+                    switch: 0,
+                    ejection: 0,
+                });
+            }
+        }
+        f.cursor = Cursor::InFlight;
+        self.flits.insert((packet, seq), f);
+    }
+
+    /// A flit left the network: close the destination hop and finalize
+    /// the record.
+    fn on_eject(&mut self, packet: u64, seq: u32, node: u16, t: u64) {
+        let Some(mut f) = self.flits.remove(&(packet, seq)) else {
+            return;
+        };
+        match f.cursor {
+            Cursor::InRouter {
+                node: n,
+                since,
+                kind,
+                vc_stalls,
+                credit_stalls,
+                switch_stalls,
+            } => {
+                if n != node {
+                    self.malformed += 1;
+                }
+                let hop = self.close_hop(
+                    n,
+                    since,
+                    t,
+                    kind,
+                    seq,
+                    vc_stalls,
+                    credit_stalls,
+                    switch_stalls,
+                    true,
+                );
+                f.hops.push(hop);
+            }
+            Cursor::InFlight => {
+                // FR bypass straight into the destination interface.
+                f.hops.push(HopSpan {
+                    node,
+                    arrive: t,
+                    depart: t,
+                    kind: HopKind::Fr,
+                    route: 0,
+                    vc_alloc_stall: 0,
+                    credit_stall: 0,
+                    buffer_wait: 0,
+                    switch: 0,
+                    ejection: 0,
+                });
+            }
+        }
+        let Some(p) = self.packets.get(&packet) else {
+            self.malformed += 1;
+            return;
+        };
+        let mut phases = [0u64; PHASE_COUNT];
+        // Pre-injection segments. The first control flit precedes data
+        // injection by construction; `min` keeps both segments
+        // non-negative regardless.
+        let sq_end = p.first_control.unwrap_or(f.injected).min(f.injected);
+        phases[Phase::SourceQueue.index()] = sq_end - p.created;
+        phases[Phase::ControlLead.index()] = f.injected - sq_end;
+        // Wire gaps between consecutive hops.
+        let mut channel = 0u64;
+        for pair in f.hops.windows(2) {
+            if pair[1].arrive < pair[0].depart {
+                self.malformed += 1;
+            } else {
+                channel += pair[1].arrive - pair[0].depart;
+            }
+        }
+        phases[Phase::ChannelTraversal.index()] = channel;
+        for hop in &f.hops {
+            phases[Phase::RouteCompute.index()] += hop.route;
+            phases[Phase::VcAllocStall.index()] += hop.vc_alloc_stall;
+            phases[Phase::CreditStall.index()] += hop.credit_stall;
+            phases[Phase::BufferWait.index()] += hop.buffer_wait;
+            phases[Phase::SwitchTraversal.index()] += hop.switch;
+            phases[Phase::Ejection.index()] += hop.ejection;
+        }
+        let record = FlitRecord {
+            packet,
+            seq,
+            src: p.src,
+            dest: p.dest,
+            created: p.created,
+            injected: f.injected,
+            first_control: p.first_control,
+            ejected: t,
+            hops: f.hops,
+            phases,
+        };
+        if record.attributed() != record.end_to_end() {
+            self.malformed += 1;
+        }
+        self.records.push(record);
+    }
+
+    /// Consumes the collector, producing the final report. Flits still
+    /// in flight (undelivered at the end of the run) are counted, not
+    /// reported as records.
+    pub fn finish(self) -> ProvenanceReport {
+        let mut records = self.records;
+        records.sort_by_key(|r| (r.packet, r.seq));
+        let mut delivered: Vec<(u64, u64)> = self
+            .packets
+            .iter()
+            .filter_map(|(&id, p)| p.delivered_latency.map(|l| (id, l)))
+            .collect();
+        delivered.sort_unstable();
+        let control_stall_cycles = self.packets.values().map(|p| p.control_stalls).sum();
+        ProvenanceReport {
+            records,
+            open_flits: self.flits.len(),
+            malformed: self.malformed,
+            control_stall_cycles,
+            delivered,
+            sample_every: self.sample_every,
+        }
+    }
+}
+
+impl TraceSink for ProvenanceCollector {
+    // This match is deliberately wildcard-free (like
+    // `crate::phase::stall_phase`): a new `TraceKind` variant cannot be
+    // added without deciding how provenance treats it.
+    fn emit(&mut self, event: TraceEvent) {
+        let TraceEvent { cycle, node, kind } = event;
+        let t = cycle.raw();
+        match kind {
+            TraceKind::PacketInjected {
+                packet, src, dest, ..
+            } => {
+                if self.sampled(packet)
+                    && self
+                        .packets
+                        .insert(
+                            packet,
+                            PacketState {
+                                created: t,
+                                src,
+                                dest,
+                                first_control: None,
+                                control_stalls: 0,
+                                delivered_latency: None,
+                            },
+                        )
+                        .is_some()
+                {
+                    self.malformed += 1;
+                }
+            }
+            TraceKind::FlitInjected { packet, seq } => {
+                if self.packets.contains_key(&packet) {
+                    self.flits.insert(
+                        (packet, seq),
+                        FlitState {
+                            injected: t,
+                            cursor: Cursor::InRouter {
+                                node,
+                                since: t,
+                                kind: HopKind::Unknown,
+                                vc_stalls: 0,
+                                credit_stalls: 0,
+                                switch_stalls: 0,
+                            },
+                            hops: Vec::new(),
+                        },
+                    );
+                }
+            }
+            TraceKind::ControlSent { packet, .. } => {
+                if let Some(p) = self.packets.get_mut(&packet) {
+                    if p.first_control.is_none() {
+                        p.first_control = Some(t);
+                    }
+                }
+            }
+            TraceKind::ControlRetried { .. } => {}
+            TraceKind::ReservationMade { .. } => {}
+            TraceKind::ChannelGrant { .. } => {}
+            TraceKind::BufferAlloc { packet, seq, .. } => {
+                self.on_arrival(packet, seq, node, t, HopKind::Fr);
+            }
+            TraceKind::BufferFree { .. } => {}
+            TraceKind::DataSent { packet, seq, .. } => {
+                self.on_departure(packet, seq, node, t);
+            }
+            TraceKind::VcDataSent { packet, seq, .. } => {
+                self.on_departure(packet, seq, node, t);
+            }
+            TraceKind::QueueEnq { packet, seq, .. } => {
+                self.on_arrival(packet, seq, node, t, HopKind::Vc);
+            }
+            TraceKind::QueueDeq { .. } => {}
+            TraceKind::CreditSent { .. } => {}
+            TraceKind::FlitEjected { packet, seq } => {
+                self.on_eject(packet, seq, node, t);
+            }
+            TraceKind::PacketDelivered { packet, latency } => {
+                if let Some(p) = self.packets.get_mut(&packet) {
+                    p.delivered_latency = Some(latency);
+                }
+            }
+            TraceKind::VcAllocStall { packet, seq } => {
+                if let Some(f) = self.flits.get_mut(&(packet, seq)) {
+                    if let Cursor::InRouter { vc_stalls, .. } = &mut f.cursor {
+                        *vc_stalls += 1;
+                    }
+                }
+            }
+            TraceKind::CreditStall { packet, seq } => {
+                if let Some(f) = self.flits.get_mut(&(packet, seq)) {
+                    if let Cursor::InRouter { credit_stalls, .. } = &mut f.cursor {
+                        *credit_stalls += 1;
+                    }
+                }
+            }
+            TraceKind::SwitchStall { packet, seq } => {
+                if let Some(f) = self.flits.get_mut(&(packet, seq)) {
+                    if let Cursor::InRouter { switch_stalls, .. } = &mut f.cursor {
+                        *switch_stalls += 1;
+                    }
+                }
+            }
+            TraceKind::ControlStall { packet } => {
+                if let Some(p) = self.packets.get_mut(&packet) {
+                    p.control_stalls += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Everything the collector learned from one run.
+#[derive(Clone, Debug)]
+pub struct ProvenanceReport {
+    /// One record per sampled, delivered flit, sorted by (packet, seq).
+    pub records: Vec<FlitRecord>,
+    /// Sampled flits still in flight when the run ended.
+    pub open_flits: usize,
+    /// Internal consistency violations observed while folding events
+    /// (0 on every well-formed trace; tests assert this).
+    pub malformed: u64,
+    /// Total control-plane stall cycles over sampled packets (FR only;
+    /// context for the attribution table, not part of any flit's span).
+    pub control_stall_cycles: u64,
+    /// `(packet, latency)` for every sampled packet the network reported
+    /// delivered — ground truth for the exactness property.
+    pub delivered: Vec<(u64, u64)>,
+    /// The sampling divisor the collector ran with.
+    pub sample_every: u64,
+}
+
+/// One row of the stacked attribution table.
+#[derive(Clone, Debug)]
+pub struct PhaseRow {
+    /// The latency component.
+    pub phase: Phase,
+    /// Total cycles attributed across all records.
+    pub total: u64,
+    /// Mean cycles per flit.
+    pub mean: f64,
+    /// Fraction of all attributed cycles.
+    pub share: f64,
+    /// 95th percentile of the per-flit component.
+    pub p95: u64,
+}
+
+impl ProvenanceReport {
+    /// Aggregates the records into one row per phase (all zeros when no
+    /// records were collected).
+    pub fn phase_table(&self) -> Vec<PhaseRow> {
+        let n = self.records.len();
+        let grand: u64 = self.records.iter().map(FlitRecord::attributed).sum();
+        Phase::ALL
+            .iter()
+            .map(|&phase| {
+                let i = phase.index();
+                let total: u64 = self.records.iter().map(|r| r.phases[i]).sum();
+                let mut per_flit: Vec<u64> = self.records.iter().map(|r| r.phases[i]).collect();
+                per_flit.sort_unstable();
+                let p95 = if n == 0 {
+                    0
+                } else {
+                    per_flit[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1]
+                };
+                PhaseRow {
+                    phase,
+                    total,
+                    mean: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+                    share: if grand == 0 {
+                        0.0
+                    } else {
+                        total as f64 / grand as f64
+                    },
+                    p95,
+                }
+            })
+            .collect()
+    }
+
+    /// Mean attributed end-to-end latency over the records.
+    pub fn mean_end_to_end(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records
+            .iter()
+            .map(|r| r.end_to_end() as f64)
+            .sum::<f64>()
+            / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_engine::Cycle;
+
+    fn ev(cycle: u64, node: u16, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            cycle: Cycle::new(cycle),
+            node,
+            kind,
+        }
+    }
+
+    /// A hand-written VC flit history: inject at 10 on node 0, stall
+    /// twice, forward at 14, arrive node 1 at 15, forward at 17, arrive
+    /// node 2 at 18, eject at 20.
+    #[test]
+    fn vc_flit_decomposes_exactly() {
+        let mut c = ProvenanceCollector::new(1);
+        c.emit(ev(
+            8,
+            0,
+            TraceKind::PacketInjected {
+                packet: 4,
+                src: 0,
+                dest: 2,
+                length: 1,
+            },
+        ));
+        c.emit(ev(10, 0, TraceKind::FlitInjected { packet: 4, seq: 0 }));
+        c.emit(ev(
+            10,
+            0,
+            TraceKind::QueueEnq {
+                port: 4,
+                vc: 0,
+                packet: 4,
+                seq: 0,
+            },
+        ));
+        c.emit(ev(12, 0, TraceKind::VcAllocStall { packet: 4, seq: 0 }));
+        c.emit(ev(13, 0, TraceKind::CreditStall { packet: 4, seq: 0 }));
+        c.emit(ev(
+            14,
+            0,
+            TraceKind::VcDataSent {
+                out_port: 1,
+                vc: 0,
+                packet: 4,
+                seq: 0,
+            },
+        ));
+        c.emit(ev(
+            15,
+            1,
+            TraceKind::QueueEnq {
+                port: 3,
+                vc: 0,
+                packet: 4,
+                seq: 0,
+            },
+        ));
+        c.emit(ev(
+            17,
+            1,
+            TraceKind::VcDataSent {
+                out_port: 1,
+                vc: 0,
+                packet: 4,
+                seq: 0,
+            },
+        ));
+        c.emit(ev(
+            18,
+            2,
+            TraceKind::QueueEnq {
+                port: 3,
+                vc: 0,
+                packet: 4,
+                seq: 0,
+            },
+        ));
+        c.emit(ev(20, 2, TraceKind::FlitEjected { packet: 4, seq: 0 }));
+        c.emit(ev(
+            20,
+            2,
+            TraceKind::PacketDelivered {
+                packet: 4,
+                latency: 12,
+            },
+        ));
+        let report = c.finish();
+        assert_eq!(report.malformed, 0);
+        assert_eq!(report.open_flits, 0);
+        assert_eq!(report.records.len(), 1);
+        let r = &report.records[0];
+        assert_eq!(r.end_to_end(), 12);
+        assert_eq!(r.attributed(), 12);
+        assert_eq!(r.hops.len(), 3);
+        assert_eq!(r.phases[Phase::SourceQueue.index()], 2);
+        assert_eq!(r.phases[Phase::VcAllocStall.index()], 1);
+        assert_eq!(r.phases[Phase::CreditStall.index()], 1);
+        assert_eq!(r.phases[Phase::ChannelTraversal.index()], 2);
+        assert_eq!(r.phases[Phase::Ejection.index()], 1);
+        // First hop: r=4, stalls=2, route charged (seq 0, r >= 2+2).
+        assert_eq!(r.hops[0].route, 1);
+        assert_eq!(r.hops[0].switch, 1);
+        assert_eq!(r.hops[0].buffer_wait, 0);
+        assert_eq!(report.delivered, vec![(4, 12)]);
+    }
+
+    /// FR: park at an intermediate router, bypass the next, eject.
+    #[test]
+    fn fr_bypass_charges_channel_not_buffer() {
+        let mut c = ProvenanceCollector::new(1);
+        c.emit(ev(
+            0,
+            0,
+            TraceKind::PacketInjected {
+                packet: 2,
+                src: 0,
+                dest: 2,
+                length: 1,
+            },
+        ));
+        c.emit(ev(
+            1,
+            0,
+            TraceKind::ControlSent {
+                out_port: 1,
+                vc: 0,
+                packet: 2,
+            },
+        ));
+        c.emit(ev(3, 0, TraceKind::FlitInjected { packet: 2, seq: 0 }));
+        c.emit(ev(
+            3,
+            0,
+            TraceKind::DataSent {
+                out_port: 1,
+                packet: 2,
+                seq: 0,
+            },
+        )); // bypass at source
+        c.emit(ev(
+            7,
+            1,
+            TraceKind::BufferAlloc {
+                port: 3,
+                buffer: 0,
+                packet: 2,
+                seq: 0,
+            },
+        ));
+        c.emit(ev(
+            9,
+            1,
+            TraceKind::DataSent {
+                out_port: 1,
+                packet: 2,
+                seq: 0,
+            },
+        ));
+        c.emit(ev(13, 2, TraceKind::FlitEjected { packet: 2, seq: 0 })); // bypass eject
+        let report = c.finish();
+        assert_eq!(report.malformed, 0);
+        let r = &report.records[0];
+        assert_eq!(r.end_to_end(), 13);
+        assert_eq!(r.attributed(), 13);
+        assert_eq!(r.first_control, Some(1));
+        assert_eq!(r.phases[Phase::SourceQueue.index()], 1);
+        assert_eq!(r.phases[Phase::ControlLead.index()], 2);
+        assert_eq!(r.phases[Phase::CreditStall.index()], 0);
+        assert_eq!(r.phases[Phase::RouteCompute.index()], 0);
+        // Node 1: parked 2 cycles -> 1 switch + 1 buffer wait.
+        assert_eq!(r.phases[Phase::SwitchTraversal.index()], 1);
+        assert_eq!(r.phases[Phase::BufferWait.index()], 1);
+        // Wires: 3->7 and 9->13; the bypass hops have zero residency.
+        assert_eq!(r.phases[Phase::ChannelTraversal.index()], 8);
+        assert_eq!(r.phases[Phase::Ejection.index()], 0);
+        assert_eq!(r.hops[0].residency(), 0);
+        assert_eq!(r.hops[2].residency(), 0);
+    }
+
+    #[test]
+    fn unsampled_packets_are_ignored() {
+        let mut c = ProvenanceCollector::new(2);
+        c.emit(ev(
+            0,
+            0,
+            TraceKind::PacketInjected {
+                packet: 3,
+                src: 0,
+                dest: 1,
+                length: 1,
+            },
+        ));
+        c.emit(ev(1, 0, TraceKind::FlitInjected { packet: 3, seq: 0 }));
+        c.emit(ev(4, 1, TraceKind::FlitEjected { packet: 3, seq: 0 }));
+        let report = c.finish();
+        assert!(report.records.is_empty());
+        assert_eq!(report.open_flits, 0);
+        assert_eq!(report.malformed, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Per-flit latency provenance: where every cycle of a packet's
+//! latency went.
+//!
+//! The paper's argument is causal — flit reservation lowers base
+//! latency because routing and arbitration happen *in advance* on the
+//! control network, and raises saturation throughput because buffer
+//! turnaround drops to zero (Peh & Dally, HPCA 2000, Sections 1 and 5).
+//! This crate turns the existing trace-event stream into that evidence:
+//!
+//! * [`Phase`] — the nine-way cycle attribution model (source queueing,
+//!   control lead, route computation, VC-allocation stall,
+//!   credit/turnaround stall, buffer wait, switch traversal, channel
+//!   traversal, ejection);
+//! * [`ProvenanceCollector`] — a [`noc_engine::trace::TraceSink`] that
+//!   folds the event stream into per-flit [`FlitRecord`]s whose phase
+//!   components sum *exactly* to the measured end-to-end latency;
+//! * [`chrome_trace`] — a serde-free Chrome trace-event / Perfetto
+//!   export ([`noc_metrics::Json`]), one track per router, nested spans
+//!   per flit, openable directly in `ui.perfetto.dev`.
+//!
+//! Tracing is sampled (`sample_every`) and costs nothing when off: the
+//! collector rides the same `TraceSink` machinery as every other sink,
+//! so the default `NullSink` configuration compiles all emit sites and
+//! the routers' stall-provenance scans away.
+
+pub mod chrome;
+pub mod collector;
+pub mod phase;
+
+pub use chrome::chrome_trace;
+pub use collector::{
+    FlitRecord, HopKind, HopSpan, PhaseRow, ProvenanceCollector, ProvenanceReport,
+};
+pub use phase::{stall_phase, Phase, PHASE_COUNT};

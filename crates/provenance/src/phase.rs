@@ -1,0 +1,154 @@
+//! The phase model: where a cycle of a flit's lifetime can go.
+//!
+//! Every cycle between a packet's creation and the ejection of one of
+//! its flits is attributed to exactly one [`Phase`]. The mapping from
+//! raw [`TraceKind`] events to phases lives here, in wildcard-free
+//! matches, so adding a trace event without deciding its provenance
+//! role is a compile error — the two layers cannot silently drift.
+
+use noc_engine::trace::TraceKind;
+
+/// Number of phases; the length of per-flit attribution arrays.
+pub const PHASE_COUNT: usize = 9;
+
+/// One component of a flit's end-to-end latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Waiting in the source queue before the network acted on the
+    /// packet (both disciplines; includes injection-channel backlog).
+    SourceQueue,
+    /// Control-flit lead time (FR): from the packet's first control-flit
+    /// transmission until its data flit entered the network. Routing and
+    /// scheduling decisions made during this window are hidden here
+    /// rather than charged to the data flit — the paper's
+    /// "pre-reservation hides decision latency".
+    ControlLead,
+    /// The route-computation cycle of a head flit at each hop
+    /// (VC baseline only; FR routes in the control plane).
+    RouteCompute,
+    /// Cycles a head flit waited for a downstream virtual-channel grant
+    /// (VC baseline only).
+    VcAllocStall,
+    /// Cycles a flit waited for downstream credit — the buffer-turnaround
+    /// wait flit reservation eliminates (zero for FR by construction).
+    CreditStall,
+    /// Residual in-router wait: queued behind other flits of the same
+    /// VC, parked awaiting a reserved departure slot (FR), or waiting
+    /// for a packet-sized buffer/tail under VCT/SAF.
+    BufferWait,
+    /// Switch traversal, including cycles lost to switch arbitration.
+    SwitchTraversal,
+    /// Wire time between routers (and the injection channel's delay).
+    ChannelTraversal,
+    /// The final cycle delivering the flit into the destination's
+    /// network interface.
+    Ejection,
+}
+
+impl Phase {
+    /// Every phase, in attribution-table order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::SourceQueue,
+        Phase::ControlLead,
+        Phase::RouteCompute,
+        Phase::VcAllocStall,
+        Phase::CreditStall,
+        Phase::BufferWait,
+        Phase::SwitchTraversal,
+        Phase::ChannelTraversal,
+        Phase::Ejection,
+    ];
+
+    /// Index into per-flit attribution arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name, used in tables and trace span names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::SourceQueue => "source_queue",
+            Phase::ControlLead => "control_lead",
+            Phase::RouteCompute => "route_compute",
+            Phase::VcAllocStall => "vc_alloc_stall",
+            Phase::CreditStall => "credit_stall",
+            Phase::BufferWait => "buffer_wait",
+            Phase::SwitchTraversal => "switch_traversal",
+            Phase::ChannelTraversal => "channel_traversal",
+            Phase::Ejection => "ejection",
+        }
+    }
+}
+
+/// The phase a stall-marker event charges its cycle to, or `None` for
+/// events that mark span boundaries instead of stalled cycles.
+///
+/// This match is deliberately wildcard-free: adding a [`TraceKind`]
+/// variant without extending it (and the collector) fails to compile.
+pub fn stall_phase(kind: &TraceKind) -> Option<Phase> {
+    match kind {
+        TraceKind::VcAllocStall { .. } => Some(Phase::VcAllocStall),
+        TraceKind::CreditStall { .. } => Some(Phase::CreditStall),
+        // Switch-arbitration losses are part of switch traversal time.
+        TraceKind::SwitchStall { .. } => Some(Phase::SwitchTraversal),
+        // Control-plane stalls extend the control lead, not the data path.
+        TraceKind::ControlStall { .. } => Some(Phase::ControlLead),
+        TraceKind::PacketInjected { .. }
+        | TraceKind::FlitInjected { .. }
+        | TraceKind::ControlSent { .. }
+        | TraceKind::ControlRetried { .. }
+        | TraceKind::ReservationMade { .. }
+        | TraceKind::ChannelGrant { .. }
+        | TraceKind::BufferAlloc { .. }
+        | TraceKind::BufferFree { .. }
+        | TraceKind::DataSent { .. }
+        | TraceKind::VcDataSent { .. }
+        | TraceKind::QueueEnq { .. }
+        | TraceKind::QueueDeq { .. }
+        | TraceKind::CreditSent { .. }
+        | TraceKind::FlitEjected { .. }
+        | TraceKind::PacketDelivered { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_is_complete_and_ordered() {
+        assert_eq!(Phase::ALL.len(), PHASE_COUNT);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for a in Phase::ALL {
+            for b in Phase::ALL {
+                assert_eq!(a.name() == b.name(), a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn stall_markers_map_to_phases() {
+        assert_eq!(
+            stall_phase(&TraceKind::VcAllocStall { packet: 1, seq: 0 }),
+            Some(Phase::VcAllocStall)
+        );
+        assert_eq!(
+            stall_phase(&TraceKind::CreditStall { packet: 1, seq: 0 }),
+            Some(Phase::CreditStall)
+        );
+        assert_eq!(
+            stall_phase(&TraceKind::SwitchStall { packet: 1, seq: 0 }),
+            Some(Phase::SwitchTraversal)
+        );
+        assert_eq!(
+            stall_phase(&TraceKind::ControlStall { packet: 1 }),
+            Some(Phase::ControlLead)
+        );
+    }
+}

@@ -567,6 +567,78 @@ impl<S: TraceSink> Router for VcRouter<S> {
         out.switch_arb_retries = self.stats.switch_arb_retries;
         out.data_flits_sent = self.stats.data_flits_sent;
     }
+
+    /// Classifies every front flit that was eligible this cycle but did
+    /// not move. Mirrors the gating order of [`VcRouter::allocate_vcs`]
+    /// and [`VcRouter::traverse_switch`]: a front with `arrived < now`
+    /// still queued after the step lost at exactly one gate.
+    ///
+    /// Waits that are not a contention loss emit nothing and fall into
+    /// the collector's residual buffer-wait bucket: a head still behind
+    /// its predecessor packet (no route yet), a store-and-forward head
+    /// waiting for its own tail, and all non-front flits.
+    fn emit_stall_provenance(&mut self, now: Cycle) {
+        if !S::ENABLED {
+            return;
+        }
+        for &in_port in &Port::ALL {
+            for vc in 0..self.config.num_vcs {
+                let ivc = &self.inputs[in_port][vc];
+                let front = match ivc.queue.front() {
+                    Some(f) if f.arrived < now => f,
+                    _ => continue,
+                };
+                let (packet, seq) = (front.flit.packet, front.flit.seq);
+                let (route, out_vc) = match (ivc.route, ivc.out_vc) {
+                    (Some(r), Some(v)) => (r, v),
+                    (Some(_), None) => {
+                        self.sink.vc_alloc_stall(now, self.node, packet, seq);
+                        continue;
+                    }
+                    // Head exposed mid-cycle by a departing tail: it has
+                    // not been routed yet, so this cycle is queue wait,
+                    // not a contention loss.
+                    (None, _) => continue,
+                };
+                if front.tag.ty.is_head() && ivc.switch_ready_at > now {
+                    continue;
+                }
+                if !self.has_credit(route, out_vc) {
+                    self.sink.credit_stall(now, self.node, packet, seq);
+                    continue;
+                }
+                if front.tag.ty.is_head()
+                    && route != Port::Local
+                    && self.config.allocation != AllocationUnit::Flit
+                {
+                    let needed = front.flit.length as usize;
+                    let available = match self.config.credit_mode {
+                        CreditMode::PerVc => self.outputs[route].credits[out_vc as usize],
+                        CreditMode::SharedPool => {
+                            let occ: usize = self.outputs[route].downstream_occ.iter().sum();
+                            self.config.buffers_per_input().saturating_sub(occ)
+                        }
+                    };
+                    if available < needed {
+                        self.sink.credit_stall(now, self.node, packet, seq);
+                        continue;
+                    }
+                }
+                if front.tag.ty.is_head()
+                    && self.config.allocation == AllocationUnit::StoreAndForward
+                {
+                    let tail_buffered = ivc
+                        .queue
+                        .iter()
+                        .any(|q| q.flit.packet == packet && q.tag.ty.is_tail());
+                    if !tail_buffered {
+                        continue;
+                    }
+                }
+                self.sink.switch_stall(now, self.node, packet, seq);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

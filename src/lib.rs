@@ -16,7 +16,9 @@
 //! * [`vc`] — the virtual-channel / wormhole baselines;
 //! * [`fr`] — flit-reservation flow control (the paper's contribution);
 //! * [`network`] — network composition, measurement, sweeps;
-//! * [`overhead`] — the Table 1/2 storage and bandwidth models.
+//! * [`overhead`] — the Table 1/2 storage and bandwidth models;
+//! * [`metrics`] — zero-cost-when-off counters and JSON export;
+//! * [`provenance`] — per-flit latency attribution and Perfetto export.
 //!
 //! # Quickstart
 //!
@@ -39,8 +41,10 @@
 pub use flit_reservation as fr;
 pub use noc_engine as engine;
 pub use noc_flow as flow;
+pub use noc_metrics as metrics;
 pub use noc_network as network;
 pub use noc_overhead as overhead;
+pub use noc_provenance as provenance;
 pub use noc_topology as topology;
 pub use noc_traffic as traffic;
 pub use noc_vc as vc;
