@@ -20,6 +20,7 @@ fn flit(seq: u32) -> DataFlit {
         length: 5,
         dest: NodeId::new(0),
         created_at: Cycle::ZERO,
+        crc_ok: true,
     }
 }
 

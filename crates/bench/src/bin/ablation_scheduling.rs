@@ -3,7 +3,7 @@
 //! flits move on and free their buffers, so it sustains higher load.
 
 use flit_reservation::{FrConfig, SchedulingPolicy};
-use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
+use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, sweep_threads, Scale};
 use noc_network::{sweep_loads, FlowControl};
 use noc_topology::Mesh;
 
@@ -27,7 +27,7 @@ fn main() {
             .with_flits_per_control(4)
             .with_policy(policy);
         let fc = FlowControl::FlitReservation(cfg);
-        let mut curve = sweep_loads(&fc, mesh, 5, &loads, &sim, 1);
+        let mut curve = sweep_loads(&fc, mesh, 5, &loads, &sim, sweep_threads());
         curve.label = format!("FR13/d=4/{name}");
         print_curve(&curve);
         curves.push(curve);

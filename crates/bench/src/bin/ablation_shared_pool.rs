@@ -4,7 +4,7 @@
 //! flit-reservation flow control comes from advance scheduling, not from
 //! pooling.
 
-use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
+use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, sweep_threads, Scale};
 use noc_flow::LinkTiming;
 use noc_network::{sweep_loads, FlowControl};
 use noc_topology::Mesh;
@@ -23,7 +23,7 @@ fn main() {
         ("VC8/shared-pool", VcConfig::vc8().with_shared_pool()),
     ] {
         let fc = FlowControl::VirtualChannel(cfg, t);
-        let mut curve = sweep_loads(&fc, mesh, 5, &loads, &sim, 1);
+        let mut curve = sweep_loads(&fc, mesh, 5, &loads, &sim, sweep_threads());
         curve.label = name.to_string();
         print_curve(&curve);
         curves.push(curve);

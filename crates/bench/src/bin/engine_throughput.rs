@@ -190,11 +190,12 @@ fn main() {
 
     let mut json = String::from("{\n  \"bench\": \"engine_throughput\",\n");
     json.push_str(&format!(
-        "  \"mesh\": \"{}x{}\",\n  \"seed\": {},\n  \"quick\": {},\n  \"rows\": [\n",
+        "  \"mesh\": \"{}x{}\",\n  \"seed\": {},\n  \"quick\": {},\n  \"shard_threads\": {},\n  \"rows\": [\n",
         mesh.width(),
         mesh.height(),
         seed,
-        quick
+        quick,
+        shard_threads
     ));
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(

@@ -8,7 +8,7 @@
 
 use flit_reservation::FrConfig;
 use noc_bench::report::{manifest, write_curves_json};
-use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
+use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, sweep_threads, Scale};
 use noc_flow::LinkTiming;
 use noc_metrics::write_json_file;
 use noc_network::{sweep_loads, FlowControl};
@@ -70,14 +70,16 @@ fn main() {
     ];
     println!("Figure 5: latency vs offered traffic, 5-flit packets, fast control");
     println!("(paper saturation: VC8 63%, VC16 80%, FR6 77%, FR13 85%; base latency VC 32, FR 27)");
+    let threads = sweep_threads();
     let mut curves = Vec::new();
     for fc in &configs {
-        let curve = sweep_loads(fc, mesh, 5, &loads, &sim, 1);
+        let curve = sweep_loads(fc, mesh, 5, &loads, &sim, threads);
         print_curve(&curve);
         curves.push(curve);
     }
     print_summary(&curves);
-    let m = manifest("fig5", scale, seed, "VC8/VC16/FR6/FR13");
+    let mut m = manifest("fig5", scale, seed, "VC8/VC16/FR6/FR13");
+    m.threads = threads as u64;
     write_curves_json(&m, &curves);
     if let Some(path) = trace_out {
         write_trace(

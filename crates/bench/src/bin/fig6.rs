@@ -3,7 +3,7 @@
 
 use flit_reservation::FrConfig;
 use noc_bench::report::{manifest, write_curves_json};
-use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
+use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, sweep_threads, Scale};
 use noc_flow::LinkTiming;
 use noc_network::{sweep_loads, FlowControl};
 use noc_topology::Mesh;
@@ -26,13 +26,15 @@ fn main() {
     println!(
         "(paper saturation: VC16 65%, VC32 65%, FR6 60%, FR13 75%; base latency VC 55, FR 46)"
     );
+    let threads = sweep_threads();
     let mut curves = Vec::new();
     for fc in &configs {
-        let curve = sweep_loads(fc, mesh, 21, &loads, &sim, 1);
+        let curve = sweep_loads(fc, mesh, 21, &loads, &sim, threads);
         print_curve(&curve);
         curves.push(curve);
     }
     print_summary(&curves);
-    let m = manifest("fig6", scale, seed, "VC16/VC32/FR6/FR13");
+    let mut m = manifest("fig6", scale, seed, "VC16/VC32/FR6/FR13");
+    m.threads = threads as u64;
     write_curves_json(&m, &curves);
 }

@@ -9,7 +9,7 @@
 
 use flit_reservation::FrConfig;
 use noc_bench::report::{manifest, write_curves_json};
-use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
+use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, sweep_threads, Scale};
 use noc_flow::LinkTiming;
 use noc_metrics::write_json_file;
 use noc_network::{sweep_loads, FlowControl};
@@ -47,9 +47,10 @@ fn main() {
     ];
     println!("Figure 9: FR (1-cycle leading control) vs VC, 1-cycle wires, 5-flit packets");
     println!("(paper: equal base latency 15; FR6 75% vs VC8 65%; latency 19 vs 21 at 50%)");
+    let threads = sweep_threads();
     let mut curves = Vec::new();
     for fc in &configs {
-        let mut curve = sweep_loads(fc, mesh, 5, &loads, &sim, 1);
+        let mut curve = sweep_loads(fc, mesh, 5, &loads, &sim, threads);
         if matches!(fc, FlowControl::FlitReservation(_)) {
             curve.label = format!("{}/lead=1", curve.label);
         }
@@ -57,7 +58,8 @@ fn main() {
         curves.push(curve);
     }
     print_summary(&curves);
-    let m = manifest("fig9", scale, seed, "VC8/VC16/FR6/FR13 lead=1");
+    let mut m = manifest("fig9", scale, seed, "VC8/VC16/FR6/FR13 lead=1");
+    m.threads = threads as u64;
     write_curves_json(&m, &curves);
     if let Some(path) = trace_out {
         let fc = FlowControl::FlitReservation(FrConfig::fr6().with_timing(wires));

@@ -8,7 +8,7 @@
 //! storage-matched flit-reservation configuration.
 
 use flit_reservation::FrConfig;
-use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, Scale};
+use noc_bench::{default_loads, print_curve, print_summary, seed_from_env, sweep_threads, Scale};
 use noc_flow::LinkTiming;
 use noc_network::{sweep_loads, FlowControl};
 use noc_topology::Mesh;
@@ -29,7 +29,7 @@ fn main() {
     println!("Related work lineage: SAF → VCT → wormhole → VC → FR (5-flit packets)");
     let mut curves = Vec::new();
     for fc in &configs {
-        let curve = sweep_loads(fc, mesh, 5, &loads, &sim, 1);
+        let curve = sweep_loads(fc, mesh, 5, &loads, &sim, sweep_threads());
         print_curve(&curve);
         curves.push(curve);
     }

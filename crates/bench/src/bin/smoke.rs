@@ -15,13 +15,19 @@
 //!   export must satisfy the trace-event contract (valid JSON, `ph`,
 //!   `ts`/`dur` on complete events, phase tiles nested inside their hop
 //!   spans), and same-seed exports must be byte-identical.
+//! * `--faults` — chaos stage: run VC8/FR6 under a randomized fault plan
+//!   (data corruption, control-flit drops, a dead link) and assert the
+//!   reliability layer delivers the full sample, that an inactive plan is
+//!   bit-identical to no plan at all, and that fault schedules replay
+//!   deterministically.
 
 use flit_reservation::FrConfig;
 use noc_bench::report::{manifest, write_chrome_trace, write_metrics_json};
 use noc_bench::{seed_from_env, Scale};
+use noc_faults::FaultPlan;
 use noc_flow::LinkTiming;
 use noc_metrics::{strip_nondeterministic, Json, RunManifest, SCHEMA_VERSION};
-use noc_network::{FlowControl, RunResult, SimConfig};
+use noc_network::{FaultSummary, FlowControl, RunResult, SimConfig};
 use noc_topology::Mesh;
 use noc_traffic::LoadSpec;
 use noc_vc::VcConfig;
@@ -115,6 +121,7 @@ fn validate_export(path: &std::path::Path, config: &str, offered: f64) -> Json {
         "config",
         "git_rev",
         "toolchain",
+        "threads",
         "wall_ms",
     ] {
         assert!(
@@ -394,12 +401,90 @@ fn provenance_check(sim: &SimConfig) {
     println!("provenance validation passed (FR credit stalls: 0 by construction)");
 }
 
+/// Runs VC8 and FR6 under a randomized-but-reproducible fault plan and
+/// checks the reliability layer end to end: an inactive plan must be
+/// bit-identical to no plan at all (zero-cost-when-off), an active plan
+/// must still deliver the full sample despite corruption, control-flit
+/// drops and a dead link, the protocol counters must be internally
+/// consistent, and the fault schedule itself must be reproducible.
+fn faults_check(sim: &SimConfig, seed: u64) {
+    let mesh = Mesh::new(8, 8);
+    let offered = 0.4;
+    let load = LoadSpec::fraction_of_capacity(offered, 5);
+    println!("\nfault validation (offered {:.0}%):", offered * 100.0);
+    for fc in [
+        FlowControl::VirtualChannel(VcConfig::vc8(), LinkTiming::fast_control()),
+        FlowControl::FlitReservation(FrConfig::fr6()),
+    ] {
+        let label = fc.label();
+        let plain = fc.run(mesh, load, sim);
+
+        // Zero-cost-when-off: an inactive plan must not perturb anything.
+        let (quiet, qs) = fc.run_faulty(mesh, load, sim, &FaultPlan::quiet(seed));
+        assert_zero_perturbation(&plain, &quiet, &label);
+        assert_eq!(
+            qs,
+            FaultSummary::default(),
+            "{label}: inactive plan armed the fault layer"
+        );
+
+        // An active plan must still deliver the full sample. Pull the
+        // dead link early so even the quick scale exercises masking.
+        let mut plan = FaultPlan::randomized(seed, mesh);
+        for d in &mut plan.dead_links {
+            d.at_cycle = d.at_cycle.min(64);
+        }
+        let (faulty, fs) = fc.run_faulty(mesh, load, sim, &plan);
+        assert!(
+            faulty.completed,
+            "{label}: fault run saturated under {}",
+            plan.summary()
+        );
+        // Adaptive warmup may shift the measured window under faults, so
+        // the sample count need not match the fault-free run exactly;
+        // `completed` already proves every measured packet drained.
+        assert!(faulty.delivered > 0, "{label}: fault run delivered nothing");
+        let c = fs.counters;
+        assert!(
+            c.corrupt_discarded <= c.data_corrupted,
+            "{label}: discarded more corrupt flits than were corrupted"
+        );
+        assert!(
+            c.retransmits <= c.nacks + c.timeout_retransmits,
+            "{label}: retransmits unaccounted for by NACKs and timeouts"
+        );
+        assert_eq!(
+            c.links_masked,
+            plan.dead_links.len() as u64,
+            "{label}: dead links not applied"
+        );
+
+        // Same plan, same seed: the fault schedule is part of the run's
+        // identity, so a repeat must reproduce it exactly.
+        let (again, fs2) = fc.run_faulty(mesh, load, sim, &plan);
+        assert_eq!(
+            faulty.end_cycle, again.end_cycle,
+            "{label}: same-plan fault runs diverged"
+        );
+        assert_eq!(fs, fs2, "{label}: same-plan fault counters diverged");
+        println!(
+            "  {label}: zero-cost-off ok, delivered {} ({} corrupt, {} dropped, {} retransmits, {} dead links), determinism ok",
+            faulty.delivered, c.data_corrupted, c.control_dropped, c.retransmits, c.links_masked
+        );
+    }
+    println!("fault validation passed");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let metrics = args.iter().any(|a| a == "--metrics");
-    if let Some(unknown) = args.iter().find(|a| *a != "--quick" && *a != "--metrics") {
-        eprintln!("unknown flag {unknown}; usage: smoke [--quick] [--metrics]");
+    let faults = args.iter().any(|a| a == "--faults");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| *a != "--quick" && *a != "--metrics" && *a != "--faults")
+    {
+        eprintln!("unknown flag {unknown}; usage: smoke [--quick] [--metrics] [--faults]");
         std::process::exit(2);
     }
 
@@ -434,5 +519,13 @@ fn main() {
         }
         metrics_check(scale, seed, &msim);
         provenance_check(&msim);
+    }
+
+    if faults {
+        let mut fsim = scale.sim(seed);
+        if quick {
+            fsim.sample_packets = fsim.sample_packets.min(500);
+        }
+        faults_check(&fsim, seed);
     }
 }

@@ -3,7 +3,7 @@
 //! (5- and 21-flit packets) and 1-cycle leading control (5-flit packets).
 
 use flit_reservation::FrConfig;
-use noc_bench::{seed_from_env, Scale};
+use noc_bench::{seed_from_env, sweep_threads, Scale};
 use noc_flow::LinkTiming;
 use noc_network::{sweep_loads, FlowControl};
 use noc_topology::Mesh;
@@ -25,7 +25,7 @@ fn regime(
     // base latency and a 50% point for the mid-load row.
     let loads = [0.05, 0.3, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9];
     for fc in configs {
-        let curve = sweep_loads(fc, mesh, length, &loads, sim, 1);
+        let curve = sweep_loads(fc, mesh, length, &loads, sim, sweep_threads());
         let base = curve.base_latency();
         let mid = curve
             .latency_at(0.5)

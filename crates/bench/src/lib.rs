@@ -84,6 +84,24 @@ pub fn seed_from_env() -> u64 {
         .unwrap_or(2000)
 }
 
+/// Worker threads the experiment bins fan their load sweeps across:
+/// `FRFC_THREADS` when set (clamped to at least 1), otherwise the
+/// machine's available parallelism capped at 4. Every sweep point is an
+/// isolated simulation with its own forked seed, so results are
+/// independent of this count; bins record the value actually used in
+/// their `RunManifest` so wall-clock comparisons stay attributable.
+pub fn sweep_threads() -> usize {
+    if let Ok(v) = std::env::var("FRFC_THREADS") {
+        return v
+            .parse::<usize>()
+            .unwrap_or_else(|_| panic!("FRFC_THREADS must be a positive integer, got {v}"))
+            .max(1);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1)
+}
+
 /// Default offered-load sweep (fractions of capacity) used by the
 /// latency-throughput figures.
 pub fn default_loads() -> Vec<f64> {

@@ -237,6 +237,71 @@ pub enum TraceKind {
         /// Packet the blocked control flit reserves for.
         packet: u64,
     },
+    /// A transient link fault corrupted a data flit in transit: its CRC
+    /// bit was cleared but the flit keeps travelling and consuming its
+    /// reserved resources (fault injection).
+    DataCorrupted {
+        /// Packet the corrupted flit belongs to.
+        packet: u64,
+        /// Flit sequence number within the packet.
+        seq: u32,
+    },
+    /// A transient link fault dropped a control flit; the link-level
+    /// repair re-drives it after the repair timeout, re-issuing the
+    /// bookings it carries instead of stalling forever (fault injection).
+    ControlDropped {
+        /// Output port whose control wire dropped the flit.
+        out_port: u8,
+    },
+    /// The destination network interface discarded a CRC-failed data
+    /// flit instead of ejecting it, and will NACK the source.
+    CorruptDiscarded {
+        /// Packet the discarded flit belongs to.
+        packet: u64,
+        /// Flit sequence number within the packet.
+        seq: u32,
+    },
+    /// The destination network interface discarded a retransmitted copy
+    /// of a flit it had already accepted (exactly-once filtering).
+    DuplicateDiscarded {
+        /// Packet the discarded copy belongs to.
+        packet: u64,
+        /// Flit sequence number within the packet.
+        seq: u32,
+    },
+    /// The destination network interface issued a NACK towards the
+    /// packet's source after discarding a corrupted flit.
+    NackIssued {
+        /// Packet being NACKed.
+        packet: u64,
+    },
+    /// The destination network interface acknowledged the complete,
+    /// exactly-once delivery of a packet; the source retires its
+    /// retransmit-buffer entry when the ACK lands.
+    AckIssued {
+        /// Packet being acknowledged.
+        packet: u64,
+    },
+    /// The source network interface re-injected a packet from its
+    /// retransmit buffer (NACK- or timeout-triggered).
+    PacketRetransmitted {
+        /// Packet being re-sent.
+        packet: u64,
+        /// Retransmission attempt number (1 for the first re-send).
+        attempt: u32,
+    },
+    /// A retransmit timer fired with the packet still unacknowledged;
+    /// the follow-up copy is traced as [`TraceKind::PacketRetransmitted`].
+    RetransmitTimeout {
+        /// Packet whose timer expired.
+        packet: u64,
+    },
+    /// A permanently failed outgoing link was masked out of this node's
+    /// routing function; new traffic detours around it.
+    LinkMasked {
+        /// Output port of the dead link.
+        port: u8,
+    },
 }
 
 /// A consumer of [`TraceEvent`]s.
@@ -461,6 +526,9 @@ pub struct InvariantChecker {
     ejected_flits: HashSet<(u64, u32)>,
     delivered_packets: HashSet<u64>,
     injected_flits: u64,
+    /// Flit copies discarded at a destination NI (CRC failure or
+    /// duplicate filtering); only nonzero under fault injection.
+    discarded_flits: u64,
     /// Shadow of each VC input queue: `(node, port, vc)` → flits.
     fifos: HashMap<(u16, u8, u8), VecDeque<(u64, u32)>>,
 }
@@ -507,6 +575,12 @@ impl InvariantChecker {
         self.injected_flits
     }
 
+    /// Number of flit copies discarded at destination NIs (corrupt or
+    /// duplicate); zero unless fault injection is active.
+    pub fn discarded_flits(&self) -> u64 {
+        self.discarded_flits
+    }
+
     /// Panics with the collected messages if any invariant was violated.
     pub fn assert_clean(&self) {
         assert!(
@@ -530,6 +604,34 @@ impl InvariantChecker {
             "flit conservation: {} injected but {} ejected",
             self.injected_flits,
             self.ejected_flits.len()
+        );
+        assert!(
+            self.occupied.is_empty(),
+            "{} buffer slot(s) still occupied after drain: {:?}",
+            self.occupied.len(),
+            self.occupied.iter().take(4).collect::<Vec<_>>()
+        );
+        let queued: usize = self.fifos.values().map(VecDeque::len).sum();
+        assert_eq!(
+            queued, 0,
+            "{queued} flit(s) still sitting in VC queues after drain"
+        );
+    }
+
+    /// The fault-tolerant drain check: every injected flit copy was
+    /// either ejected exactly once or explicitly discarded (corrupt or
+    /// duplicate), every buffer was freed and every VC queue emptied.
+    /// With fault injection off this degrades to [`Self::assert_drained`]
+    /// because `discarded_flits` stays zero.
+    pub fn assert_drained_under_faults(&self) {
+        self.assert_clean();
+        assert_eq!(
+            self.injected_flits,
+            self.ejected_flits.len() as u64 + self.discarded_flits,
+            "flit conservation under faults: {} copies injected but {} ejected + {} discarded",
+            self.injected_flits,
+            self.ejected_flits.len(),
+            self.discarded_flits
         );
         assert!(
             self.occupied.is_empty(),
@@ -714,6 +816,34 @@ impl TraceSink for InvariantChecker {
             | TraceKind::CreditStall { .. }
             | TraceKind::SwitchStall { .. }
             | TraceKind::ControlStall { .. } => {}
+            TraceKind::CorruptDiscarded { .. } => self.discarded_flits += 1,
+            TraceKind::DuplicateDiscarded { packet, seq } => {
+                self.discarded_flits += 1;
+                // A duplicate discard asserts the destination already
+                // accepted this flit; if it never was, the dedup filter
+                // just dropped live traffic.
+                if !self.ejected_flits.contains(&(packet, seq)) {
+                    self.violate(format!(
+                        "flit {packet}.{seq} discarded as duplicate but never ejected \
+                         (node {node}, {cycle})"
+                    ));
+                }
+            }
+            TraceKind::PacketRetransmitted { packet, .. } => {
+                if !self.packet_length.contains_key(&packet) {
+                    self.violate(format!(
+                        "packet {packet} retransmitted but never injected (node {node})"
+                    ));
+                }
+            }
+            // Fault-injection and reliability markers with no tracked
+            // state; monotone time still applies.
+            TraceKind::DataCorrupted { .. }
+            | TraceKind::ControlDropped { .. }
+            | TraceKind::NackIssued { .. }
+            | TraceKind::AckIssued { .. }
+            | TraceKind::RetransmitTimeout { .. }
+            | TraceKind::LinkMasked { .. } => {}
         }
     }
 }

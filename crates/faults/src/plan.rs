@@ -1,0 +1,198 @@
+//! The fault plan: a complete, seed-derived description of every fault a
+//! run will experience.
+//!
+//! A [`FaultPlan`] is pure data. The network derives all fault decisions
+//! (which flit gets corrupted, which control flit gets dropped, when a
+//! link dies) from the plan's rates and its dedicated RNG stream, so two
+//! runs with the same plan and the same traffic seed are bit-identical —
+//! including their faults. The plan's [`FaultPlan::summary`] string goes
+//! into the `RunManifest`, which therefore pins the entire fault
+//! schedule of an experiment.
+
+use noc_engine::Rng;
+use noc_topology::{Mesh, NodeId, Port};
+
+/// A permanent link failure: the outgoing link of `node` on `port` is
+/// taken out of service at `at_cycle`.
+///
+/// "Out of service" means the owning router masks the port out of its
+/// routing function for *new* traffic; traffic already committed to the
+/// link (booked reservations, flits mid-switch) still drains, modelling
+/// an administrative shutdown rather than a wire severed mid-flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeadLink {
+    /// Node owning the failing output link.
+    pub node: NodeId,
+    /// Output port of the failing link.
+    pub port: Port,
+    /// Cycle at which the failure takes effect.
+    pub at_cycle: u64,
+}
+
+/// Everything the fault injector needs to know, in one value.
+///
+/// All rates are per-traversal probabilities drawn from the plan's own
+/// RNG stream (seeded by `seed`), independent of the traffic RNG, so
+/// enabling faults never perturbs which packets are generated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG stream (independent of the traffic seed).
+    pub seed: u64,
+    /// Per-traversal probability that a data flit's CRC is corrupted on
+    /// a link. The flit keeps travelling and consuming its reserved
+    /// resources; the destination discards it and NACKs the source.
+    pub data_corrupt_rate: f64,
+    /// Per-traversal probability that a control flit is dropped on a
+    /// link. The link-level repair re-drives it `repair_delay` cycles
+    /// later, re-issuing the bookings it carries (FR reservation repair).
+    pub control_drop_rate: f64,
+    /// Extra cycles a dropped control flit waits before the repair
+    /// re-drives it.
+    pub repair_delay: u64,
+    /// Propagation delay of ACKs and NACKs from destination back to
+    /// source (modelled as a fixed out-of-band latency).
+    pub ack_latency: u64,
+    /// Base retransmit timeout armed after each retransmission; doubles
+    /// per attempt up to `max_backoff_exp` doublings.
+    pub retransmit_timeout: u64,
+    /// Cap on exponential-backoff doublings of the retransmit timeout.
+    pub max_backoff_exp: u32,
+    /// Permanent link failures, applied in `at_cycle` order.
+    pub dead_links: Vec<DeadLink>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing: all rates zero, no dead links.
+    ///
+    /// Installing a quiet plan is indistinguishable from installing no
+    /// plan at all (see [`FaultPlan::is_active`]).
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            data_corrupt_rate: 0.0,
+            control_drop_rate: 0.0,
+            repair_delay: 8,
+            ack_latency: 16,
+            retransmit_timeout: 256,
+            max_backoff_exp: 4,
+            dead_links: Vec::new(),
+        }
+    }
+
+    /// True if the plan can actually inject a fault. Networks ignore
+    /// inactive plans entirely, which keeps fault-free runs bit-identical
+    /// to runs that never loaded the fault layer.
+    pub fn is_active(&self) -> bool {
+        self.data_corrupt_rate > 0.0 || self.control_drop_rate > 0.0 || !self.dead_links.is_empty()
+    }
+
+    /// A randomized-but-reproducible plan derived entirely from `seed`:
+    /// small transient rates and one permanent horizontal link failure at
+    /// an interior node of `mesh`. Used by the chaos and determinism
+    /// suites to explore many fault schedules without hand-writing them.
+    pub fn randomized(seed: u64, mesh: Mesh) -> Self {
+        let mut rng = Rng::from_seed(seed ^ 0xFA17_F1A5);
+        // Rates in [1e-4, ~2e-3]: high enough to fire in short runs,
+        // low enough that retransmissions stay bounded.
+        let data_corrupt_rate = 1e-4 * (1 + rng.below(20)) as f64;
+        let control_drop_rate = 1e-4 * (1 + rng.below(20)) as f64;
+        // One dead horizontal link at an interior node (x in 1..w-2 so an
+        // east neighbour exists and detours have room on both sides).
+        let (w, h) = (mesh.width(), mesh.height());
+        let x = 1 + (rng.below((w as u64).saturating_sub(3).max(1)) as u16);
+        let y = 1 + (rng.below((h as u64).saturating_sub(2).max(1)) as u16);
+        let port = if rng.below(2) == 0 {
+            Port::East
+        } else {
+            Port::West
+        };
+        let dead = DeadLink {
+            node: mesh.node_at(x.min(w - 2), y.min(h - 1)),
+            port,
+            at_cycle: 64 + rng.below(512),
+        };
+        FaultPlan {
+            seed,
+            data_corrupt_rate,
+            control_drop_rate,
+            dead_links: vec![dead],
+            ..FaultPlan::quiet(seed)
+        }
+    }
+
+    /// Compact one-line description for `RunManifest` config strings,
+    /// e.g. `faults(seed=7,corrupt=1e-3,drop=5e-4,dead=1)`.
+    pub fn summary(&self) -> String {
+        format!(
+            "faults(seed={},corrupt={:e},drop={:e},repair={},ack={},rto={},backoff={},dead={})",
+            self.seed,
+            self.data_corrupt_rate,
+            self.control_drop_rate,
+            self.repair_delay,
+            self.ack_latency,
+            self.retransmit_timeout,
+            self.max_backoff_exp,
+            self.dead_links.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_is_inactive() {
+        assert!(!FaultPlan::quiet(7).is_active());
+    }
+
+    #[test]
+    fn any_rate_or_dead_link_activates() {
+        let mut p = FaultPlan::quiet(7);
+        p.data_corrupt_rate = 1e-3;
+        assert!(p.is_active());
+        let mut p = FaultPlan::quiet(7);
+        p.control_drop_rate = 1e-3;
+        assert!(p.is_active());
+        let mut p = FaultPlan::quiet(7);
+        p.dead_links.push(DeadLink {
+            node: NodeId::new(0),
+            port: Port::East,
+            at_cycle: 10,
+        });
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn randomized_plans_are_reproducible_and_active() {
+        let mesh = Mesh::new(8, 8);
+        let a = FaultPlan::randomized(42, mesh);
+        let b = FaultPlan::randomized(42, mesh);
+        assert_eq!(a, b);
+        assert!(a.is_active());
+        assert_ne!(a, FaultPlan::randomized(43, mesh));
+    }
+
+    #[test]
+    fn randomized_dead_link_is_horizontal_and_on_mesh() {
+        let mesh = Mesh::new(8, 8);
+        for seed in 0..32 {
+            let p = FaultPlan::randomized(seed, mesh);
+            for d in &p.dead_links {
+                assert!(matches!(d.port, Port::East | Port::West));
+                assert!(
+                    mesh.neighbor(d.node, d.port).is_some(),
+                    "dead link must be a real link"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn summary_mentions_the_knobs() {
+        let p = FaultPlan::quiet(9);
+        let s = p.summary();
+        assert!(s.contains("seed=9"));
+        assert!(s.contains("dead=0"));
+    }
+}

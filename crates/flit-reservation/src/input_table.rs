@@ -77,7 +77,7 @@ pub enum ArrivalOutcome {
 /// // ... the flit arrives at cycle 9 ...
 /// let flit = DataFlit {
 ///     packet: PacketId::new(0), seq: 0, length: 1,
-///     dest: NodeId::new(5), created_at: Cycle::ZERO,
+///     dest: NodeId::new(5), created_at: Cycle::ZERO, crc_ok: true,
 /// };
 /// table.advance_to(Cycle::new(9));
 /// assert!(matches!(
@@ -331,6 +331,7 @@ mod tests {
             length: 5,
             dest: NodeId::new(0),
             created_at: Cycle::ZERO,
+            crc_ok: true,
         }
     }
 
@@ -532,6 +533,7 @@ mod bypass_tests {
             length: 2,
             dest: NodeId::new(1),
             created_at: Cycle::ZERO,
+            crc_ok: true,
         }
     }
 

@@ -26,7 +26,7 @@ use noc_engine::{Cycle, Rng};
 use noc_flow::{
     ControlFlit, ControlKind, DataFlit, LedFlit, LinkEvent, Router, StepOutputs, TraceEmit,
 };
-use noc_topology::{xy_route, Mesh, NodeId, Port, PortMap};
+use noc_topology::{masked_xy_route, xy_route, Mesh, NodeId, Port, PortMap};
 use noc_traffic::Packet;
 use std::collections::VecDeque;
 
@@ -91,6 +91,8 @@ pub struct FrStats {
     pub control_flits_sent: u64,
     /// Data flits forwarded onto outgoing data links (excludes ejections).
     pub data_flits_sent: u64,
+    /// Route computations that detoured around a dead output link.
+    pub masked_routes: u64,
 }
 
 /// A flit-reservation flow-control router.
@@ -128,6 +130,9 @@ pub struct FrRouter<S: TraceSink = NullSink> {
     input_tables: PortMap<InputReservationTable>,
     ni: FrNi,
     stats: FrStats,
+    /// Output ports masked out of routing after a permanent link failure
+    /// (bit `1 << port.index()`); see [`Router::on_link_dead`].
+    dead_mask: u8,
     /// Data flits that arrived on links this cycle, buffered until the
     /// data path has executed this cycle's departures: a buffer freed at
     /// `t_d` may be reused by a flit arriving at the same cycle, so
@@ -197,6 +202,7 @@ impl<S: TraceSink> FrRouter<S> {
                 data_ready: Vec::new(),
             },
             stats: FrStats::default(),
+            dead_mask: 0,
             pending_data: Vec::new(),
             transfer_counters: match config.buffer_alloc {
                 BufferAllocPolicy::AtReservation => Some(PortMap::from_fn(|_| {
@@ -233,12 +239,16 @@ impl<S: TraceSink> FrRouter<S> {
         &self.stats
     }
 
-    fn route_to(&self, dest: NodeId) -> Port {
+    fn route_to(&mut self, dest: NodeId) -> Port {
         if dest == self.node {
-            Port::Local
-        } else {
-            xy_route(self.mesh, self.node, dest).expect("non-local destination must route")
+            return Port::Local;
         }
+        let out = masked_xy_route(self.mesh, self.node, dest, self.dead_mask)
+            .expect("non-local destination must route");
+        if self.dead_mask != 0 && Some(out) != xy_route(self.mesh, self.node, dest) {
+            self.stats.masked_routes += 1;
+        }
+        out
     }
 
     fn advance_tables(&mut self, now: Cycle) {
@@ -692,6 +702,7 @@ impl<S: TraceSink> FrRouter<S> {
                 length: total,
                 dest: packet.dest,
                 created_at: packet.created_at,
+                crc_ok: true,
             })
             .collect();
         let mut first = true;
@@ -851,6 +862,11 @@ impl<S: TraceSink> Router for FrRouter<S> {
                 (self.input_tables[p].pending_departures() + self.input_tables[p].parked()) as u64
             })
             .sum();
+        out.masked_routes = self.stats.masked_routes;
+    }
+
+    fn on_link_dead(&mut self, port: Port) {
+        self.dead_mask |= 1 << port.index();
     }
 
     /// Marks every control flit that was eligible this cycle but is still
@@ -964,6 +980,7 @@ mod tests {
             length: len,
             dest,
             created_at: Cycle::ZERO,
+            crc_ok: true,
         }
     }
 
@@ -1262,6 +1279,7 @@ mod bypass_router_tests {
                     length: 1,
                     dest,
                     created_at: Cycle::ZERO,
+                    crc_ok: true,
                 },
             }],
             packet: PacketId::new(4),
@@ -1278,6 +1296,7 @@ mod bypass_router_tests {
                         length: 1,
                         dest,
                         created_at: Cycle::ZERO,
+                        crc_ok: true,
                     }),
                     Cycle::new(10),
                 );
@@ -1315,6 +1334,7 @@ mod bypass_router_tests {
             length: 1,
             dest,
             created_at: Cycle::ZERO,
+            crc_ok: true,
         };
         let cf = ControlFlit {
             vc: 0,

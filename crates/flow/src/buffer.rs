@@ -185,6 +185,7 @@ mod tests {
             length: 5,
             dest: NodeId::new(9),
             created_at: Cycle::ZERO,
+            crc_ok: true,
         }
     }
 

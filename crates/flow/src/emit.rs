@@ -384,6 +384,138 @@ pub trait TraceEmit: TraceSink {
             )
         });
     }
+
+    /// A link fault cleared `flit`'s CRC bit in transit.
+    #[inline(always)]
+    fn data_corrupted(&mut self, now: Cycle, node: NodeId, flit: &DataFlit) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::DataCorrupted {
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// A link fault dropped a control flit on `out_port`; the link-level
+    /// repair re-drives it after the repair delay.
+    #[inline(always)]
+    fn control_dropped(&mut self, now: Cycle, node: NodeId, out_port: Port) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::ControlDropped {
+                    out_port: port(out_port),
+                },
+            )
+        });
+    }
+
+    /// The destination NI discarded a CRC-failed copy of `flit`.
+    #[inline(always)]
+    fn corrupt_discarded(&mut self, now: Cycle, node: NodeId, flit: &DataFlit) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::CorruptDiscarded {
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// The destination NI discarded a duplicate copy of `flit`.
+    #[inline(always)]
+    fn duplicate_discarded(&mut self, now: Cycle, node: NodeId, flit: &DataFlit) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::DuplicateDiscarded {
+                    packet: flit.packet.raw(),
+                    seq: flit.seq,
+                },
+            )
+        });
+    }
+
+    /// The destination NI issued a NACK for `packet`.
+    #[inline(always)]
+    fn nack_issued(&mut self, now: Cycle, node: NodeId, packet: PacketId) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::NackIssued {
+                    packet: packet.raw(),
+                },
+            )
+        });
+    }
+
+    /// The destination NI acknowledged complete delivery of `packet`.
+    #[inline(always)]
+    fn ack_issued(&mut self, now: Cycle, node: NodeId, packet: PacketId) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::AckIssued {
+                    packet: packet.raw(),
+                },
+            )
+        });
+    }
+
+    /// The source NI re-injected `packet` (attempt `attempt`).
+    #[inline(always)]
+    fn packet_retransmitted(&mut self, now: Cycle, node: NodeId, packet: PacketId, attempt: u32) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::PacketRetransmitted {
+                    packet: packet.raw(),
+                    attempt,
+                },
+            )
+        });
+    }
+
+    /// A retransmit timer fired for `packet`, still unacknowledged.
+    #[inline(always)]
+    fn retransmit_timeout(&mut self, now: Cycle, node: NodeId, packet: PacketId) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::RetransmitTimeout {
+                    packet: packet.raw(),
+                },
+            )
+        });
+    }
+
+    /// A permanently dead outgoing link on `out_port` was masked out of
+    /// this node's routing function.
+    #[inline(always)]
+    fn link_masked(&mut self, now: Cycle, node: NodeId, out_port: Port) {
+        self.record(|| {
+            event(
+                now,
+                node,
+                TraceKind::LinkMasked {
+                    port: port(out_port),
+                },
+            )
+        });
+    }
 }
 
 impl<S: TraceSink + ?Sized> TraceEmit for S {}
@@ -400,6 +532,7 @@ mod tests {
             length: 5,
             dest: NodeId::new(63),
             created_at: Cycle::new(2),
+            crc_ok: true,
         }
     }
 

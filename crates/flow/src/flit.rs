@@ -79,6 +79,22 @@ pub struct DataFlit {
     pub dest: NodeId,
     /// Creation time of the packet, for latency accounting.
     pub created_at: Cycle,
+    /// Per-flit CRC status: `true` while the payload checksum verifies.
+    /// Link-level fault injection clears the bit in place of flipping
+    /// payload bits; the destination network interface discards flits
+    /// whose CRC fails and NACKs the source (see `noc-faults`).
+    pub crc_ok: bool,
+}
+
+impl DataFlit {
+    /// The flit with its CRC bit cleared, as produced by a corrupting
+    /// link traversal.
+    pub fn corrupted(self) -> Self {
+        DataFlit {
+            crc_ok: false,
+            ..self
+        }
+    }
 }
 
 /// The VC-network tag padded onto each data flit by virtual-channel flow

@@ -147,6 +147,9 @@ pub struct RouterCounters {
     /// Reservations currently booked but not yet departed, summed over all
     /// input tables; an instantaneous gauge (flit-reservation).
     pub bookings_in_flight: u64,
+    /// Route computations that detoured around a permanently dead output
+    /// link (any discipline; zero while no link has been masked).
+    pub masked_routes: u64,
 }
 
 impl RouterCounters {
@@ -163,6 +166,7 @@ impl RouterCounters {
         self.parked_arrivals += other.parked_arrivals;
         self.data_flits_sent += other.data_flits_sent;
         self.bookings_in_flight += other.bookings_in_flight;
+        self.masked_routes += other.masked_routes;
     }
 }
 
@@ -244,6 +248,19 @@ pub trait Router {
     fn emit_stall_provenance(&mut self, now: Cycle) {
         let _ = now;
     }
+
+    /// Informs the router that its outgoing link on `port` has failed
+    /// permanently. From this call onwards the router must stop routing
+    /// *new* traffic through `port` (typically by masking it out of the
+    /// routing function); traffic already committed to the link — booked
+    /// reservations, flits mid-switch — is still allowed to drain, which
+    /// models a link taken out of service rather than severed mid-flight.
+    ///
+    /// The default ignores the notification, which is correct for test
+    /// routers that never route.
+    fn on_link_dead(&mut self, port: Port) {
+        let _ = port;
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +275,7 @@ mod tests {
             length: 1,
             dest: NodeId::new(0),
             created_at: Cycle::ZERO,
+            crc_ok: true,
         }
     }
 

@@ -23,6 +23,10 @@ pub struct RunManifest {
     pub git_rev: String,
     /// `rustc --version` of the toolchain that built the binary.
     pub toolchain: String,
+    /// Worker threads the step phase actually ran with (1 = sequential).
+    /// Determinism makes the results independent of this, but audits need
+    /// to know what was exercised.
+    pub threads: u64,
     /// Wall-clock duration of the run in milliseconds. Nondeterministic;
     /// stripped by [`crate::json::strip_nondeterministic`].
     pub wall_ms: u64,
@@ -44,6 +48,7 @@ impl RunManifest {
             config: config.into(),
             git_rev: capture_git_rev(),
             toolchain: capture_toolchain(),
+            threads: 1,
             wall_ms: 0,
         }
     }
@@ -57,6 +62,7 @@ impl RunManifest {
             ("config".into(), Json::str(&self.config)),
             ("git_rev".into(), Json::str(&self.git_rev)),
             ("toolchain".into(), Json::str(&self.toolchain)),
+            ("threads".into(), Json::Num(self.threads as f64)),
             ("wall_ms".into(), Json::Num(self.wall_ms as f64)),
         ])
     }
@@ -103,6 +109,7 @@ mod tests {
     fn manifest_exports_required_keys() {
         let mut m = RunManifest::new("smoke", 2000, "quick", "FR6");
         m.wall_ms = 42;
+        m.threads = 4;
         let doc = m.to_json();
         for key in [
             "experiment",
@@ -111,11 +118,13 @@ mod tests {
             "config",
             "git_rev",
             "toolchain",
+            "threads",
             "wall_ms",
         ] {
             assert!(doc.get(key).is_some(), "missing manifest key {key}");
         }
         assert_eq!(doc.get("seed").and_then(Json::as_u64), Some(2000));
         assert_eq!(doc.get("config").and_then(Json::as_str), Some("FR6"));
+        assert_eq!(doc.get("threads").and_then(Json::as_u64), Some(4));
     }
 }

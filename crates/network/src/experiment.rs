@@ -2,10 +2,11 @@
 //! offered loads, and locate saturation — the machinery behind every
 //! figure and table of the paper.
 
-use crate::{run_simulation, Network, RunResult, SimConfig};
+use crate::{run_simulation, FaultSummary, Network, RunResult, SimConfig};
 use flit_reservation::{FrConfig, FrRouter};
 use noc_engine::trace::{NullSink, SharedSink};
 use noc_engine::{sweep, Rng};
+use noc_faults::FaultPlan;
 use noc_flow::LinkTiming;
 use noc_metrics::{MetricsRegistry, NullRecorder};
 use noc_provenance::{ProvenanceCollector, ProvenanceReport};
@@ -66,6 +67,45 @@ impl FlowControl {
                         FrRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64))
                     });
                 run_simulation(&mut network, sim)
+            }
+        }
+    }
+
+    /// Runs one simulation at `load` with the given fault plan armed:
+    /// deterministic transient link faults (CRC-caught data corruption,
+    /// dropped-then-repaired control flits), permanent link failures, and
+    /// the end-to-end ACK/NACK/retransmit recovery protocol.
+    ///
+    /// Identical seeds and methodology to [`FlowControl::run`]; an
+    /// inactive plan (all rates zero, no dead links) produces a
+    /// bit-identical `RunResult`. Returns the measurement record and the
+    /// fault layer's activity summary.
+    pub fn run_faulty(
+        &self,
+        mesh: Mesh,
+        load: LoadSpec,
+        sim: &SimConfig,
+        plan: &FaultPlan,
+    ) -> (RunResult, FaultSummary) {
+        let root = Rng::from_seed(sim.seed);
+        let generator = TrafficGenerator::uniform(mesh, load, root.fork(0x7261_6666_6963)); // "raffic"
+        match self {
+            FlowControl::VirtualChannel(cfg, timing) => {
+                let mut network = Network::new(mesh, *timing, 2, generator, |node| {
+                    VcRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64))
+                });
+                network.set_fault_plan(plan.clone());
+                let result = run_simulation(&mut network, sim);
+                (result, network.fault_summary().unwrap_or_default())
+            }
+            FlowControl::FlitReservation(cfg) => {
+                let mut network =
+                    Network::new(mesh, cfg.timing, cfg.control_lanes, generator, |node| {
+                        FrRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64))
+                    });
+                network.set_fault_plan(plan.clone());
+                let result = run_simulation(&mut network, sim);
+                (result, network.fault_summary().unwrap_or_default())
             }
         }
     }

@@ -28,6 +28,6 @@ mod runner;
 mod tracker;
 
 pub use experiment::{base_latency, find_saturation, sweep_loads, Curve, FlowControl, LoadPoint};
-pub use network::{Network, ProbeConfig, ProbeState};
+pub use network::{FaultSummary, Network, ProbeConfig, ProbeState};
 pub use runner::{run_simulation, RunResult, SimConfig};
-pub use tracker::DeliveryTracker;
+pub use tracker::{DeliveryError, DeliveryTracker};

@@ -32,6 +32,9 @@
 use crate::DeliveryTracker;
 use noc_engine::trace::{NullSink, TraceSink};
 use noc_engine::Cycle;
+use noc_faults::{
+    DeadLink, FaultCounters, FaultPlan, Reliability, ReliabilityAction, RetransmitCause,
+};
 use noc_flow::{
     Link, LinkEvent, LinkTiming, Router, RouterCounters, StepOutputs, TraceEmit, WireClass,
 };
@@ -82,6 +85,41 @@ struct Instruments {
     link_flits: Vec<PortMap<LinkFlits>>,
     /// Control-wire bandwidth in flits/cycle (for utilization gauges).
     control_bandwidth: u32,
+}
+
+/// Deterministic fault-injection state. Boxed behind an `Option` so a
+/// fault-free network carries one null pointer and executes not a single
+/// extra fault instruction — traces, RNG trajectories and metric exports
+/// stay bit-identical to a network that never heard of faults.
+#[derive(Debug)]
+struct FaultState {
+    plan: FaultPlan,
+    /// Fault RNG. Decoupled from the control-error RNG and every traffic
+    /// stream, and drawn only in the sequential phases, so sharded and
+    /// sequential runs see the same fault schedule.
+    rng: noc_engine::Rng,
+    /// Source-side retransmit buffer and ACK/NACK/timeout bookkeeping.
+    reliability: Reliability,
+    counters: FaultCounters,
+    /// Permanent link failures not yet activated, sorted by `at_cycle`
+    /// (then node) *descending* so activation pops from the end.
+    pending_dead: Vec<DeadLink>,
+    /// Retained scratch for the reliability layer's due actions.
+    actions: Vec<ReliabilityAction>,
+}
+
+/// Snapshot of the fault layer's activity, for tests and experiment
+/// reports. Obtained from [`Network::fault_summary`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Event counters: corruptions, drops, discards, ACK/NACK traffic,
+    /// retransmissions and masked links.
+    pub counters: FaultCounters,
+    /// Packets currently held in the source retransmit buffer (packets
+    /// that have been NACKed at least once and not yet ACKed).
+    pub retransmit_buffered: usize,
+    /// Peak retransmit-buffer occupancy over the run.
+    pub retransmit_peak: usize,
 }
 
 /// The three wires of one directed inter-router link.
@@ -219,6 +257,9 @@ pub struct Network<R: Router, S: TraceSink = NullSink, M: Recorder = NullRecorde
     control_error_rate: f64,
     error_rng: noc_engine::Rng,
     control_retries: u64,
+    /// Fault-injection and reliability layer; `None` (the overwhelmingly
+    /// common case) means the fault path costs one branch per phase.
+    faults: Option<Box<FaultState>>,
     sink: S,
     /// Metrics recorder; `NullRecorder` by default.
     metrics: M,
@@ -351,6 +392,7 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             control_error_rate: 0.0,
             error_rng: noc_engine::Rng::from_seed(0xE44),
             control_retries: 0,
+            faults: None,
             sink,
             metrics,
             metrics_period: 64,
@@ -415,6 +457,58 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
     /// Control flits retransmitted so far under the error model.
     pub fn control_retries(&self) -> u64 {
         self.control_retries
+    }
+
+    /// Arms deterministic fault injection from `plan`:
+    ///
+    /// * data flits are corrupted in flight with
+    ///   [`FaultPlan::data_corrupt_rate`] per link traversal (caught by
+    ///   the CRC at ejection, NACKed, and retransmitted end to end);
+    /// * control flits are dropped with
+    ///   [`FaultPlan::control_drop_rate`] per traversal, modelled as a
+    ///   [`FaultPlan::repair_delay`]-cycle re-drive on the same wire
+    ///   (flit-reservation's parked arrivals absorb the late bookings);
+    /// * each [`FaultPlan::dead_links`] entry permanently masks one
+    ///   output port out of its router's routing at `at_cycle`.
+    ///
+    /// The whole fault trajectory derives from [`FaultPlan::seed`], so a
+    /// run is reproducible from its manifest. Inactive plans (all rates
+    /// zero, no dead links) are ignored outright: the network stays
+    /// bit-identical to one that never saw a plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if !plan.is_active() {
+            return;
+        }
+        let mut pending_dead = plan.dead_links.clone();
+        pending_dead.sort_by(|a, b| {
+            b.at_cycle
+                .cmp(&a.at_cycle)
+                .then(b.node.raw().cmp(&a.node.raw()))
+                .then(b.port.index().cmp(&a.port.index()))
+        });
+        self.faults = Some(Box::new(FaultState {
+            rng: noc_engine::Rng::from_seed(plan.seed ^ 0xFA01),
+            reliability: Reliability::new(plan.retransmit_timeout, plan.max_backoff_exp),
+            counters: FaultCounters::default(),
+            pending_dead,
+            actions: Vec::new(),
+            plan,
+        }));
+    }
+
+    /// Whether a (non-trivial) fault plan is armed.
+    pub fn faults_active(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Snapshot of the fault layer's activity; `None` without an armed
+    /// plan.
+    pub fn fault_summary(&self) -> Option<FaultSummary> {
+        self.faults.as_ref().map(|f| FaultSummary {
+            counters: f.counters,
+            retransmit_buffered: f.reliability.buffered(),
+            retransmit_peak: f.reliability.peak_buffered(),
+        })
     }
 
     /// Turns the idle-skip wake-list on or off. Skipping is on by default
@@ -541,13 +635,70 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
         }
     }
 
+    /// Fault sub-phase (start of the inject phase, sequential in both
+    /// stepping modes): activates permanent link failures due this cycle
+    /// and drains the reliability layer's due ACK/NACK/timeout events,
+    /// re-offering retransmitted packets through their source backlog.
+    fn apply_fault_events(&mut self, now: Cycle) {
+        // Move the box out so the loop bodies can borrow other fields.
+        let Some(mut f) = self.faults.take() else {
+            return;
+        };
+        while f
+            .pending_dead
+            .last()
+            .is_some_and(|d| d.at_cycle <= now.raw())
+        {
+            let dead = f.pending_dead.pop().expect("checked non-empty");
+            let slot = &mut self.slots[dead.node.index()];
+            slot.router.on_link_dead(dead.port);
+            slot.active = true;
+            f.counters.links_masked += 1;
+            self.sink.link_masked(now, dead.node, dead.port);
+        }
+        let mut actions = std::mem::take(&mut f.actions);
+        f.reliability.poll(now.raw(), &mut actions);
+        for action in actions.drain(..) {
+            match action {
+                ReliabilityAction::Retransmit {
+                    packet,
+                    attempt,
+                    cause,
+                } => {
+                    if cause == RetransmitCause::Timeout {
+                        f.counters.timeout_retransmits += 1;
+                        self.sink.retransmit_timeout(now, packet.src, packet.id);
+                    }
+                    f.counters.retransmits += 1;
+                    self.sink
+                        .packet_retransmitted(now, packet.src, packet.id, attempt);
+                    // Re-offer through the source backlog. The delivery
+                    // tracker keeps the original injection record, so the
+                    // reported latency includes the full recovery delay,
+                    // and the router re-emits per-flit injection events
+                    // for the new copy (conservation counts every copy).
+                    self.backlog[packet.src.index()].push_back(packet);
+                }
+                ReliabilityAction::Retired { .. } => {}
+            }
+        }
+        f.actions = actions;
+        self.faults = Some(f);
+    }
+
     /// Phase 2: generate this cycle's traffic (unless stopped) and offer
     /// each node's backlog to its router, waking routers that accept.
     fn offer_traffic(&mut self, now: Cycle) {
+        if self.faults.is_some() {
+            self.apply_fault_events(now);
+        }
         if !self.injection_stopped {
             self.generator.tick_into(now, &mut self.packet_scratch);
             for packet in self.packet_scratch.drain(..) {
                 self.tracker.on_inject(&packet, self.measuring);
+                if let Some(f) = self.faults.as_mut() {
+                    f.reliability.register(packet);
+                }
                 self.sink.packet_injected(
                     now,
                     packet.src,
@@ -594,7 +745,7 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             // `self.slots` across the link/tracker updates; moving a
             // `StepOutputs` moves two Vec headers, not their contents.
             let mut out = std::mem::take(&mut self.slots[n].out);
-            for (port, event) in out.sends.drain(..) {
+            for (port, mut event) in out.sends.drain(..) {
                 assert!(port.is_mesh(), "routers send on mesh ports only");
                 let set = self.links[n][port]
                     .as_mut()
@@ -608,11 +759,41 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                 // Error model: a corrupted control flit is retransmitted;
                 // each retry adds one wire traversal of delay.
                 let mut extra = 0;
+                let mut control_traversals = 1u64;
                 if class == WireClass::Control && self.control_error_rate > 0.0 {
                     while self.error_rng.chance(self.control_error_rate) {
                         self.control_retries += 1;
                         self.sink.control_retried(now, node, port);
                         extra += self.timing.control_delay.max(1);
+                        control_traversals += 1;
+                    }
+                }
+                // Fault injection: transient link faults flip a data
+                // flit's CRC in flight, or swallow a control flit (the
+                // link-level repair re-drives it `repair_delay` cycles
+                // later on the same FIFO wire).
+                if let Some(f) = self.faults.as_mut() {
+                    match class {
+                        WireClass::Data
+                            if f.plan.data_corrupt_rate > 0.0
+                                && f.rng.chance(f.plan.data_corrupt_rate) =>
+                        {
+                            if let LinkEvent::Data(flit) | LinkEvent::VcData(_, flit) = &mut event {
+                                flit.crc_ok = false;
+                                f.counters.data_corrupted += 1;
+                                self.sink.data_corrupted(now, node, flit);
+                            }
+                        }
+                        WireClass::Control
+                            if f.plan.control_drop_rate > 0.0
+                                && f.rng.chance(f.plan.control_drop_rate) =>
+                        {
+                            f.counters.control_dropped += 1;
+                            self.sink.control_dropped(now, node, port);
+                            extra += f.plan.repair_delay.max(1);
+                            control_traversals += 1;
+                        }
+                        _ => {}
                     }
                 }
                 wire.push_with_extra_delay(now, event, extra)
@@ -621,19 +802,57 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                     let flits = &mut self.instruments.link_flits[n][port];
                     match class {
                         WireClass::Data => flits.data += 1,
-                        WireClass::Control => {
-                            flits.control += 1 + extra / self.timing.control_delay.max(1)
-                        }
+                        WireClass::Control => flits.control += control_traversals,
                         WireClass::Credit => flits.credit += 1,
                     }
                 }
             }
             for e in out.ejections.drain(..) {
-                self.sink.flit_ejected(e.at, node, &e.flit);
-                let done = self.tracker.on_eject(e.flit.packet, e.flit.seq, node, e.at);
-                if let Some(latency) = done {
-                    self.sink
-                        .packet_delivered(e.at, node, e.flit.packet, latency);
+                if let Some(f) = self.faults.as_mut() {
+                    if !e.flit.crc_ok {
+                        // The destination's CRC caught an in-flight
+                        // corruption: discard the flit and NACK the
+                        // packet back to its source (one outstanding
+                        // NACK per packet copy).
+                        f.counters.corrupt_discarded += 1;
+                        self.sink.corrupt_discarded(e.at, node, &e.flit);
+                        if f.reliability
+                            .schedule_nack(e.flit.packet, e.at.raw() + f.plan.ack_latency)
+                        {
+                            f.counters.nacks += 1;
+                            self.sink.nack_issued(e.at, node, e.flit.packet);
+                        }
+                        continue;
+                    }
+                }
+                match self.tracker.on_eject(e.flit.packet, e.flit.seq, node, e.at) {
+                    Ok(done) => {
+                        self.sink.flit_ejected(e.at, node, &e.flit);
+                        if let Some(latency) = done {
+                            self.sink
+                                .packet_delivered(e.at, node, e.flit.packet, latency);
+                            if let Some(f) = self.faults.as_mut() {
+                                // Completion ACK: retires the source's
+                                // retransmit-buffer entry (and any armed
+                                // timeout) `ack_latency` cycles later.
+                                f.counters.acks += 1;
+                                self.sink.ack_issued(e.at, node, e.flit.packet);
+                                f.reliability
+                                    .schedule_ack(e.flit.packet, e.at.raw() + f.plan.ack_latency);
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        // A retransmitted copy of a flit the destination
+                        // already accepted: the NI's dedup filter drops
+                        // it. Without faults no duplicate can exist, so
+                        // surface the tracker's verdict as a crash.
+                        let Some(f) = self.faults.as_mut() else {
+                            panic!("{err}");
+                        };
+                        f.counters.duplicate_discarded += 1;
+                        self.sink.duplicate_discarded(e.at, node, &e.flit);
+                    }
                 }
             }
             self.slots[n].out = out;
@@ -760,6 +979,13 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
         let mesh = self.mesh;
         let control_retries = self.control_retries;
         let total_cycles = self.now.raw();
+        let fault_stats = self.faults.as_ref().map(|f| {
+            (
+                f.counters,
+                f.reliability.buffered(),
+                f.reliability.peak_buffered(),
+            )
+        });
         let instruments = &self.instruments;
         self.metrics.with(|reg| {
             reg.counter_set("net.cycles", total_cycles);
@@ -781,7 +1007,7 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             // Per-router counters (sparse: zero counters are omitted) and
             // network-wide totals (dense: always present for validators).
             for (i, c) in per_router.iter().enumerate() {
-                let fields: [(&str, u64); 10] = [
+                let fields: [(&str, u64); 11] = [
                     ("credit_stalls", c.credit_stalls),
                     ("vc_alloc_conflicts", c.vc_alloc_conflicts),
                     ("switch_arb_retries", c.switch_arb_retries),
@@ -792,6 +1018,7 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                     ("parked_arrivals", c.parked_arrivals),
                     ("data_flits_sent", c.data_flits_sent),
                     ("bookings_in_flight", c.bookings_in_flight),
+                    ("masked_routes", c.masked_routes),
                 ];
                 for (name, value) in fields {
                     if value > 0 {
@@ -799,7 +1026,7 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                     }
                 }
             }
-            let total_fields: [(&str, u64); 10] = [
+            let total_fields: [(&str, u64); 11] = [
                 ("credit_stalls", totals.credit_stalls),
                 ("vc_alloc_conflicts", totals.vc_alloc_conflicts),
                 ("switch_arb_retries", totals.switch_arb_retries),
@@ -813,9 +1040,31 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                 ("parked_arrivals", totals.parked_arrivals),
                 ("data_flits_sent", totals.data_flits_sent),
                 ("bookings_in_flight", totals.bookings_in_flight),
+                ("masked_routes", totals.masked_routes),
             ];
             for (name, value) in total_fields {
                 reg.counter_set(&format!("total.{name}"), value);
+            }
+
+            // Fault-layer counters: only present when a plan is armed, so
+            // fault-free exports stay byte-identical to the seed.
+            if let Some((c, buffered, peak)) = fault_stats {
+                let fault_fields: [(&str, u64); 11] = [
+                    ("data_corrupted", c.data_corrupted),
+                    ("control_dropped", c.control_dropped),
+                    ("corrupt_discarded", c.corrupt_discarded),
+                    ("duplicate_discarded", c.duplicate_discarded),
+                    ("acks", c.acks),
+                    ("nacks", c.nacks),
+                    ("retransmits", c.retransmits),
+                    ("timeout_retransmits", c.timeout_retransmits),
+                    ("links_masked", c.links_masked),
+                    ("retransmit_buffered", buffered as u64),
+                    ("retransmit_peak", peak as u64),
+                ];
+                for (name, value) in fault_fields {
+                    reg.counter_set(&format!("fault.{name}"), value);
+                }
             }
 
             // Per-link flit counts (sparse) and mean utilizations.

@@ -10,7 +10,38 @@ use noc_engine::stats::{Histogram, RunningStats};
 use noc_engine::Cycle;
 use noc_topology::NodeId;
 use noc_traffic::{Packet, PacketId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A delivery-accounting error the caller can recover from.
+///
+/// Under fault injection, retransmission legitimately produces duplicate
+/// copies of already-delivered flits; the tracker reports them as typed
+/// errors so the network can discard the copy (and trace it) instead of
+/// double-counting latency. Without faults a duplicate is a conservation
+/// bug and the network escalates the error to a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryError {
+    /// A flit copy arrived for a `(packet, seq)` that was already
+    /// accepted — either the packet is still in flight and the bitmap
+    /// has the seq marked, or the whole packet already completed.
+    DuplicateDelivery {
+        /// The packet the duplicate copy belongs to.
+        packet: PacketId,
+        /// Sequence number of the duplicate flit.
+        seq: u32,
+    },
+}
+
+impl fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeliveryError::DuplicateDelivery { packet, seq } => {
+                write!(f, "duplicate delivery of flit {seq} of {packet}")
+            }
+        }
+    }
+}
 
 /// In-flight bookkeeping for one packet.
 #[derive(Clone, Debug)]
@@ -38,13 +69,16 @@ struct Inflight {
 ///     id: PacketId::new(0), src: NodeId::new(1), dest: NodeId::new(2),
 ///     length_flits: 1, created_at: Cycle::ZERO,
 /// }, true);
-/// tracker.on_eject(PacketId::new(0), 0, NodeId::new(2), Cycle::new(27));
+/// tracker.on_eject(PacketId::new(0), 0, NodeId::new(2), Cycle::new(27)).unwrap();
 /// assert_eq!(tracker.measured_delivered(), 1);
 /// assert_eq!(tracker.latency().mean(), 27.0);
 /// ```
 #[derive(Clone, Debug)]
 pub struct DeliveryTracker {
     inflight: HashMap<PacketId, Inflight>,
+    /// Ids of packets whose last flit already ejected, so late duplicate
+    /// copies are distinguishable from genuinely unknown packets.
+    completed: HashSet<PacketId>,
     latency: RunningStats,
     latency_hist: Histogram,
     measured_delivered: u64,
@@ -58,6 +92,7 @@ impl DeliveryTracker {
     pub fn new(hist_max: usize) -> Self {
         DeliveryTracker {
             inflight: HashMap::new(),
+            completed: HashSet::new(),
             latency: RunningStats::new(),
             latency_hist: Histogram::new(hist_max),
             measured_delivered: 0,
@@ -93,23 +128,40 @@ impl DeliveryTracker {
 
     /// Records the ejection of flit `seq` of `packet` at node `at`.
     ///
-    /// Returns the packet's latency when this was its last flit, so the
-    /// caller can emit a delivery event without re-deriving it.
+    /// Returns `Ok(Some(latency))` when this was the packet's last flit,
+    /// so the caller can emit a delivery event without re-deriving it,
+    /// and `Ok(None)` for earlier flits. A copy of an already-accepted
+    /// flit — legitimate under fault-injected retransmission, a bug
+    /// otherwise — returns [`DeliveryError::DuplicateDelivery`] and
+    /// changes no counter, so latency is never double-counted. Duplicate
+    /// detection is exact for packets up to 64 flits (the bitmap width);
+    /// fault plans must keep packets within that bound.
     ///
     /// # Panics
     ///
-    /// Panics on unknown packets, wrong destinations, out-of-range or
-    /// duplicate flits — all conservation violations.
-    pub fn on_eject(&mut self, packet: PacketId, seq: u32, at: NodeId, now: Cycle) -> Option<u64> {
-        let entry = self
-            .inflight
-            .get_mut(&packet)
-            .unwrap_or_else(|| panic!("ejected unknown packet {packet}"));
+    /// Panics on genuinely unknown packets, wrong destinations and
+    /// out-of-range flits — conservation violations no fault model of
+    /// this stack can legitimately produce.
+    pub fn on_eject(
+        &mut self,
+        packet: PacketId,
+        seq: u32,
+        at: NodeId,
+        now: Cycle,
+    ) -> Result<Option<u64>, DeliveryError> {
+        let Some(entry) = self.inflight.get_mut(&packet) else {
+            if self.completed.contains(&packet) {
+                return Err(DeliveryError::DuplicateDelivery { packet, seq });
+            }
+            panic!("ejected unknown packet {packet}");
+        };
         assert_eq!(entry.dest, at, "packet {packet} ejected at wrong node");
         assert!(seq < entry.length, "flit seq out of range for {packet}");
         if entry.length <= 64 {
             let bit = 1u64 << seq;
-            assert_eq!(entry.seen & bit, 0, "duplicate flit {seq} of {packet}");
+            if entry.seen & bit != 0 {
+                return Err(DeliveryError::DuplicateDelivery { packet, seq });
+            }
             entry.seen |= bit;
         }
         entry.seen_count += 1;
@@ -124,9 +176,10 @@ impl DeliveryTracker {
             }
             self.delivered_packets += 1;
             self.inflight.remove(&packet);
-            Some(latency)
+            self.completed.insert(packet);
+            Ok(Some(latency))
         } else {
-            None
+            Ok(None)
         }
     }
 
@@ -184,11 +237,14 @@ mod tests {
     fn tracks_multi_flit_delivery() {
         let mut t = DeliveryTracker::new(100);
         t.on_inject(&packet(1, 3, 10), true);
-        t.on_eject(PacketId::new(1), 2, NodeId::new(5), Cycle::new(30));
-        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(31));
+        t.on_eject(PacketId::new(1), 2, NodeId::new(5), Cycle::new(30))
+            .unwrap();
+        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(31))
+            .unwrap();
         assert_eq!(t.measured_delivered(), 0);
         assert_eq!(t.in_flight(), 1);
-        t.on_eject(PacketId::new(1), 1, NodeId::new(5), Cycle::new(35));
+        t.on_eject(PacketId::new(1), 1, NodeId::new(5), Cycle::new(35))
+            .unwrap();
         assert_eq!(t.measured_delivered(), 1);
         assert_eq!(t.latency().mean(), 25.0);
         assert_eq!(t.in_flight(), 0);
@@ -200,7 +256,8 @@ mod tests {
     fn unmeasured_packets_do_not_affect_latency() {
         let mut t = DeliveryTracker::new(100);
         t.on_inject(&packet(1, 1, 0), false);
-        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(99));
+        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(99))
+            .unwrap();
         assert_eq!(t.latency().count(), 0);
         assert_eq!(t.measured_delivered(), 0);
         assert_eq!(t.delivered_packets(), 1);
@@ -212,7 +269,8 @@ mod tests {
         t.on_inject(&packet(1, 1, 0), true);
         t.on_inject(&packet(2, 1, 0), true);
         assert_eq!(t.measured_outstanding(), 2);
-        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(20));
+        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(20))
+            .unwrap();
         assert_eq!(t.measured_outstanding(), 1);
     }
 
@@ -222,7 +280,7 @@ mod tests {
         t.on_inject(&packet(1, 1, 10), true);
         let done = t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(10));
         // Created and ejected in the same cycle: latency 0 is legal.
-        assert_eq!(done, Some(0));
+        assert_eq!(done, Ok(Some(0)));
         assert_eq!(t.latency().mean(), 0.0);
         assert_eq!(t.in_flight(), 0);
     }
@@ -233,15 +291,15 @@ mod tests {
         t.on_inject(&packet(1, 3, 10), true);
         assert_eq!(
             t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(20)),
-            None
+            Ok(None)
         );
         assert_eq!(
             t.on_eject(PacketId::new(1), 2, NodeId::new(5), Cycle::new(21)),
-            None
+            Ok(None)
         );
         assert_eq!(
             t.on_eject(PacketId::new(1), 1, NodeId::new(5), Cycle::new(25)),
-            Some(15)
+            Ok(Some(15))
         );
     }
 
@@ -255,7 +313,7 @@ mod tests {
         t.on_inject(&packet(1, len, 0), true);
         for seq in 0..len {
             let done = t.on_eject(PacketId::new(1), seq, NodeId::new(5), Cycle::new(100));
-            assert_eq!(done.is_some(), seq == len - 1);
+            assert_eq!(done.unwrap().is_some(), seq == len - 1);
         }
         assert_eq!(t.delivered_flits(), len as u64);
         assert_eq!(t.delivered_packets(), 1);
@@ -263,18 +321,26 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown packet")]
-    fn eject_after_completion_panics_as_unknown() {
-        // Once the last flit lands the packet leaves the in-flight map,
-        // so a late duplicate is indistinguishable from an unknown packet
-        // — either way it is a conservation violation.
+    fn eject_after_completion_is_a_duplicate_delivery_error() {
+        // Once the last flit lands the packet leaves the in-flight map;
+        // the completed-set still recognises a late retransmitted copy
+        // as a duplicate rather than an unknown packet.
         let mut t = DeliveryTracker::new(100);
         t.on_inject(&packet(1, 1, 0), false);
         assert_eq!(
             t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(9)),
-            Some(9)
+            Ok(Some(9))
         );
-        let _ = t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(10));
+        assert_eq!(
+            t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(10)),
+            Err(DeliveryError::DuplicateDelivery {
+                packet: PacketId::new(1),
+                seq: 0
+            })
+        );
+        // Nothing was double-counted.
+        assert_eq!(t.delivered_flits(), 1);
+        assert_eq!(t.delivered_packets(), 1);
     }
 
     #[test]
@@ -290,23 +356,37 @@ mod tests {
     fn wrong_destination_panics() {
         let mut t = DeliveryTracker::new(100);
         t.on_inject(&packet(1, 1, 0), true);
-        t.on_eject(PacketId::new(1), 0, NodeId::new(4), Cycle::new(20));
+        let _ = t.on_eject(PacketId::new(1), 0, NodeId::new(4), Cycle::new(20));
     }
 
     #[test]
-    #[should_panic(expected = "duplicate flit")]
-    fn duplicate_flit_panics() {
+    fn duplicate_flit_in_flight_is_a_duplicate_delivery_error() {
         let mut t = DeliveryTracker::new(100);
         t.on_inject(&packet(1, 2, 0), true);
-        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(20));
-        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(21));
+        t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(20))
+            .unwrap();
+        assert_eq!(
+            t.on_eject(PacketId::new(1), 0, NodeId::new(5), Cycle::new(21)),
+            Err(DeliveryError::DuplicateDelivery {
+                packet: PacketId::new(1),
+                seq: 0
+            })
+        );
+        // The rejected copy changed nothing: the packet still completes
+        // normally with its real latency.
+        assert_eq!(t.delivered_flits(), 1);
+        assert_eq!(
+            t.on_eject(PacketId::new(1), 1, NodeId::new(5), Cycle::new(30)),
+            Ok(Some(30))
+        );
+        assert_eq!(t.latency().mean(), 30.0);
     }
 
     #[test]
     #[should_panic(expected = "unknown packet")]
     fn unknown_packet_panics() {
         let mut t = DeliveryTracker::new(100);
-        t.on_eject(PacketId::new(7), 0, NodeId::new(5), Cycle::new(20));
+        let _ = t.on_eject(PacketId::new(7), 0, NodeId::new(5), Cycle::new(20));
     }
 
     #[test]

@@ -133,7 +133,11 @@ enum Cursor {
 
 #[derive(Clone, Debug)]
 struct FlitState {
+    /// Most recent injection — the copy currently walking the network.
     injected: u64,
+    /// Original injection. Differs from `injected` only after an
+    /// end-to-end retransmission; the gap becomes [`Phase::Retransmit`].
+    first_injected: u64,
     cursor: Cursor,
     hops: Vec<HopSpan>,
 }
@@ -387,9 +391,15 @@ impl ProvenanceCollector {
         // Pre-injection segments. The first control flit precedes data
         // injection by construction; `min` keeps both segments
         // non-negative regardless.
-        let sq_end = p.first_control.unwrap_or(f.injected).min(f.injected);
+        let sq_end = p
+            .first_control
+            .unwrap_or(f.first_injected)
+            .min(f.first_injected);
         phases[Phase::SourceQueue.index()] = sq_end - p.created;
-        phases[Phase::ControlLead.index()] = f.injected - sq_end;
+        phases[Phase::ControlLead.index()] = f.first_injected - sq_end;
+        // Recovery window: from the original injection to the injection
+        // of the copy that delivered (zero without retransmission).
+        phases[Phase::Retransmit.index()] = f.injected - f.first_injected;
         // Wire gaps between consecutive hops.
         let mut channel = 0u64;
         for pair in f.hops.windows(2) {
@@ -414,7 +424,7 @@ impl ProvenanceCollector {
             src: p.src,
             dest: p.dest,
             created: p.created,
-            injected: f.injected,
+            injected: f.first_injected,
             first_control: p.first_control,
             ejected: t,
             hops: f.hops,
@@ -482,21 +492,32 @@ impl TraceSink for ProvenanceCollector {
             }
             TraceKind::FlitInjected { packet, seq } => {
                 if self.packets.contains_key(&packet) {
-                    self.flits.insert(
-                        (packet, seq),
-                        FlitState {
-                            injected: t,
-                            cursor: Cursor::InRouter {
-                                node,
-                                since: t,
-                                kind: HopKind::Unknown,
-                                vc_stalls: 0,
-                                credit_stalls: 0,
-                                switch_stalls: 0,
+                    let cursor = Cursor::InRouter {
+                        node,
+                        since: t,
+                        kind: HopKind::Unknown,
+                        vc_stalls: 0,
+                        credit_stalls: 0,
+                        switch_stalls: 0,
+                    };
+                    if let Some(f) = self.flits.get_mut(&(packet, seq)) {
+                        // A retransmitted copy: keep the original
+                        // injection time (the gap becomes the retransmit
+                        // phase) and restart the hop walk for this copy.
+                        f.injected = t;
+                        f.cursor = cursor;
+                        f.hops.clear();
+                    } else {
+                        self.flits.insert(
+                            (packet, seq),
+                            FlitState {
+                                injected: t,
+                                first_injected: t,
+                                cursor,
+                                hops: Vec::new(),
                             },
-                            hops: Vec::new(),
-                        },
-                    );
+                        );
+                    }
                 }
             }
             TraceKind::ControlSent { packet, .. } => {
@@ -558,6 +579,25 @@ impl TraceSink for ProvenanceCollector {
                     p.control_stalls += 1;
                 }
             }
+            // A discarded copy's walk is abandoned; the retransmitted
+            // copy restarts the state at its own `FlitInjected`. Keeping
+            // a first-injection record is the flit-map entry's job, so
+            // only the cursor/hops of the dead copy are dropped here.
+            TraceKind::CorruptDiscarded { packet, seq }
+            | TraceKind::DuplicateDiscarded { packet, seq } => {
+                if let Some(f) = self.flits.get_mut(&(packet, seq)) {
+                    f.cursor = Cursor::InFlight;
+                    f.hops.clear();
+                }
+            }
+            // Fault bookkeeping events carry no per-flit span state.
+            TraceKind::DataCorrupted { .. }
+            | TraceKind::ControlDropped { .. }
+            | TraceKind::NackIssued { .. }
+            | TraceKind::AckIssued { .. }
+            | TraceKind::PacketRetransmitted { .. }
+            | TraceKind::RetransmitTimeout { .. }
+            | TraceKind::LinkMasked { .. } => {}
         }
     }
 }

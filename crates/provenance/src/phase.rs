@@ -9,7 +9,7 @@
 use noc_engine::trace::TraceKind;
 
 /// Number of phases; the length of per-flit attribution arrays.
-pub const PHASE_COUNT: usize = 9;
+pub const PHASE_COUNT: usize = 10;
 
 /// One component of a flit's end-to-end latency.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -43,6 +43,11 @@ pub enum Phase {
     /// The final cycle delivering the flit into the destination's
     /// network interface.
     Ejection,
+    /// End-to-end recovery delay under fault injection: the window
+    /// between a flit's original injection and the injection of the copy
+    /// that finally delivered (NACK/timeout wait plus earlier failed
+    /// traversals). Zero in every fault-free run.
+    Retransmit,
 }
 
 impl Phase {
@@ -57,6 +62,7 @@ impl Phase {
         Phase::SwitchTraversal,
         Phase::ChannelTraversal,
         Phase::Ejection,
+        Phase::Retransmit,
     ];
 
     /// Index into per-flit attribution arrays.
@@ -76,6 +82,7 @@ impl Phase {
             Phase::SwitchTraversal => "switch_traversal",
             Phase::ChannelTraversal => "channel_traversal",
             Phase::Ejection => "ejection",
+            Phase::Retransmit => "retransmit",
         }
     }
 }
@@ -108,6 +115,18 @@ pub fn stall_phase(kind: &TraceKind) -> Option<Phase> {
         | TraceKind::CreditSent { .. }
         | TraceKind::FlitEjected { .. }
         | TraceKind::PacketDelivered { .. } => None,
+        // Fault-layer events are span boundaries / bookkeeping, never
+        // per-cycle stall markers: the retransmit window is attributed
+        // wholesale by the collector from injection timestamps.
+        TraceKind::DataCorrupted { .. }
+        | TraceKind::ControlDropped { .. }
+        | TraceKind::CorruptDiscarded { .. }
+        | TraceKind::DuplicateDiscarded { .. }
+        | TraceKind::NackIssued { .. }
+        | TraceKind::AckIssued { .. }
+        | TraceKind::PacketRetransmitted { .. }
+        | TraceKind::RetransmitTimeout { .. }
+        | TraceKind::LinkMasked { .. } => None,
     }
 }
 

@@ -27,4 +27,6 @@ mod routing;
 pub use coord::{Coord, NodeId};
 pub use direction::{Port, PortMap};
 pub use mesh::Mesh;
-pub use routing::{route_path, xy_route, yx_route, RoutingFunction, XyRouting, YxRouting};
+pub use routing::{
+    masked_xy_route, route_path, xy_route, yx_route, RoutingFunction, XyRouting, YxRouting,
+};

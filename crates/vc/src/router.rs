@@ -15,7 +15,7 @@ use crate::{AllocationUnit, CreditMode, VcConfig};
 use noc_engine::trace::{NullSink, TraceSink};
 use noc_engine::{Cycle, Rng};
 use noc_flow::{DataFlit, FlitType, LinkEvent, Router, StepOutputs, TraceEmit, VcTag};
-use noc_topology::{xy_route, Mesh, NodeId, Port, PortMap};
+use noc_topology::{masked_xy_route, xy_route, Mesh, NodeId, Port, PortMap};
 use noc_traffic::Packet;
 use std::collections::VecDeque;
 
@@ -97,6 +97,9 @@ pub struct VcRouter<S: TraceSink = NullSink> {
     outputs: PortMap<OutputPort>,
     ni: NetworkInterface,
     stats: VcStats,
+    /// Output ports masked out of routing after a permanent link failure
+    /// (bit `1 << port.index()`); see [`Router::on_link_dead`].
+    dead_mask: u8,
     sink: S,
 }
 
@@ -116,6 +119,8 @@ pub struct VcStats {
     pub switch_arb_retries: u64,
     /// Data flits forwarded onto outgoing links (excludes ejections).
     pub data_flits_sent: u64,
+    /// Route computations that detoured around a dead output link.
+    pub masked_routes: u64,
 }
 
 impl VcRouter {
@@ -149,6 +154,7 @@ impl<S: TraceSink> VcRouter<S> {
             outputs,
             ni: NetworkInterface::default(),
             stats: VcStats::default(),
+            dead_mask: 0,
             sink,
         }
     }
@@ -163,12 +169,16 @@ impl<S: TraceSink> VcRouter<S> {
         &self.stats
     }
 
-    fn route_to(&self, dest: NodeId) -> Port {
+    fn route_to(&mut self, dest: NodeId) -> Port {
         if dest == self.node {
-            Port::Local
-        } else {
-            xy_route(self.mesh, self.node, dest).expect("non-local destination must route")
+            return Port::Local;
         }
+        let out = masked_xy_route(self.mesh, self.node, dest, self.dead_mask)
+            .expect("non-local destination must route");
+        if self.dead_mask != 0 && Some(out) != xy_route(self.mesh, self.node, dest) {
+            self.stats.masked_routes += 1;
+        }
+        out
     }
 
     fn input_port_occupancy(&self, port: Port) -> usize {
@@ -521,6 +531,7 @@ impl<S: TraceSink> Router for VcRouter<S> {
                     length: packet.length_flits,
                     dest: packet.dest,
                     created_at: packet.created_at,
+                    crc_ok: true,
                 },
             ));
         }
@@ -566,6 +577,11 @@ impl<S: TraceSink> Router for VcRouter<S> {
         out.vc_alloc_conflicts = self.stats.vc_alloc_conflicts;
         out.switch_arb_retries = self.stats.switch_arb_retries;
         out.data_flits_sent = self.stats.data_flits_sent;
+        out.masked_routes = self.stats.masked_routes;
+    }
+
+    fn on_link_dead(&mut self, port: Port) {
+        self.dead_mask |= 1 << port.index();
     }
 
     /// Classifies every front flit that was eligible this cycle but did
@@ -754,6 +770,7 @@ mod tests {
                         length: 3,
                         dest: m.node_at(1, 1),
                         created_at: Cycle::ZERO,
+                        crc_ok: true,
                     },
                 ),
                 Cycle::new(seq as u64),
@@ -830,6 +847,7 @@ mod tests {
                             length: 3,
                             dest: m.node_at(3, 0),
                             created_at: Cycle::ZERO,
+                            crc_ok: true,
                         },
                     ),
                     Cycle::ZERO,
@@ -881,6 +899,7 @@ mod tests {
                     length: 1,
                     dest: m.node_at(3, 1),
                     created_at: Cycle::ZERO,
+                    crc_ok: true,
                 },
             ),
             Cycle::ZERO,
@@ -909,6 +928,7 @@ mod tests {
                         length: 9,
                         dest: m.node_at(3, 1),
                         created_at: Cycle::ZERO,
+                        crc_ok: true,
                     },
                 ),
                 Cycle::ZERO,
@@ -937,6 +957,7 @@ mod tests {
                         length: 9,
                         dest: m.node_at(3, 1),
                         created_at: Cycle::ZERO,
+                        crc_ok: true,
                     },
                 ),
                 Cycle::ZERO,
@@ -1050,6 +1071,7 @@ mod packet_allocation_tests {
                         length: 4,
                         dest: m.node_at(3, 0),
                         created_at: Cycle::ZERO,
+                        crc_ok: true,
                     },
                 ),
                 Cycle::new(t),

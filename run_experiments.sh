@@ -1,7 +1,12 @@
 #!/bin/sh
-# Regenerates every table and figure of the paper, writing text output and
-# JSON sidecars under the results directory plus a results/manifest.json
-# record of the run (scale, seed, toolchain, per-bin wall time).
+# Regenerates every table and figure of the paper, plus the fault-rate
+# degradation sweep, writing text output and JSON sidecars under the
+# results directory plus a results/manifest.json record of the run
+# (scale, seed, toolchain, per-bin wall time).
+#
+# Each bin runs through the same redirect-then-check pattern: output is
+# captured to $RESULTS/<bin>.txt, and a non-zero exit aborts the whole
+# script loudly (no tee pipelines, which would mask exit statuses).
 #
 # FRFC_SCALE=tiny|quick|paper controls measurement size (see noc-bench docs).
 # FRFC_SEED sets the root seed (default 2000).
@@ -27,7 +32,8 @@ TIMINGS=""
 
 for bin in table1 table2 fig5 fig6 fig7 fig8 fig9 table3 occupancy \
            ablation_scheduling ablation_shared_pool ablation_transfers \
-           related_work ext_bursty ext_errors ext_sync_margin; do
+           related_work ext_bursty ext_errors ext_sync_margin \
+           fault_sweep; do
     echo "=== $bin (scale: $SCALE, seed: $SEED) ==="
     BIN_START="$(date +%s)"
     # Redirect into the .txt instead of piping through tee: a pipeline

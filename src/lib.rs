@@ -18,7 +18,9 @@
 //! * [`network`] — network composition, measurement, sweeps;
 //! * [`overhead`] — the Table 1/2 storage and bandwidth models;
 //! * [`metrics`] — zero-cost-when-off counters and JSON export;
-//! * [`provenance`] — per-flit latency attribution and Perfetto export.
+//! * [`provenance`] — per-flit latency attribution and Perfetto export;
+//! * [`faults`] — deterministic fault injection and the end-to-end
+//!   reliability layer (CRC, ACK/NACK retransmission, link masking).
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@
 
 pub use flit_reservation as fr;
 pub use noc_engine as engine;
+pub use noc_faults as faults;
 pub use noc_flow as flow;
 pub use noc_metrics as metrics;
 pub use noc_network as network;

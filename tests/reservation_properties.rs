@@ -157,6 +157,7 @@ fn input_table_delivers_reservations() {
                 length: flits.len() as u32,
                 dest: NodeId::new(0),
                 created_at: Cycle::ZERO,
+                crc_ok: true,
             };
             if reservation_first {
                 // Book while the arrival is still in the future...
