@@ -11,16 +11,27 @@
 //! * `idle-skip` — the default: quiescent routers are skipped via the
 //!   wake-list. At low load most of the mesh is asleep most cycles, so
 //!   this is where the win concentrates;
-//! * `sharded(N)` — idle-skip plus the router-step phase sharded over N
-//!   scoped worker threads. On a small mesh the per-cycle join dominates
-//!   and this mode mostly documents the overhead floor; it exists for
-//!   large-mesh work where per-router stepping dwarfs the barrier.
+//! * `sharded(N)` — idle-skip plus the shard-local phases (deliver,
+//!   offers, steps, and the intra-shard half of apply) running
+//!   concurrently on N persistent pool workers with cross-shard flits
+//!   handed over at the phase barrier.
 //!
 //! All modes produce bit-identical traces (enforced by
-//! `tests/engine_equivalence.rs`); this harness only times them.
+//! `tests/engine_equivalence.rs` and `tests/parallel_equivalence.rs`);
+//! this harness only times them.
+//!
+//! After the 8×8 matrix comes the **scaling sweep**: a 16×16 mesh at
+//! near-saturation load stepped with 1, 2, 4 and 8 threads
+//! (`scale(N)` rows). This is the headline multi-core measurement —
+//! cycles/sec versus thread count where per-router work actually
+//! dominates the barrier. Speedup tracks *physical cores*: on a
+//! single-core host the sweep documents the hand-off overhead floor
+//! instead (expect ≈1× or slightly below), which is still exactly what
+//! the regression gate wants pinned.
 //!
 //! Results print as a table and are written to `BENCH_engine.json` in
-//! the working directory so successive commits can be compared. Pass
+//! the working directory so successive commits can be compared
+//! (`bench_compare` gates every row, the scaling sweep included). Pass
 //! `--quick` (or set `FRFC_SCALE=tiny`) for a seconds-long smoke run —
 //! CI uses this to keep the harness from bit-rotting.
 
@@ -50,6 +61,8 @@ enum Mode {
     StepAll,
     IdleSkip,
     Sharded(usize),
+    /// Scaling-sweep row: sharded stepping on the 16×16 mesh.
+    Scale(usize),
 }
 
 impl Mode {
@@ -58,12 +71,13 @@ impl Mode {
             Mode::StepAll => "step-all".into(),
             Mode::IdleSkip => "idle-skip".into(),
             Mode::Sharded(n) => format!("sharded({n})"),
+            Mode::Scale(n) => format!("scale({n})"),
         }
     }
 
     fn threads(self) -> usize {
         match self {
-            Mode::Sharded(n) => n,
+            Mode::Sharded(n) | Mode::Scale(n) => n,
             _ => 1,
         }
     }
@@ -92,15 +106,15 @@ fn fr_network(mesh: Mesh, load: f64, seed: u64) -> Network<FrRouter> {
 fn time_run<R: Router + Send>(mut net: Network<R>, mode: Mode, warmup: u64, measure: u64) -> f64 {
     match mode {
         Mode::StepAll => net.set_idle_skip(false),
-        Mode::IdleSkip | Mode::Sharded(_) => net.set_idle_skip(true),
+        Mode::IdleSkip | Mode::Sharded(_) | Mode::Scale(_) => net.set_idle_skip(true),
     }
     match mode {
-        Mode::Sharded(n) => net.run_cycles_sharded(warmup, n),
+        Mode::Sharded(n) | Mode::Scale(n) => net.run_cycles_sharded(warmup, n),
         _ => net.run_cycles(warmup),
     }
     let start = Instant::now();
     match mode {
-        Mode::Sharded(n) => net.run_cycles_sharded(measure, n),
+        Mode::Sharded(n) | Mode::Scale(n) => net.run_cycles_sharded(measure, n),
         _ => net.run_cycles(measure),
     }
     let secs = start.elapsed().as_secs_f64().max(1e-9);
@@ -167,6 +181,57 @@ fn main() {
         }
     }
 
+    // Scaling sweep: the 16×16 mesh near saturation, stepped with 1, 2,
+    // 4 and 8 shard threads. At this scale per-router stepping dominates
+    // the barrier, so cycles/sec tracks physical cores; a 1-core host
+    // instead pins the hand-off overhead floor.
+    let scale_mesh = Mesh::new(16, 16);
+    let scale_load = 0.80;
+    let (scale_warmup, scale_measure) = if quick { (200, 1_000) } else { (2_000, 20_000) };
+    println!(
+        "\nscaling sweep: {}x{} mesh @ load {:.2}, {} warm-up + {} measured cycles",
+        scale_mesh.width(),
+        scale_mesh.height(),
+        scale_load,
+        scale_warmup,
+        scale_measure
+    );
+    for router in ["vc8", "fr6"] {
+        for n in [1usize, 2, 4, 8] {
+            let mode = Mode::Scale(n);
+            let cps = match router {
+                "vc8" => time_run(
+                    vc_network(scale_mesh, scale_load, seed),
+                    mode,
+                    scale_warmup,
+                    scale_measure,
+                ),
+                _ => time_run(
+                    fr_network(scale_mesh, scale_load, seed),
+                    mode,
+                    scale_warmup,
+                    scale_measure,
+                ),
+            };
+            println!(
+                "{:<6} {:>5.2} {:<12} {:>8} {:>14.0}",
+                router,
+                scale_load,
+                mode.label(),
+                n,
+                cps
+            );
+            rows.push(Row {
+                router,
+                load: scale_load,
+                mode: mode.label(),
+                threads: n,
+                cycles: scale_measure,
+                cycles_per_sec: cps,
+            });
+        }
+    }
+
     // Idle-skip speedup over the reference engine, per router, low load.
     println!();
     for router in ["vc8", "fr6"] {
@@ -184,6 +249,27 @@ fn main() {
                 skip / base,
                 base,
                 skip
+            );
+        }
+    }
+
+    // Multi-core speedup at scale: 8 shard threads over the 1-thread
+    // planned engine on the 16×16 near-saturation run.
+    for router in ["vc8", "fr6"] {
+        let find = |n: usize| {
+            rows.iter()
+                .find(|r| r.router == router && r.mode == format!("scale({n})"))
+                .map(|r| r.cycles_per_sec)
+                .unwrap_or(0.0)
+        };
+        let one = find(1);
+        let eight = find(8);
+        if one > 0.0 {
+            println!(
+                "{router} 16x16@{scale_load:.2} 8-thread scaling: {:.2}x ({:.0} -> {:.0} cycles/sec)",
+                eight / one,
+                one,
+                eight
             );
         }
     }

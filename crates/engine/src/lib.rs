@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod cycle;
+pub mod pool;
 pub mod propcheck;
 pub mod rng;
 pub mod stats;

@@ -36,7 +36,25 @@ impl fmt::Display for BufferId {
     }
 }
 
+/// Words in the occupancy bitmasks — covers the full 255-buffer
+/// [`BufferId`] range.
+const MASK_WORDS: usize = 4;
+
+/// `(word, bit)` coordinates of slot `i` in a mask.
+const fn mask_bit(i: usize) -> (usize, u64) {
+    (i / 64, 1u64 << (i % 64))
+}
+
 /// A pool of flit buffers with occupancy bits.
+///
+/// Struct-of-arrays layout: flit payloads sit in one dense array while
+/// reservation and fill state live in two bitmasks beside it, so the
+/// per-cycle occupancy questions (`is_full`, `free_count`, find the
+/// lowest free buffer) touch a few mask words instead of walking an
+/// array of `Option`s, and the payload array stays contiguous for the
+/// copies that do happen. This is the hot state of every input channel,
+/// and the dense layout is what keeps a shard's routers inside their own
+/// cache lines under parallel stepping.
 ///
 /// # Examples
 ///
@@ -52,10 +70,16 @@ impl fmt::Display for BufferId {
 /// ```
 #[derive(Clone, Debug)]
 pub struct BufferPool {
-    slots: Vec<Option<DataFlit>>,
-    /// Occupancy bits: a slot may be reserved (occupied) before its flit
-    /// is written, mirroring the paper's allocate-one-cycle-early policy.
-    occupied: Vec<bool>,
+    /// Dense flit storage, indexed by [`BufferId`]. A slot's contents
+    /// are meaningful only while its `written` bit is set.
+    flits: Vec<DataFlit>,
+    /// Reservation bits: a slot may be reserved (occupied) before its
+    /// flit is written, mirroring the paper's allocate-one-cycle-early
+    /// policy. Bits past `capacity` are pre-set so the free-slot scan
+    /// can never pick them.
+    occupied: [u64; MASK_WORDS],
+    /// Fill bits: the slot actually holds a flit.
+    written: [u64; MASK_WORDS],
     free: usize,
 }
 
@@ -71,16 +95,39 @@ impl BufferPool {
             capacity <= 255,
             "buffer pool capacity exceeds BufferId range"
         );
+        // Payload slots are plain storage behind the masks; the
+        // placeholder is never observable (peek/take/iter all gate on
+        // the `written` bit).
+        let placeholder = DataFlit {
+            packet: noc_traffic::PacketId::new(0),
+            seq: 0,
+            length: 0,
+            dest: noc_topology::NodeId::new(0),
+            created_at: noc_engine::Cycle::ZERO,
+            crc_ok: true,
+        };
+        let mut occupied = [0u64; MASK_WORDS];
+        for (w, word) in occupied.iter_mut().enumerate() {
+            let lo = w * 64;
+            *word = if capacity >= lo + 64 {
+                0
+            } else if capacity <= lo {
+                u64::MAX
+            } else {
+                u64::MAX << (capacity - lo)
+            };
+        }
         BufferPool {
-            slots: vec![None; capacity],
-            occupied: vec![false; capacity],
+            flits: vec![placeholder; capacity],
+            occupied,
+            written: [0; MASK_WORDS],
             free: capacity,
         }
     }
 
     /// Total number of buffers.
     pub fn capacity(&self) -> usize {
-        self.slots.len()
+        self.flits.len()
     }
 
     /// Buffers currently free.
@@ -101,10 +148,19 @@ impl BufferPool {
     /// Marks the lowest-numbered free buffer occupied and returns it, or
     /// `None` when the pool is full. The buffer holds no flit yet.
     pub fn reserve_any(&mut self) -> Option<BufferId> {
-        let idx = self.occupied.iter().position(|&o| !o)?;
-        self.occupied[idx] = true;
-        self.free -= 1;
-        Some(BufferId::new(idx as u8))
+        if self.free == 0 {
+            return None;
+        }
+        for (w, word) in self.occupied.iter_mut().enumerate() {
+            let open = !*word;
+            if open != 0 {
+                let bit = open.trailing_zeros() as usize;
+                *word |= 1 << bit;
+                self.free -= 1;
+                return Some(BufferId::new((w * 64 + bit) as u8));
+            }
+        }
+        unreachable!("free count positive but no open occupancy bit");
     }
 
     /// Stores `flit` in a previously reserved buffer.
@@ -113,12 +169,14 @@ impl BufferPool {
     ///
     /// Panics if the buffer is not reserved or already holds a flit.
     pub fn write(&mut self, id: BufferId, flit: DataFlit) {
-        assert!(self.occupied[id.index()], "writing to unreserved buffer");
+        let (w, bit) = mask_bit(id.index());
         assert!(
-            self.slots[id.index()].is_none(),
-            "buffer already holds a flit"
+            id.index() < self.capacity() && self.occupied[w] & bit != 0,
+            "writing to unreserved buffer"
         );
-        self.slots[id.index()] = Some(flit);
+        assert!(self.written[w] & bit == 0, "buffer already holds a flit");
+        self.written[w] |= bit;
+        self.flits[id.index()] = flit;
     }
 
     /// Reserves a free buffer and writes `flit` into it in one step.
@@ -130,7 +188,12 @@ impl BufferPool {
 
     /// Reads the flit in a buffer without freeing it.
     pub fn peek(&self, id: BufferId) -> Option<&DataFlit> {
-        self.slots.get(id.index())?.as_ref()
+        let (w, bit) = mask_bit(id.index());
+        if id.index() < self.capacity() && self.written[w] & bit != 0 {
+            Some(&self.flits[id.index()])
+        } else {
+            None
+        }
     }
 
     /// Removes the flit from a buffer and frees it.
@@ -139,12 +202,15 @@ impl BufferPool {
     ///
     /// Panics if the buffer holds no flit.
     pub fn take(&mut self, id: BufferId) -> DataFlit {
-        let flit = self.slots[id.index()]
-            .take()
-            .expect("taking from empty buffer");
-        self.occupied[id.index()] = false;
+        let (w, bit) = mask_bit(id.index());
+        assert!(
+            id.index() < self.capacity() && self.written[w] & bit != 0,
+            "taking from empty buffer"
+        );
+        self.written[w] &= !bit;
+        self.occupied[w] &= !bit;
         self.free += 1;
-        flit
+        self.flits[id.index()]
     }
 
     /// Frees a reserved buffer that never received its flit.
@@ -153,21 +219,23 @@ impl BufferPool {
     ///
     /// Panics if the buffer holds a flit or is not reserved.
     pub fn release_empty(&mut self, id: BufferId) {
+        let (w, bit) = mask_bit(id.index());
+        assert!(self.written[w] & bit == 0, "buffer still holds a flit");
         assert!(
-            self.slots[id.index()].is_none(),
-            "buffer still holds a flit"
+            id.index() < self.capacity() && self.occupied[w] & bit != 0,
+            "buffer was not reserved"
         );
-        assert!(self.occupied[id.index()], "buffer was not reserved");
-        self.occupied[id.index()] = false;
+        self.occupied[w] &= !bit;
         self.free += 1;
     }
 
     /// Iterates over `(buffer, flit)` pairs currently stored.
     pub fn iter(&self) -> impl Iterator<Item = (BufferId, &DataFlit)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|f| (BufferId::new(i as u8), f)))
+        let written = self.written;
+        self.flits.iter().enumerate().filter_map(move |(i, f)| {
+            let (w, bit) = mask_bit(i);
+            (written[w] & bit != 0).then(|| (BufferId::new(i as u8), f))
+        })
     }
 }
 
@@ -265,5 +333,47 @@ mod tests {
     #[test]
     fn buffer_id_display() {
         assert_eq!(BufferId::new(5).to_string(), "buf5");
+    }
+
+    #[test]
+    fn fill_and_drain_across_mask_word_boundaries() {
+        // 200 slots spans four mask words; every slot must be reachable,
+        // in ascending order, and fully reclaimable.
+        let mut pool = BufferPool::new(200);
+        let mut ids = Vec::new();
+        for seq in 0..200 {
+            let id = pool.insert(flit(seq)).unwrap();
+            assert_eq!(id.index(), seq as usize);
+            ids.push(id);
+        }
+        assert!(pool.is_full());
+        assert_eq!(pool.reserve_any(), None);
+        assert_eq!(pool.iter().count(), 200);
+        for (seq, id) in ids.into_iter().enumerate() {
+            assert_eq!(pool.take(id).seq, seq as u32);
+        }
+        assert_eq!(pool.free_count(), 200);
+    }
+
+    #[test]
+    fn reserve_reuses_lowest_free_slot_after_scattered_frees() {
+        let mut pool = BufferPool::new(130);
+        let ids: Vec<BufferId> = (0..130).map(|s| pool.insert(flit(s)).unwrap()).collect();
+        // Free slots 127 and 3 (different mask words); the next two
+        // reservations must come back lowest-first.
+        pool.take(ids[127]);
+        pool.take(ids[3]);
+        assert_eq!(pool.reserve_any().unwrap().index(), 3);
+        assert_eq!(pool.reserve_any().unwrap().index(), 127);
+    }
+
+    #[test]
+    fn max_capacity_pool_round_trips() {
+        let mut pool = BufferPool::new(255);
+        while pool.insert(flit(0)).is_some() {}
+        assert_eq!(pool.occupied_count(), 255);
+        assert_eq!(pool.peek(BufferId::new(254)).unwrap().seq, 0);
+        assert_eq!(pool.take(BufferId::new(254)).seq, 0);
+        assert_eq!(pool.free_count(), 1);
     }
 }

@@ -2,7 +2,7 @@
 //! offered loads, and locate saturation — the machinery behind every
 //! figure and table of the paper.
 
-use crate::{run_simulation, FaultSummary, Network, RunResult, SimConfig};
+use crate::{run_simulation, run_simulation_sharded, FaultSummary, Network, RunResult, SimConfig};
 use flit_reservation::{FrConfig, FrRouter};
 use noc_engine::trace::{NullSink, SharedSink};
 use noc_engine::{sweep, Rng};
@@ -154,6 +154,56 @@ impl FlowControl {
                 );
                 network.set_metrics_period(sample_period);
                 let result = run_simulation(&mut network, sim);
+                (result, std::mem::take(network.metrics_mut()))
+            }
+        }
+    }
+
+    /// [`FlowControl::run_metered`] with the per-cycle stepping sharded
+    /// over `threads` worker threads.
+    ///
+    /// The sharded engine is bit-identical to sequential stepping, so
+    /// both the `RunResult` and the exported registry (after
+    /// [`noc_metrics::strip_nondeterministic`] removes wall-clock data)
+    /// match the single-threaded run exactly — the contract
+    /// `tests/parallel_equivalence.rs` pins.
+    pub fn run_metered_sharded(
+        &self,
+        mesh: Mesh,
+        load: LoadSpec,
+        sim: &SimConfig,
+        sample_period: u64,
+        threads: usize,
+    ) -> (RunResult, MetricsRegistry) {
+        let root = Rng::from_seed(sim.seed);
+        let generator = TrafficGenerator::uniform(mesh, load, root.fork(0x7261_6666_6963)); // "raffic"
+        match self {
+            FlowControl::VirtualChannel(cfg, timing) => {
+                let mut network = Network::with_instruments(
+                    mesh,
+                    *timing,
+                    2,
+                    generator,
+                    |node| VcRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64)),
+                    NullSink,
+                    MetricsRegistry::new(),
+                );
+                network.set_metrics_period(sample_period);
+                let result = run_simulation_sharded(&mut network, sim, threads);
+                (result, std::mem::take(network.metrics_mut()))
+            }
+            FlowControl::FlitReservation(cfg) => {
+                let mut network = Network::with_instruments(
+                    mesh,
+                    cfg.timing,
+                    cfg.control_lanes,
+                    generator,
+                    |node| FrRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64)),
+                    NullSink,
+                    MetricsRegistry::new(),
+                );
+                network.set_metrics_period(sample_period);
+                let result = run_simulation_sharded(&mut network, sim, threads);
                 (result, std::mem::take(network.metrics_mut()))
             }
         }

@@ -25,9 +25,11 @@
 mod experiment;
 mod network;
 mod runner;
+mod shard;
 mod tracker;
 
 pub use experiment::{base_latency, find_saturation, sweep_loads, Curve, FlowControl, LoadPoint};
 pub use network::{FaultSummary, Network, ProbeConfig, ProbeState};
-pub use runner::{run_simulation, RunResult, SimConfig};
+pub use runner::{run_simulation, run_simulation_sharded, RunResult, SimConfig};
+pub use shard::ShardPlan;
 pub use tracker::{DeliveryError, DeliveryTracker};

@@ -10,10 +10,9 @@
 //!    buffer and pushed through the per-node backlogs;
 //! 3. **step** — every *awake* router advances one cycle into its own
 //!    retained [`StepOutputs`] arena. Routers touch only their own state
-//!    here, so this phase may run sharded across threads
-//!    ([`Network::cycle_sharded`]) with no effect on the trace;
+//!    here;
 //! 4. **apply** — the staged outputs are committed to links and the
-//!    delivery tracker sequentially in router order (this serialises the
+//!    delivery tracker in router order (this serialises the
 //!    control-error RNG and every network-level trace event, which is
 //!    what keeps sharded and sequential runs bit-identical);
 //! 5. **observe** — probes sample and time advances.
@@ -28,8 +27,28 @@
 //! is gone. Quiescent routers ([`noc_flow::Router::is_idle`]) are skipped
 //! entirely unless [`Network::set_idle_skip`] turns the wake-list off —
 //! by the idle contract, both modes produce bit-identical traces.
+//!
+//! # Sharded stepping
+//!
+//! [`Network::cycle_sharded`] drives the same phases across a persistent
+//! [`noc_engine::pool::WorkerPool`]: the mesh is partitioned into
+//! contiguous node-range shards (a [`ShardPlan`]), and each worker owns
+//! its shard's router slots, backlogs **and inbound links** — the link
+//! arena is keyed by receiver, so a shard's inbound links are one dense,
+//! disjoint memory range. Deliver, backlog offers and step fuse into one
+//! parallel round (all three touch only shard-local state). The apply
+//! phase also runs sharded when no RNG rides on sends: intra-shard sends
+//! push straight onto the receiver's link, while sends whose receiver
+//! lives in another shard are staged in a per-shard outbox and published
+//! only at the round barrier — the cross-shard hand-off — after which
+//! ejections commit sequentially in node order. Whenever sends do draw
+//! RNG (control-error model, armed faults), the apply phase falls back
+//! to the sequential path wholesale, so the RNG trajectory stays in
+//! global node order. Either way the result is bit-identical to
+//! [`Network::cycle`] for every thread count and shard plan.
 
-use crate::DeliveryTracker;
+use crate::{DeliveryTracker, ShardPlan};
+use noc_engine::pool::WorkerPool;
 use noc_engine::trace::{NullSink, TraceSink};
 use noc_engine::Cycle;
 use noc_faults::{
@@ -40,7 +59,10 @@ use noc_flow::{
 };
 use noc_metrics::{NullRecorder, Recorder};
 use noc_topology::{Mesh, NodeId, Port, PortMap};
-use noc_traffic::TrafficGenerator;
+use noc_traffic::{Packet, TrafficGenerator};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Phase indices into [`Instruments::phase_ns`].
@@ -130,10 +152,29 @@ struct LinkSet {
     credit: Link<LinkEvent>,
 }
 
+/// The wire of `set` that carries `class` events.
+fn wire_of(set: &mut LinkSet, class: WireClass) -> &mut Link<LinkEvent> {
+    match class {
+        WireClass::Data => &mut set.data,
+        WireClass::Control => &mut set.control,
+        WireClass::Credit => &mut set.credit,
+    }
+}
+
+/// A node's deliver scan order: its mesh in-ports sorted by the sending
+/// neighbour's node id, `None`-padded. Draining a node's inbound links in
+/// this order replays, per receiver, exactly the arrival order of the
+/// historical sender-major scan — which is what keeps the receiver-keyed
+/// link arena bit-identical to the engine every baseline was tuned on.
+#[derive(Clone, Copy, Debug, Default)]
+struct DeliverOrder {
+    ports: [Option<Port>; 4],
+}
+
 /// One router plus the per-router state the stepping engine needs: the
 /// retained output arena its step phase writes into, and the wake flag
 /// that lets quiescent routers be skipped. Keeping these together (rather
-/// than in parallel vectors) lets the sharded step phase hand each worker
+/// than in parallel vectors) lets the sharded engine hand each worker
 /// thread a contiguous, self-contained chunk with no unsafe splitting.
 #[derive(Debug)]
 struct RouterSlot<R> {
@@ -142,9 +183,21 @@ struct RouterSlot<R> {
     /// Retained across cycles so the steady state never allocates.
     out: StepOutputs,
     /// Wake flag: step this router this cycle. Set by arrivals and
-    /// accepted injections, recomputed from `is_idle` after each step.
+    /// accepted injections, recomputed from `is_idle` on quiet steps.
     active: bool,
+    /// Consecutive output-free steps since the last wake or `is_idle`
+    /// scan; the scan only runs once this reaches [`IDLE_HYSTERESIS`].
+    quiet: u32,
 }
+
+/// After this many consecutive output-free steps a slot pays for a full
+/// [`Router::is_idle`] scan; until then it is presumed still busy. Above
+/// ~40% load routers oscillate between busy and briefly-quiet, and
+/// scanning on every quiet step made the scan itself the dominant
+/// stepping cost — the streak requirement amortises it ~[`IDLE_HYSTERESIS`]×.
+/// Any value is trace-neutral: by the idle contract, stepping a router
+/// the scan would have retired is a pure no-op.
+const IDLE_HYSTERESIS: u32 = 8;
 
 /// Steps one router slot for cycle `now`. With `idle_skip`, a slot that
 /// is not awake is passed over: its arena is already empty (the apply
@@ -157,12 +210,144 @@ fn step_slot<R: Router>(slot: &mut RouterSlot<R>, now: Cycle, idle_skip: bool) {
     }
     slot.out.clear();
     slot.router.step(now, &mut slot.out);
-    // A step that produced output proves the router is still active, so
-    // the (comparatively costly) `is_idle` scan only runs on quiet
-    // steps. Keeping an idle router awake one extra cycle is harmless:
-    // by the idle contract that extra step is a pure no-op.
-    slot.active =
-        !slot.out.sends.is_empty() || !slot.out.ejections.is_empty() || !slot.router.is_idle();
+    if !slot.out.sends.is_empty() || !slot.out.ejections.is_empty() {
+        // Output proves the router is still active; no scan needed.
+        slot.quiet = 0;
+        return;
+    }
+    slot.quiet += 1;
+    if slot.quiet >= IDLE_HYSTERESIS {
+        slot.quiet = 0;
+        slot.active = !slot.router.is_idle();
+    }
+}
+
+/// Wakes a slot (arrival delivered, injection accepted, fault event):
+/// it must step next cycle, and its quiet streak restarts.
+#[inline]
+fn wake_slot<R>(slot: &mut RouterSlot<R>) {
+    slot.active = true;
+    slot.quiet = 0;
+}
+
+/// Drains every arrival due at `now` into `slot`'s router, waking it.
+/// Receiver-owned: touches only this node's slot and its inbound links
+/// (`links` may be just the owning shard's arena slice, rebased by
+/// `link_base`).
+fn deliver_node<R: Router>(
+    slot: &mut RouterSlot<R>,
+    links: &mut [LinkSet],
+    link_base: usize,
+    inbound: &PortMap<Option<u32>>,
+    order: &DeliverOrder,
+    now: Cycle,
+) {
+    for port in order.ports.into_iter().flatten() {
+        let idx = inbound[port].expect("ordered port has a link") as usize;
+        let set = &mut links[idx - link_base];
+        if set.data.is_empty() && set.control.is_empty() && set.credit.is_empty() {
+            continue;
+        }
+        for wire in [&mut set.data, &mut set.control, &mut set.credit] {
+            while let Some(event) = wire.pop_arrival(now) {
+                slot.router.receive(port, event, now);
+                wake_slot(slot);
+            }
+        }
+    }
+}
+
+/// Offers a node's backlog to its router until it refuses, waking it on
+/// every acceptance.
+fn offer_backlog<R: Router>(slot: &mut RouterSlot<R>, backlog: &mut VecDeque<Packet>, now: Cycle) {
+    while let Some(&packet) = backlog.front() {
+        if slot.router.try_inject(packet, now) {
+            backlog.pop_front();
+            wake_slot(slot);
+        } else {
+            break;
+        }
+    }
+}
+
+/// State for true multi-core stepping: a persistent worker pool, the
+/// shard plan pairing it with the mesh, and the retained cross-shard
+/// mailboxes. Installed by [`Network::set_shard_plan`] (or lazily by
+/// [`Network::cycle_sharded`]); absent on purely sequential networks.
+struct ParallelEngine {
+    pool: WorkerPool,
+    plan: ShardPlan,
+    /// Cross-shard outboxes: `outboxes[shard]` holds the sends staged by
+    /// that shard whose receiving link lives in another shard, as
+    /// `(link arena index, event)` pairs. Published in shard order at
+    /// the apply barrier; retained so the steady state never allocates.
+    outboxes: Vec<Vec<(u32, LinkEvent)>>,
+    /// Per-shard awake-router counts, sampled inside the fused round and
+    /// summed (deterministically — u64 partials) after the barrier.
+    awake: Vec<u64>,
+}
+
+/// One worker's disjoint view of the network's hot per-node state: its
+/// shard's router slots, inbound-link arena slice, backlogs and flit
+/// counters, plus its outbox and awake-count cell. Built fresh each
+/// round by [`shard_contexts`] and handed to the worker through a
+/// per-shard mutex — each worker locks only its own context, so the
+/// locks never contend and the splitting needs no unsafe code.
+struct ShardCtx<'a, R> {
+    /// Node index range this shard owns.
+    range: Range<usize>,
+    /// Arena index of `links[0]`.
+    link_base: usize,
+    slots: &'a mut [RouterSlot<R>],
+    links: &'a mut [LinkSet],
+    backlog: &'a mut [VecDeque<Packet>],
+    flits: &'a mut [PortMap<LinkFlits>],
+    outbox: &'a mut Vec<(u32, LinkEvent)>,
+    awake: &'a mut u64,
+}
+
+/// Splits the network's per-node state into one disjoint [`ShardCtx`]
+/// per shard of `plan`. Contiguous node ranges map to contiguous slices
+/// of every array (the link arena is keyed by receiver, so a node range
+/// induces the arena range `link_starts[start]..link_starts[end]`).
+#[allow(clippy::too_many_arguments)]
+fn shard_contexts<'a, R>(
+    plan: &ShardPlan,
+    link_starts: &[u32],
+    mut slots: &'a mut [RouterSlot<R>],
+    mut links: &'a mut [LinkSet],
+    mut backlog: &'a mut [VecDeque<Packet>],
+    mut flits: &'a mut [PortMap<LinkFlits>],
+    outboxes: &'a mut [Vec<(u32, LinkEvent)>],
+    awake: &'a mut [u64],
+) -> Vec<Mutex<ShardCtx<'a, R>>> {
+    let mut ctxs = Vec::with_capacity(plan.shards());
+    let mut outboxes = outboxes.iter_mut();
+    let mut awake = awake.iter_mut();
+    for w in 0..plan.shards() {
+        let range = plan.range(w);
+        let link_base = link_starts[range.start] as usize;
+        let link_end = link_starts[range.end] as usize;
+        let (s, rest) = slots.split_at_mut(range.len());
+        slots = rest;
+        let (l, rest) = links.split_at_mut(link_end - link_base);
+        links = rest;
+        let (b, rest) = backlog.split_at_mut(range.len());
+        backlog = rest;
+        let (f, rest) = flits.split_at_mut(range.len());
+        flits = rest;
+        ctxs.push(Mutex::new(ShardCtx {
+            range,
+            link_base,
+            slots: s,
+            links: l,
+            backlog: b,
+            flits: f,
+            outbox: outboxes.next().expect("outbox per shard"),
+            awake: awake.next().expect("awake cell per shard"),
+        }));
+    }
+    ctxs
 }
 
 /// Per-cycle observation knobs (warm-up signal, occupancy probe).
@@ -231,8 +416,19 @@ pub struct Network<R: Router, S: TraceSink = NullSink, M: Recorder = NullRecorde
     mesh: Mesh,
     timing: LinkTiming,
     slots: Vec<RouterSlot<R>>,
-    /// Directed links: `links[node][mesh port]`.
-    links: Vec<PortMap<Option<LinkSet>>>,
+    /// Dense arena of every directed link, keyed by **receiver**: node
+    /// `r`'s inbound links occupy `link_starts[r]..link_starts[r + 1]`,
+    /// so a contiguous shard of nodes owns a contiguous arena range.
+    links: Vec<LinkSet>,
+    /// Arena index of the link arriving at `inbound[node][in-port]`.
+    inbound: Vec<PortMap<Option<u32>>>,
+    /// Arena start of each node's inbound links (`node_count + 1` long).
+    link_starts: Vec<u32>,
+    /// Per-node deliver scan order (see [`DeliverOrder`]).
+    deliver_order: Vec<DeliverOrder>,
+    /// Worker pool + shard plan for parallel stepping; `None` until a
+    /// sharded entry point installs one.
+    parallel: Option<Box<ParallelEngine>>,
     generator: TrafficGenerator,
     tracker: DeliveryTracker,
     now: Cycle,
@@ -338,24 +534,38 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                 // Every router starts awake; the first step settles the
                 // flag from its actual state.
                 active: true,
+                quiet: 0,
             })
             .collect();
-        let links = mesh
-            .nodes()
-            .map(|n| {
-                PortMap::from_fn(|p| {
-                    if p.is_mesh() && mesh.neighbor(n, p).is_some() {
-                        Some(LinkSet {
-                            data: Link::new(timing.data_delay, 1),
-                            control: Link::new(timing.control_delay, control_bandwidth),
-                            credit: Link::new(timing.credit_delay, 64),
-                        })
-                    } else {
-                        None
-                    }
-                })
-            })
-            .collect();
+        // Receiver-keyed link arena: one entry per directed mesh edge,
+        // grouped by receiving node, each node's in-ports ordered by the
+        // sending neighbour's id (see `DeliverOrder`).
+        let mut links: Vec<LinkSet> = Vec::new();
+        let mut inbound: Vec<PortMap<Option<u32>>> = Vec::with_capacity(mesh.node_count());
+        let mut link_starts: Vec<u32> = Vec::with_capacity(mesh.node_count() + 1);
+        let mut deliver_order: Vec<DeliverOrder> = Vec::with_capacity(mesh.node_count());
+        for r in mesh.nodes() {
+            link_starts.push(links.len() as u32);
+            let mut senders: Vec<(u16, Port)> = Port::MESH
+                .iter()
+                .filter_map(|&q| mesh.neighbor(r, q).map(|s| (s.raw(), q)))
+                .collect();
+            senders.sort_unstable();
+            let mut map: PortMap<Option<u32>> = PortMap::from_fn(|_| None);
+            let mut order = DeliverOrder::default();
+            for (i, &(_, q)) in senders.iter().enumerate() {
+                order.ports[i] = Some(q);
+                map[q] = Some(links.len() as u32);
+                links.push(LinkSet {
+                    data: Link::new(timing.data_delay, 1),
+                    control: Link::new(timing.control_delay, control_bandwidth),
+                    credit: Link::new(timing.credit_delay, 64),
+                });
+            }
+            inbound.push(map);
+            deliver_order.push(order);
+        }
+        link_starts.push(links.len() as u32);
         let backlog = (0..mesh.node_count())
             .map(|_| std::collections::VecDeque::new())
             .collect();
@@ -378,6 +588,10 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             timing,
             slots,
             links,
+            inbound,
+            link_starts,
+            deliver_order,
+            parallel: None,
             generator,
             tracker: DeliveryTracker::new(4096),
             now: Cycle::ZERO,
@@ -521,7 +735,7 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             // Every router steps from now on; re-arm the wake flags so
             // re-enabling later starts from a conservative state.
             for slot in &mut self.slots {
-                slot.active = true;
+                wake_slot(slot);
             }
         }
     }
@@ -609,29 +823,20 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
     }
 
     /// Phase 1: drain every link arrival for cycle `now` in place and
-    /// deliver it to the receiving router, waking it.
+    /// deliver it to the receiving router, waking it. Receiver-major
+    /// scan over the receiver-keyed arena; each node's in-ports drain in
+    /// sender-id order, so per-router arrival order is exactly what the
+    /// historical sender-major scan produced.
     fn deliver_arrivals(&mut self, now: Cycle) {
-        for n in 0..self.slots.len() {
-            for &port in &Port::MESH {
-                let Some(set) = self.links[n][port].as_mut() else {
-                    continue;
-                };
-                if set.data.is_empty() && set.control.is_empty() && set.credit.is_empty() {
-                    continue;
-                }
-                let deliver_port = port.opposite().expect("mesh port");
-                let to = self
-                    .mesh
-                    .neighbor(NodeId::new(n as u16), port)
-                    .expect("link implies neighbor");
-                for wire in [&mut set.data, &mut set.control, &mut set.credit] {
-                    while let Some(event) = wire.pop_arrival(now) {
-                        let slot = &mut self.slots[to.index()];
-                        slot.router.receive(deliver_port, event, now);
-                        slot.active = true;
-                    }
-                }
-            }
+        for r in 0..self.slots.len() {
+            deliver_node(
+                &mut self.slots[r],
+                &mut self.links,
+                0,
+                &self.inbound[r],
+                &self.deliver_order[r],
+                now,
+            );
         }
     }
 
@@ -652,7 +857,7 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             let dead = f.pending_dead.pop().expect("checked non-empty");
             let slot = &mut self.slots[dead.node.index()];
             slot.router.on_link_dead(dead.port);
-            slot.active = true;
+            wake_slot(slot);
             f.counters.links_masked += 1;
             self.sink.link_masked(now, dead.node, dead.port);
         }
@@ -686,40 +891,52 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
         self.faults = Some(f);
     }
 
-    /// Phase 2: generate this cycle's traffic (unless stopped) and offer
-    /// each node's backlog to its router, waking routers that accept.
+    /// Inject sub-phase: generates this cycle's traffic (unless stopped)
+    /// into the per-node backlogs, registering each packet with the
+    /// tracker, the reliability layer and the sink. Touches no router —
+    /// the sharded engine runs it sequentially before its parallel round
+    /// (packets become visible to routers only through the offers, so
+    /// generating before or after the deliver phase is trace-neutral).
+    fn generate_traffic(&mut self, now: Cycle) {
+        if self.injection_stopped {
+            return;
+        }
+        self.generator.tick_into(now, &mut self.packet_scratch);
+        for packet in self.packet_scratch.drain(..) {
+            self.tracker.on_inject(&packet, self.measuring);
+            if let Some(f) = self.faults.as_mut() {
+                f.reliability.register(packet);
+            }
+            self.sink.packet_injected(
+                now,
+                packet.src,
+                packet.id,
+                packet.src,
+                packet.dest,
+                packet.length_flits,
+            );
+            self.backlog[packet.src.index()].push_back(packet);
+        }
+    }
+
+    /// Phase 2: fault events, then traffic generation, then offer each
+    /// node's backlog to its router, waking routers that accept.
     fn offer_traffic(&mut self, now: Cycle) {
         if self.faults.is_some() {
             self.apply_fault_events(now);
         }
-        if !self.injection_stopped {
-            self.generator.tick_into(now, &mut self.packet_scratch);
-            for packet in self.packet_scratch.drain(..) {
-                self.tracker.on_inject(&packet, self.measuring);
-                if let Some(f) = self.faults.as_mut() {
-                    f.reliability.register(packet);
-                }
-                self.sink.packet_injected(
-                    now,
-                    packet.src,
-                    packet.id,
-                    packet.src,
-                    packet.dest,
-                    packet.length_flits,
-                );
-                self.backlog[packet.src.index()].push_back(packet);
-            }
-        }
+        self.generate_traffic(now);
         for n in 0..self.slots.len() {
-            while let Some(&packet) = self.backlog[n].front() {
-                if self.slots[n].router.try_inject(packet, now) {
-                    self.backlog[n].pop_front();
-                    self.slots[n].active = true;
-                } else {
-                    break;
-                }
-            }
+            offer_backlog(&mut self.slots[n], &mut self.backlog[n], now);
         }
+    }
+
+    /// Whether the apply phase draws RNG per send (control-error model
+    /// or an armed fault plan). Those draws must happen in global node
+    /// order, so the parallel apply stands down and the sequential one
+    /// runs instead.
+    fn rng_sends(&self) -> bool {
+        self.control_error_rate > 0.0 || self.faults.is_some()
     }
 
     /// Phase 3, sequential form: step every awake router in node order.
@@ -747,15 +964,14 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             let mut out = std::mem::take(&mut self.slots[n].out);
             for (port, mut event) in out.sends.drain(..) {
                 assert!(port.is_mesh(), "routers send on mesh ports only");
-                let set = self.links[n][port]
-                    .as_mut()
+                let to = self
+                    .mesh
+                    .neighbor(node, port)
                     .unwrap_or_else(|| panic!("send on missing link {node} {port}"));
+                let idx = self.inbound[to.index()][port.opposite().expect("mesh port")]
+                    .expect("neighbor implies link");
                 let class = event.wire_class();
-                let wire = match class {
-                    WireClass::Data => &mut set.data,
-                    WireClass::Control => &mut set.control,
-                    WireClass::Credit => &mut set.credit,
-                };
+                let wire = wire_of(&mut self.links[idx as usize], class);
                 // Error model: a corrupted control flit is retransmitted;
                 // each retry adds one wire traversal of delay.
                 let mut extra = 0;
@@ -971,11 +1187,7 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             caps.push(PortMap::from_fn(|p| slot.router.data_buffer_capacity(p)));
         }
         let num_routers = self.slots.len() as f64;
-        let num_links: u64 = self
-            .links
-            .iter()
-            .map(|ports| Port::MESH.iter().filter(|&&p| ports[p].is_some()).count() as u64)
-            .sum();
+        let num_links = self.links.len() as u64;
         let mesh = self.mesh;
         let control_retries = self.control_retries;
         let total_cycles = self.now.raw();
@@ -1191,40 +1403,281 @@ fn port_key(port: Port) -> &'static str {
 }
 
 impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
-    /// Advances the network by one cycle with the router-step phase
-    /// sharded over up to `threads` scoped worker threads.
-    ///
-    /// Only the step phase parallelises: routers interact exclusively
-    /// through links, and links are read (deliver) and written (apply) in
-    /// the sequential phases, so sharding cannot reorder any cross-router
-    /// effect. The per-cycle join is the determinism barrier. Produces
-    /// the same trace, delivery record and RNG trajectory as
-    /// [`Network::cycle`] for any thread count.
+    /// Installs `plan` (and a matching persistent [`WorkerPool`]) as the
+    /// network's shard partition. The worker pool is reused when the
+    /// shard count is unchanged, so reinstalling plans is cheap.
     ///
     /// Requires `R: Send` — a router traced through a
     /// [`noc_engine::trace::SharedSink`] is not `Send`, which statically
-    /// rules out sharing one sink from concurrent step phases.
-    pub fn cycle_sharded(&mut self, threads: usize) {
-        let now = self.now;
-        self.timed(PHASE_DELIVER, |n| n.deliver_arrivals(now));
-        self.timed(PHASE_INJECT, |n| n.offer_traffic(now));
-        if M::ENABLED {
-            self.instruments.awake_sum += self.awake_routers() as u64;
+    /// rules out sharing one sink from concurrent shard rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plan` does not cover exactly this mesh's nodes.
+    pub fn set_shard_plan(&mut self, plan: ShardPlan) {
+        assert_eq!(plan.nodes(), self.slots.len(), "plan must cover every node");
+        let shards = plan.shards();
+        let pool = match self.parallel.take() {
+            Some(engine) if engine.pool.threads() == shards => engine.pool,
+            _ => WorkerPool::new(shards),
+        };
+        self.parallel = Some(Box::new(ParallelEngine {
+            pool,
+            plan,
+            outboxes: vec![Vec::new(); shards],
+            awake: vec![0; shards],
+        }));
+    }
+
+    /// The installed shard plan, if any.
+    pub fn shard_plan(&self) -> Option<&ShardPlan> {
+        self.parallel.as_ref().map(|e| &e.plan)
+    }
+
+    /// Ensures a `threads`-shard engine is installed, keeping any
+    /// existing plan with a matching shard count (so a custom plan from
+    /// [`Network::set_shard_plan`] survives `cycle_sharded` calls).
+    fn ensure_parallel(&mut self, threads: usize) {
+        let matches = self
+            .parallel
+            .as_ref()
+            .is_some_and(|e| e.plan.shards() == threads);
+        if !matches {
+            self.set_shard_plan(ShardPlan::contiguous(self.slots.len(), threads));
         }
-        self.timed(PHASE_STEP, |n| {
-            let idle_skip = n.idle_skip;
-            noc_engine::sweep::run_parallel_mut(&mut n.slots, threads, |_, slot| {
-                step_slot(slot, now, idle_skip);
+    }
+
+    /// Advances the network by one cycle with the shard-local phases —
+    /// deliver, backlog offers, step, and (when no RNG rides on sends)
+    /// the link half of apply — running concurrently on `threads`
+    /// persistent workers. See the [module docs](self) for the hand-off
+    /// protocol. Produces the same trace, delivery record, RNG
+    /// trajectory and metrics export as [`Network::cycle`] for any
+    /// thread count and shard plan.
+    pub fn cycle_sharded(&mut self, threads: usize) {
+        self.ensure_parallel(threads);
+        self.cycle_planned();
+    }
+
+    /// Runs `n` cycles sharded over `threads` workers.
+    pub fn run_cycles_sharded(&mut self, n: u64, threads: usize) {
+        self.ensure_parallel(threads);
+        for _ in 0..n {
+            self.cycle_planned();
+        }
+    }
+
+    /// Runs `n` cycles under the installed shard plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Network::set_shard_plan`] (or a `cycle_sharded`
+    /// entry point) installed an engine first.
+    pub fn run_cycles_planned(&mut self, n: u64) {
+        assert!(self.parallel.is_some(), "no shard plan installed");
+        for _ in 0..n {
+            self.cycle_planned();
+        }
+    }
+
+    /// One cycle under the installed plan. A fault-free cycle fuses
+    /// deliver/offer/step into a single parallel round; a fault-carrying
+    /// cycle splits the round around the sequential fault events so the
+    /// event order matches [`Network::cycle`] exactly. (Phase timing
+    /// attribution differs from the sequential engine — the fused round
+    /// is booked under `step` — but `profile.*` metrics are
+    /// nondeterministic by nature and stripped from every comparison.)
+    fn cycle_planned(&mut self) {
+        let now = self.now;
+        if self.faults.is_some() {
+            self.timed(PHASE_DELIVER, |n| n.parallel_round(now, true, false));
+            self.timed(PHASE_INJECT, |n| {
+                n.apply_fault_events(now);
+                n.generate_traffic(now);
             });
-        });
-        self.timed(PHASE_APPLY, |n| n.apply_outputs(now));
+            self.timed(PHASE_STEP, |n| n.parallel_round(now, false, true));
+        } else {
+            self.timed(PHASE_INJECT, |n| n.generate_traffic(now));
+            self.timed(PHASE_STEP, |n| n.parallel_round(now, true, true));
+        }
+        if self.rng_sends() {
+            self.timed(PHASE_APPLY, |n| n.apply_outputs(now));
+        } else {
+            self.timed(PHASE_APPLY, |n| n.parallel_apply(now));
+        }
         self.timed(PHASE_OBSERVE, |n| n.finish_cycle(now));
     }
 
-    /// Runs `n` cycles with the step phase sharded over `threads`.
-    pub fn run_cycles_sharded(&mut self, n: u64, threads: usize) {
-        for _ in 0..n {
-            self.cycle_sharded(threads);
+    /// Runs the shard-local half of a cycle across the worker pool:
+    /// deliver this cycle's arrivals (`deliver`), then offer backlogs,
+    /// sample the wake-list and step every awake router (`step`). All
+    /// three touch only shard-owned state — a router, its backlog and
+    /// its inbound links — so the round needs no synchronisation beyond
+    /// the pool's own barrier.
+    fn parallel_round(&mut self, now: Cycle, deliver: bool, step: bool) {
+        let mut engine = self.parallel.take().expect("parallel engine installed");
+        let ParallelEngine {
+            pool,
+            plan,
+            outboxes,
+            awake,
+        } = &mut *engine;
+        let idle_skip = self.idle_skip;
+        let count_awake = M::ENABLED && step;
+        let inbound = &self.inbound;
+        let order = &self.deliver_order;
+        let ctxs = shard_contexts(
+            plan,
+            &self.link_starts,
+            &mut self.slots,
+            &mut self.links,
+            &mut self.backlog,
+            &mut self.instruments.link_flits,
+            outboxes,
+            awake,
+        );
+        pool.run(&|w| {
+            let mut ctx = ctxs[w].lock().expect("shard context");
+            let ctx = &mut *ctx;
+            if deliver {
+                for (i, slot) in ctx.slots.iter_mut().enumerate() {
+                    let n = ctx.range.start + i;
+                    deliver_node(slot, ctx.links, ctx.link_base, &inbound[n], &order[n], now);
+                }
+            }
+            if step {
+                for (slot, backlog) in ctx.slots.iter_mut().zip(ctx.backlog.iter_mut()) {
+                    offer_backlog(slot, backlog, now);
+                }
+                if count_awake {
+                    // Sampled exactly where the sequential engine samples
+                    // `awake_routers()`: after delivers and offers, before
+                    // any step retires a wake flag.
+                    *ctx.awake = if idle_skip {
+                        ctx.slots.iter().filter(|s| s.active).count() as u64
+                    } else {
+                        ctx.slots.len() as u64
+                    };
+                }
+                for slot in ctx.slots.iter_mut() {
+                    step_slot(slot, now, idle_skip);
+                }
+            }
+        });
+        drop(ctxs);
+        if count_awake {
+            self.instruments.awake_sum += engine.awake.iter().sum::<u64>();
+        }
+        self.parallel = Some(engine);
+    }
+
+    /// Phase 4, parallel form (only when [`Network::rng_sends`] is
+    /// false): each shard drains its own routers' staged sends, pushing
+    /// intra-shard sends straight onto the receiver's link and staging
+    /// cross-shard sends in its outbox. The outboxes are published at
+    /// the barrier in shard order — each directed link has exactly one
+    /// sending router, so per-link FIFO order is exactly the staging
+    /// order — and ejections then commit sequentially in node order,
+    /// keeping the tracker and every network-level trace event identical
+    /// to the sequential engine.
+    fn parallel_apply(&mut self, now: Cycle) {
+        debug_assert!(!self.rng_sends());
+        let mut engine = self.parallel.take().expect("parallel engine installed");
+        let ParallelEngine {
+            pool,
+            plan,
+            outboxes,
+            awake,
+        } = &mut *engine;
+        let mesh = self.mesh;
+        let inbound = &self.inbound;
+        let ctxs = shard_contexts(
+            plan,
+            &self.link_starts,
+            &mut self.slots,
+            &mut self.links,
+            &mut self.backlog,
+            &mut self.instruments.link_flits,
+            outboxes,
+            awake,
+        );
+        pool.run(&|w| {
+            let mut ctx = ctxs[w].lock().expect("shard context");
+            let ctx = &mut *ctx;
+            for (i, (slot, flits)) in ctx.slots.iter_mut().zip(ctx.flits.iter_mut()).enumerate() {
+                if slot.out.sends.is_empty() {
+                    continue;
+                }
+                let node = NodeId::new((ctx.range.start + i) as u16);
+                for (port, event) in slot.out.sends.drain(..) {
+                    assert!(port.is_mesh(), "routers send on mesh ports only");
+                    let to = mesh
+                        .neighbor(node, port)
+                        .unwrap_or_else(|| panic!("send on missing link {node} {port}"));
+                    let idx = inbound[to.index()][port.opposite().expect("mesh port")]
+                        .expect("neighbor implies link");
+                    let class = event.wire_class();
+                    if M::ENABLED {
+                        // Flit counters are keyed by sender, so each
+                        // shard counts its own sends — boundary or not.
+                        let f = &mut flits[port];
+                        match class {
+                            WireClass::Data => f.data += 1,
+                            WireClass::Control => f.control += 1,
+                            WireClass::Credit => f.credit += 1,
+                        }
+                    }
+                    if ctx.range.contains(&to.index()) {
+                        let set = &mut ctx.links[idx as usize - ctx.link_base];
+                        wire_of(set, class)
+                            .push(now, event)
+                            .expect("link bandwidth exceeded: flow-control protocol bug");
+                    } else {
+                        ctx.outbox.push((idx, event));
+                    }
+                }
+            }
+        });
+        drop(ctxs);
+        // Cross-shard hand-off: flits whose receiver lives in another
+        // shard enter their link only here, at the barrier, never
+        // mid-round. Shard staging order is node order, so publishing
+        // the outboxes in shard order restores global sender order.
+        for outbox in outboxes.iter_mut() {
+            for (idx, event) in outbox.drain(..) {
+                let set = &mut self.links[idx as usize];
+                wire_of(set, event.wire_class())
+                    .push(now, event)
+                    .expect("link bandwidth exceeded: flow-control protocol bug");
+            }
+        }
+        self.parallel = Some(engine);
+        self.commit_ejections();
+    }
+
+    /// Sequential tail of the parallel apply: ejections commit to the
+    /// delivery tracker and sink in node order. Only runs on the no-RNG
+    /// path, so the fault branches of the sequential apply cannot occur.
+    fn commit_ejections(&mut self) {
+        for n in 0..self.slots.len() {
+            if self.slots[n].out.ejections.is_empty() {
+                continue;
+            }
+            let node = NodeId::new(n as u16);
+            let mut out = std::mem::take(&mut self.slots[n].out);
+            for e in out.ejections.drain(..) {
+                match self.tracker.on_eject(e.flit.packet, e.flit.seq, node, e.at) {
+                    Ok(done) => {
+                        self.sink.flit_ejected(e.at, node, &e.flit);
+                        if let Some(latency) = done {
+                            self.sink
+                                .packet_delivered(e.at, node, e.flit.packet, latency);
+                        }
+                    }
+                    Err(err) => panic!("{err}"),
+                }
+            }
+            self.slots[n].out = out;
         }
     }
 }
@@ -1457,6 +1910,143 @@ mod tests {
             "backlogged packets must survive stop_injection and deliver"
         );
         assert_eq!(net.tracker().in_flight(), 0, "network must drain");
+    }
+
+    #[test]
+    fn sharded_step_with_custom_plan_matches_sequential() {
+        let mesh = Mesh::new(4, 4);
+        let mut seq = fr_network(mesh, 0.4, 31);
+        let mut par = fr_network(mesh, 0.4, 31);
+        seq.set_measuring(true);
+        par.set_measuring(true);
+        // Deliberately lopsided partition: shard sizes 3/6/1/6.
+        par.set_shard_plan(crate::ShardPlan::from_cuts(16, &[3, 9, 10]));
+        seq.run_cycles(1_000);
+        par.run_cycles_planned(1_000);
+        seq.stop_injection();
+        par.stop_injection();
+        seq.run_cycles(3_000);
+        par.run_cycles_planned(3_000);
+        assert_eq!(
+            seq.tracker().delivered_flits(),
+            par.tracker().delivered_flits()
+        );
+        assert_eq!(
+            seq.tracker().latency().mean(),
+            par.tracker().latency().mean()
+        );
+        assert_eq!(seq.tracker().in_flight(), 0);
+        assert_eq!(par.tracker().in_flight(), 0);
+    }
+
+    #[test]
+    fn cycle_sharded_keeps_matching_custom_plan() {
+        let mesh = Mesh::new(4, 4);
+        let mut net = fr_network(mesh, 0.3, 5);
+        let plan = crate::ShardPlan::from_cuts(16, &[5, 11]);
+        net.set_shard_plan(plan.clone());
+        net.run_cycles_sharded(10, 3);
+        assert_eq!(net.shard_plan(), Some(&plan));
+        // A different thread count rebuilds a contiguous plan.
+        net.run_cycles_sharded(10, 2);
+        assert_eq!(net.shard_plan(), Some(&crate::ShardPlan::contiguous(16, 2)));
+    }
+
+    /// A router that counts `step` and `is_idle` calls, claiming
+    /// whatever idleness it is configured with.
+    struct ScanCounter {
+        node: NodeId,
+        steps: std::rc::Rc<std::cell::Cell<u64>>,
+        scans: std::rc::Rc<std::cell::Cell<u64>>,
+        idle: bool,
+    }
+
+    impl Router for ScanCounter {
+        fn node(&self) -> NodeId {
+            self.node
+        }
+        fn receive(&mut self, _port: Port, _event: LinkEvent, _now: Cycle) {}
+        fn try_inject(&mut self, _packet: noc_traffic::Packet, _now: Cycle) -> bool {
+            false
+        }
+        fn step(&mut self, _now: Cycle, _out: &mut StepOutputs) {
+            self.steps.set(self.steps.get() + 1);
+        }
+        fn occupied_data_buffers(&self, _port: Port) -> usize {
+            0
+        }
+        fn data_buffer_capacity(&self, _port: Port) -> usize {
+            0
+        }
+        fn queued_flits(&self) -> usize {
+            0
+        }
+        fn is_idle(&self) -> bool {
+            self.scans.set(self.scans.get() + 1);
+            self.idle
+        }
+    }
+
+    fn scan_counter_network(idle: bool) -> (Network<ScanCounter>, SharedCounts) {
+        let mesh = Mesh::new(2, 2);
+        let root = Rng::from_seed(1);
+        let spec = LoadSpec::fraction_of_capacity(0.3, 5);
+        let generator = TrafficGenerator::uniform(mesh, spec, root.fork(99));
+        let counts: SharedCounts = Default::default();
+        let (steps, scans) = (counts.0.clone(), counts.1.clone());
+        let mut net = Network::new(mesh, LinkTiming::fast_control(), 2, generator, |node| {
+            ScanCounter {
+                node,
+                steps: steps.clone(),
+                scans: scans.clone(),
+                idle,
+            }
+        });
+        // No traffic ever reaches the routers: the run is pure quiet
+        // steps, isolating the wake-list/scan behaviour.
+        net.stop_injection();
+        (net, counts)
+    }
+
+    type SharedCounts = (
+        std::rc::Rc<std::cell::Cell<u64>>,
+        std::rc::Rc<std::cell::Cell<u64>>,
+    );
+
+    /// Regression test for the wake-list churn fix: a busy-but-quiet
+    /// router (no outputs, `is_idle() == false`, the profile of every
+    /// router above ~40% load) used to pay a full `is_idle` scan on
+    /// *every* step; the quiet-streak hysteresis must amortise the scan
+    /// to roughly one per [`IDLE_HYSTERESIS`] steps.
+    #[test]
+    fn idle_scan_runs_once_per_hysteresis_window() {
+        let (mut net, (steps, scans)) = scan_counter_network(false);
+        net.run_cycles(160);
+        let per_router_steps = steps.get() / 4;
+        let per_router_scans = scans.get() / 4;
+        assert_eq!(per_router_steps, 160, "busy routers step every cycle");
+        let expected = 160 / u64::from(IDLE_HYSTERESIS);
+        assert!(
+            per_router_scans <= expected + 1,
+            "scan churn is back: {per_router_scans} scans in 160 quiet steps \
+             (hysteresis should cap it near {expected})"
+        );
+        assert!(per_router_scans >= 1, "the scan must still run eventually");
+    }
+
+    /// The flip side: hysteresis may delay idle detection by at most the
+    /// window, after which a genuinely idle router stops stepping.
+    #[test]
+    fn idle_router_retires_after_hysteresis_window() {
+        let (mut net, (steps, scans)) = scan_counter_network(true);
+        net.run_cycles(100);
+        assert_eq!(
+            steps.get() / 4,
+            u64::from(IDLE_HYSTERESIS),
+            "an idle router steps exactly one hysteresis window, then sleeps"
+        );
+        assert_eq!(scans.get() / 4, 1, "one scan retires it");
+        assert_eq!(net.awake_routers(), 0);
     }
 
     #[test]

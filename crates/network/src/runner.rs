@@ -128,6 +128,32 @@ pub fn run_simulation<R: Router, S: TraceSink, M: Recorder>(
     network: &mut Network<R, S, M>,
     sim: &SimConfig,
 ) -> RunResult {
+    run_simulation_with(network, sim, |n| n.cycle())
+}
+
+/// [`run_simulation`] with the per-cycle stepping sharded over `threads`
+/// worker threads.
+///
+/// Same seeds, same methodology, same measurements: the sharded engine's
+/// hand-off protocol makes every cycle bit-identical to sequential
+/// stepping, so the returned [`RunResult`] — and any metrics registry the
+/// network fills — matches the single-threaded run exactly, whatever
+/// `threads` is.
+pub fn run_simulation_sharded<R: Router + Send, S: TraceSink, M: Recorder>(
+    network: &mut Network<R, S, M>,
+    sim: &SimConfig,
+    threads: usize,
+) -> RunResult {
+    run_simulation_with(network, sim, |n| n.cycle_sharded(threads))
+}
+
+/// Shared body of the run harness: the methodology is identical whichever
+/// way one cycle is stepped.
+fn run_simulation_with<R: Router, S: TraceSink, M: Recorder>(
+    network: &mut Network<R, S, M>,
+    sim: &SimConfig,
+    mut step: impl FnMut(&mut Network<R, S, M>),
+) -> RunResult {
     assert!(sim.sample_packets > 0, "need a non-empty sample");
     let offered_fraction = network.generator().load().fraction();
     let packet_length = network.generator().load().packet_length();
@@ -137,7 +163,7 @@ pub fn run_simulation<R: Router, S: TraceSink, M: Recorder>(
     // Phase 1: warm up until the mean queue length stabilizes.
     let mut detector = WarmupDetector::new(sim.warmup);
     loop {
-        network.cycle();
+        step(network);
         if network.now().raw().is_multiple_of(sim.warmup_probe_period)
             && detector.observe(network.now(), network.mean_queued_flits())
         {
@@ -154,7 +180,7 @@ pub fn run_simulation<R: Router, S: TraceSink, M: Recorder>(
     let _ = sample_start_created;
     let mut injected_all_at = None;
     while injected_all_at.is_none() {
-        network.cycle();
+        step(network);
         let measured_total =
             network.tracker().measured_delivered() + network.tracker().measured_outstanding();
         if measured_total >= sim.sample_packets {
@@ -175,7 +201,7 @@ pub fn run_simulation<R: Router, S: TraceSink, M: Recorder>(
             completed = false;
             break;
         }
-        network.cycle();
+        step(network);
     }
 
     let probe = network.probe_state();

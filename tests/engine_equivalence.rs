@@ -22,6 +22,7 @@
 
 use frfc::engine::trace::{SharedSink, TraceEvent, VecSink};
 use frfc::engine::Rng;
+use frfc::faults::FaultPlan;
 use frfc::flow::{LinkTiming, Router};
 use frfc::fr::{FrConfig, FrRouter};
 use frfc::network::Network;
@@ -310,6 +311,68 @@ fn sharding_and_idle_skip_axes_are_independent() {
     }
     for t in &traces[1..] {
         assert_eq!(&traces[0], t, "some (skip, threads) combination diverged");
+    }
+}
+
+/// Faults, sharding and idle-skipping are three independent engine
+/// features, and all eight combinations must agree. A corrupt+drop
+/// fault plan forces the sharded engine onto its sequential-apply
+/// fallback (fault RNG rides on sends) and keeps the fault-event /
+/// generation ordering visible; the naive path — idle-skip off, plain
+/// `cycle()` — is the reference every combination must replay
+/// bit-for-bit.
+#[test]
+fn faulty_run_composes_with_sharding_and_idle_skip() {
+    let mut plan = FaultPlan::quiet(0xFA17);
+    plan.data_corrupt_rate = 2e-3;
+    plan.control_drop_rate = 2e-3;
+    plan.repair_delay = 4;
+    plan.ack_latency = 8;
+    plan.retransmit_timeout = 64;
+    plan.max_backoff_exp = 2;
+    let run = |skip: bool, threads: usize| {
+        let mut net = fr_net(Box::new(Uniform), 0.4, 0x7007, VecSink::new());
+        net.set_fault_plan(plan.clone());
+        net.set_idle_skip(skip);
+        if threads == 1 {
+            net.run_cycles(800);
+            net.stop_injection();
+            net.run_cycles(6_000);
+        } else {
+            net.run_cycles_sharded(800, threads);
+            net.stop_injection();
+            net.run_cycles_sharded(6_000, threads);
+        }
+        assert_eq!(net.tracker().in_flight(), 0, "faulty run must drain");
+        let summary = net.fault_summary().expect("fault layer armed");
+        (summary, net.tracer().events().to_vec())
+    };
+    let (naive_faults, naive) = run(false, 1);
+    assert!(!naive.is_empty());
+    // Non-vacuous: the plan actually corrupted and dropped something.
+    assert!(
+        naive_faults.counters.data_corrupted > 0,
+        "corrupt rate must fire in the reference run"
+    );
+    assert!(
+        naive_faults.counters.control_dropped > 0,
+        "drop rate must fire in the reference run"
+    );
+    for skip in [false, true] {
+        for threads in [1usize, 2, 4] {
+            if !skip && threads == 1 {
+                continue; // the reference itself
+            }
+            let (faults, events) = run(skip, threads);
+            assert_eq!(
+                faults.counters, naive_faults.counters,
+                "skip={skip} threads={threads}: fault schedule diverged"
+            );
+            assert_eq!(
+                naive, events,
+                "skip={skip} threads={threads}: event stream diverged from naive path"
+            );
+        }
     }
 }
 
