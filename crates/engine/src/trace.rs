@@ -302,6 +302,16 @@ pub enum TraceKind {
         /// Output port of the dead link.
         port: u8,
     },
+    /// A pipeline-stage contract was violated inside a router (a grant
+    /// without a matching request, two traversals of one output in one
+    /// cycle, ...). Emitted by the stage-contract checker the routers
+    /// can enable; the invariant checker treats every occurrence as a
+    /// violation, so contract breaches fail `assert_clean`.
+    StageContractViolation {
+        /// Dense code identifying the broken contract (see the
+        /// `pipeline::contract` module of `noc-flow`).
+        code: u8,
+    },
 }
 
 /// A consumer of [`TraceEvent`]s.
@@ -844,6 +854,14 @@ impl TraceSink for InvariantChecker {
             | TraceKind::AckIssued { .. }
             | TraceKind::RetransmitTimeout { .. }
             | TraceKind::LinkMasked { .. } => {}
+            // A stage-contract breach is by definition an invariant
+            // violation: the router's own checker found a grant or
+            // traversal that its pipeline interfaces forbid.
+            TraceKind::StageContractViolation { code } => {
+                self.violate(format!(
+                    "node {node}: stage contract violation (code {code}) at {cycle}"
+                ));
+            }
         }
     }
 }

@@ -32,6 +32,7 @@ mod config;
 mod input_table;
 mod output_table;
 mod router;
+mod stages;
 pub mod transfers;
 
 pub use config::{BufferAllocPolicy, FrConfig, SchedulingPolicy};

@@ -114,6 +114,11 @@ impl OutputReservationTable {
     /// Panics if time moves backwards.
     pub fn advance_to(&mut self, now: Cycle) {
         assert!(now >= self.base, "output table time went backwards");
+        if now == self.base {
+            // Idempotent repeat within a cycle: no slot recycles and no
+            // pending credit can have entered the (unmoved) window.
+            return;
+        }
         let steps = (now - self.base).min(self.window as u64);
         // Recycle the slots that fell out of the window: they now
         // represent cycles just past the previous far edge and inherit the
@@ -202,6 +207,13 @@ impl OutputReservationTable {
     /// itself is a candidate departure: the flit is bypassed directly to
     /// the output port, spending zero cycles in the router — the source of
     /// flit-reservation flow control's low data latency.
+    ///
+    /// The whole search costs O(window + horizon) instead of the naive
+    /// O(window × horizon): a candidate qualifies only when *no* window
+    /// slot from its buffer hold onward is short of `min_free` buffers,
+    /// so one backwards scan locating the **last deficient slot** (often
+    /// O(1) — a saturated table exits on its first probe) answers every
+    /// candidate's availability check with a single index comparison.
     pub fn schedule_search(
         &self,
         t_a: Cycle,
@@ -219,21 +231,48 @@ impl OutputReservationTable {
             t_a.max(now) + 1
         };
         let last = now + self.horizon;
+        if start > last {
+            return None;
+        }
+        // Earliest window offset any candidate's hold can touch: a
+        // departure at `t` holds buffers from `t + prop_delay` on, and
+        // `t >= start`. Offsets below it are never queried.
+        let floor = ((start + self.prop_delay)
+            .raw()
+            .saturating_sub(self.base.raw()) as usize)
+            .min(self.window);
+        // Largest window offset at or above `floor` with fewer than
+        // `min_free` buffers free; `floor as isize - 1` when none. The
+        // search never reserves, so this is invariant across candidates.
+        let mut last_deficient = floor as isize - 1;
+        for i in (floor..self.window).rev() {
+            let s = self.slot(self.base + i as u64);
+            if self.free[s] < min_free {
+                last_deficient = i as isize;
+                break;
+            }
+        }
         let mut t = start;
         while t <= last {
-            if !self.busy[self.slot(t)]
-                && self.buffers_from(t + self.prop_delay, min_free)
-                && extra_ok(t)
-            {
-                return Some(t);
+            if !self.busy[self.slot(t)] {
+                // Buffers are free for the whole hold iff the hold
+                // starts strictly past the last deficient slot (the
+                // beyond-window tail was vetted up front).
+                let from = ((t + self.prop_delay).raw().saturating_sub(self.base.raw()) as usize)
+                    .min(self.window);
+                if from as isize > last_deficient && extra_ok(t) {
+                    return Some(t);
+                }
             }
             t = t.next();
         }
         None
     }
 
-    /// `true` when at least `min_free` buffers are free at every cycle
-    /// from `from` to the end of the window (and beyond).
+    /// Reference implementation of the availability check: a literal scan
+    /// of the free-buffer ring, kept to pin the last-deficient-slot
+    /// search's equivalence in tests.
+    #[cfg(test)]
     fn buffers_from(&self, from: Cycle, min_free: i64) -> bool {
         if self.tail_free < min_free {
             return false;
@@ -495,6 +534,92 @@ mod tests {
             t.find_departure(Cycle::ZERO, Cycle::ZERO, |_| true),
             Some(Cycle::new(31))
         );
+    }
+
+    /// A literal re-implementation of the search loop on top of the
+    /// reference `buffers_from` scan; the production search must agree
+    /// with it on every table state.
+    fn reference_search(
+        t: &OutputReservationTable,
+        t_a: Cycle,
+        now: Cycle,
+        min_free: i64,
+        allow_same_cycle: bool,
+    ) -> Option<Cycle> {
+        if t.tail_free < min_free {
+            return None;
+        }
+        let start = if allow_same_cycle && t_a > now {
+            t_a
+        } else {
+            t_a.max(now) + 1
+        };
+        let last = now + t.horizon;
+        let mut c = start;
+        while c <= last {
+            if !t.busy[t.slot(c)] && t.buffers_from(c + t.prop_delay, min_free) {
+                return Some(c);
+            }
+            c = c.next();
+        }
+        None
+    }
+
+    #[test]
+    fn fast_search_matches_reference_scan() {
+        // A deterministic mix of reservations, credits and window slides;
+        // at every search the last-deficient-slot fast path must return
+        // exactly what the literal ring scan returns.
+        let mut t = OutputReservationTable::new(16, Some(3), 2);
+        let mut now = Cycle::ZERO;
+        t.advance_to(now);
+        // Buffer holds outstanding, by hold-start cycle, so credits never
+        // overflow a slot the matching reservation did not decrement.
+        let mut holds: Vec<Cycle> = Vec::new();
+        let mut lcg: u64 = 0x243F_6A88_85A3_08D3;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut searches = 0u32;
+        for step in 0..600u64 {
+            let r = next();
+            match r % 4 {
+                0 => {
+                    let min_free = (r / 7 % 3) as i64 + 1;
+                    let t_a = now + r / 11 % 8;
+                    let allow = r / 5 % 2 == 0;
+                    let want = reference_search(&t, t_a, now, min_free, allow);
+                    let got = t.schedule_search(t_a, now, min_free, allow, |_| true);
+                    assert_eq!(got, want, "step {step}: search diverged");
+                    searches += 1;
+                    if let Some(t_d) = got {
+                        t.reserve(t_d);
+                        holds.push(t_d + t.prop_delay);
+                    }
+                }
+                1 => {
+                    if let Some(h) = holds.pop() {
+                        t.credit(h + r % 4, now);
+                    }
+                }
+                2 => {
+                    now += r % 3;
+                    t.advance_to(now);
+                }
+                _ => {
+                    let min_free = (r / 7 % 3) as i64 + 1;
+                    let t_a = now + r / 11 % 12;
+                    let want = reference_search(&t, t_a, now, min_free, false);
+                    let got = t.schedule_search(t_a, now, min_free, false, |_| true);
+                    assert_eq!(got, want, "step {step}: probe diverged");
+                    searches += 1;
+                }
+            }
+        }
+        assert!(searches > 100, "the op mix must actually exercise searches");
     }
 
     #[test]

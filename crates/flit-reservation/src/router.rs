@@ -1,4 +1,5 @@
-//! The flit-reservation router (paper Figure 3).
+//! The flit-reservation router (paper Figure 3), as a thin driver over
+//! the pipeline stages in [`crate::stages`].
 //!
 //! The upper half is the control network: control flits arrive in per-VC
 //! queues, are routed (heads) or follow their VC's route (bodies), and are
@@ -15,64 +16,26 @@
 //! to and which buffer to drive onto which output channel. "There are no
 //! decisions to be made as all of the work has been done ahead of time by
 //! the control flits."
+//!
+//! `step` owns no routing, scheduling or buffering state of its own: it
+//! moves typed requests and grants (`ReservationRequest`/`Grant`,
+//! `VcAllocRequest`/`Grant`) between the route-compute, control,
+//! reservation, data-path and injection stages. With
+//! [`FrRouter::enable_contract_checks`] a `StageContractChecker` verifies
+//! the inter-stage contracts every cycle.
 
-use crate::transfers::TransferCounter;
-use crate::{
-    BufferAllocPolicy, FrConfig, InputReservationTable, OutputReservationTable, SchedulingPolicy,
-};
+use crate::stages::{ControlStage, DataPathStage, FrNiStage, ReservationStage};
+use crate::{ArrivalOutcome, FrConfig, SchedulingPolicy};
 use noc_engine::stats::RunningStats;
 use noc_engine::trace::{NullSink, TraceSink};
 use noc_engine::{Cycle, Rng};
-use noc_flow::{
-    ControlFlit, ControlKind, DataFlit, LedFlit, LinkEvent, Router, StepOutputs, TraceEmit,
-};
-use noc_topology::{masked_xy_route, xy_route, Mesh, NodeId, Port, PortMap};
+use noc_flow::pipeline::{ReservationRequest, StallScan, VcAllocGrant, VcAllocRequest};
+use noc_flow::{LinkEvent, RouteCompute, Router, StageContractChecker, StepOutputs, TraceEmit};
+use noc_topology::{Mesh, NodeId, Port};
 use noc_traffic::Packet;
-use std::collections::VecDeque;
 
-/// A control flit waiting in an input control-VC queue.
-#[derive(Clone, Debug)]
-struct QueuedControl {
-    flit: ControlFlit,
-    arrived: Cycle,
-}
-
-/// Per-input control VC state.
-#[derive(Clone, Debug)]
-struct ControlVc {
-    queue: VecDeque<QueuedControl>,
-    /// Output port of the packet currently flowing through this VC.
-    route: Option<Port>,
-    /// Downstream control VC granted to that packet.
-    out_vc: Option<u8>,
-}
-
-impl ControlVc {
-    fn new() -> Self {
-        ControlVc {
-            queue: VecDeque::new(),
-            route: None,
-            out_vc: None,
-        }
-    }
-}
-
-/// Network-interface state: packet staging, the injection reservation
-/// table and data flits awaiting their scheduled injection cycle.
-#[derive(Clone, Debug)]
-struct FrNi {
-    pending: VecDeque<Packet>,
-    /// Control flits of the packet currently being injected.
-    staged: VecDeque<ControlFlit>,
-    /// Local control VC carrying the current packet.
-    current_vc: Option<u8>,
-    /// Output reservation table of the NI→router injection channel.
-    inject_table: OutputReservationTable,
-    /// Data flits scheduled for injection, keyed by injection cycle.
-    data_ready: Vec<(Cycle, DataFlit)>,
-}
-
-/// Aggregate statistics a flit-reservation router collects.
+/// Aggregate statistics a flit-reservation router collects, assembled
+/// by [`FrRouter::stats`] from the stages that own the counters.
 #[derive(Clone, Debug, Default)]
 pub struct FrStats {
     /// Lead (in cycles) of ejection-scheduling control flits over their
@@ -115,32 +78,16 @@ pub struct FrStats {
 #[derive(Clone, Debug)]
 pub struct FrRouter<S: TraceSink = NullSink> {
     node: NodeId,
-    mesh: Mesh,
     config: FrConfig,
     rng: Rng,
-    /// Control input queues: per input port, per control VC.
-    control_inputs: PortMap<Vec<ControlVc>>,
-    /// Credits for downstream control-VC queues, per output port.
-    control_credits: PortMap<Vec<usize>>,
-    /// Downstream control-VC ownership, per output port.
-    control_vc_owner: PortMap<Vec<bool>>,
-    /// Output reservation tables, per output port.
-    output_tables: PortMap<OutputReservationTable>,
-    /// Input reservation tables (and buffer pools), per input port.
-    input_tables: PortMap<InputReservationTable>,
-    ni: FrNi,
-    stats: FrStats,
-    /// Output ports masked out of routing after a permanent link failure
-    /// (bit `1 << port.index()`); see [`Router::on_link_dead`].
-    dead_mask: u8,
-    /// Data flits that arrived on links this cycle, buffered until the
-    /// data path has executed this cycle's departures: a buffer freed at
-    /// `t_d` may be reused by a flit arriving at the same cycle, so
-    /// departures (reads) must run before arrivals (writes).
-    pending_data: Vec<(Port, DataFlit)>,
-    /// Present only under the bind-at-reservation ablation: per-input
-    /// interval bookkeeping that counts buffer-to-buffer transfers.
-    transfer_counters: Option<PortMap<TransferCounter>>,
+    route: RouteCompute,
+    control: ControlStage,
+    reservation: ReservationStage,
+    data: DataPathStage,
+    ni: FrNiStage,
+    /// Runtime verifier of the inter-stage contracts, off by default so
+    /// the hot path pays nothing.
+    contracts: Option<StageContractChecker>,
     sink: S,
 }
 
@@ -165,51 +112,16 @@ impl<S: TraceSink> FrRouter<S> {
     /// [`FrConfig::validate`]).
     pub fn with_tracer(mesh: Mesh, node: NodeId, config: FrConfig, rng: Rng, sink: S) -> Self {
         config.validate();
-        let horizon = config.horizon;
-        let t = config.timing;
-        let output_tables = PortMap::from_fn(|p| {
-            if p == Port::Local {
-                // Ejection channel: 1 flit/cycle into unbounded reassembly
-                // buffers, no propagation.
-                OutputReservationTable::new(horizon, None, 0)
-            } else {
-                OutputReservationTable::new(horizon, Some(config.data_buffers), t.data_delay)
-            }
-        });
-        let input_tables = PortMap::from_fn(|_| {
-            InputReservationTable::new(horizon, config.data_buffers, t.data_delay)
-        });
-        let control_inputs =
-            PortMap::from_fn(|_| (0..config.control_vcs).map(|_| ControlVc::new()).collect());
-        let control_credits =
-            PortMap::from_fn(|_| vec![config.control_queue_depth; config.control_vcs]);
-        let control_vc_owner = PortMap::from_fn(|_| vec![false; config.control_vcs]);
         FrRouter {
             node,
-            mesh,
-            config,
             rng,
-            control_inputs,
-            control_credits,
-            control_vc_owner,
-            output_tables,
-            input_tables,
-            ni: FrNi {
-                pending: VecDeque::new(),
-                staged: VecDeque::new(),
-                current_vc: None,
-                inject_table: OutputReservationTable::new(horizon, Some(config.data_buffers), 0),
-                data_ready: Vec::new(),
-            },
-            stats: FrStats::default(),
-            dead_mask: 0,
-            pending_data: Vec::new(),
-            transfer_counters: match config.buffer_alloc {
-                BufferAllocPolicy::AtReservation => Some(PortMap::from_fn(|_| {
-                    TransferCounter::new(config.data_buffers)
-                })),
-                BufferAllocPolicy::JustBeforeArrival => None,
-            },
+            route: RouteCompute::new(mesh, node),
+            control: ControlStage::new(&config),
+            reservation: ReservationStage::new(&config),
+            data: DataPathStage::new(&config),
+            ni: FrNiStage::new(&config),
+            contracts: None,
+            config,
             sink,
         }
     }
@@ -218,15 +130,7 @@ impl<S: TraceSink> FrRouter<S> {
     /// ablation, as `(transfers, residencies)`; `None` when running the
     /// paper's deferred-binding policy (which never transfers).
     pub fn buffer_transfers(&self) -> Option<(u64, u64)> {
-        self.transfer_counters.as_ref().map(|counters| {
-            let mut t = 0;
-            let mut b = 0;
-            for (_, c) in counters.iter() {
-                t += c.transfers();
-                b += c.booked();
-            }
-            (t, b)
-        })
+        self.data.buffer_transfers()
     }
 
     /// The router's configuration.
@@ -234,56 +138,40 @@ impl<S: TraceSink> FrRouter<S> {
         &self.config
     }
 
-    /// Statistics collected so far.
-    pub fn stats(&self) -> &FrStats {
-        &self.stats
+    /// Statistics collected so far, assembled from the stages that own
+    /// the counters.
+    pub fn stats(&self) -> FrStats {
+        FrStats {
+            dest_lead: self.reservation.dest_lead().clone(),
+            scheduled_flits: self.reservation.scheduled_flits(),
+            parked_arrivals: self.data.parked_arrivals(),
+            bypassed_flits: self.data.bypassed_flits(),
+            reservation_misses: self.reservation.reservation_misses(),
+            control_flits_sent: self.control.control_flits_sent(),
+            data_flits_sent: self.data.data_flits_sent(),
+            masked_routes: self.route.masked_routes(),
+        }
     }
 
-    fn route_to(&mut self, dest: NodeId) -> Port {
-        if dest == self.node {
-            return Port::Local;
-        }
-        let out = masked_xy_route(self.mesh, self.node, dest, self.dead_mask)
-            .expect("non-local destination must route");
-        if self.dead_mask != 0 && Some(out) != xy_route(self.mesh, self.node, dest) {
-            self.stats.masked_routes += 1;
-        }
-        out
+    /// Turns on per-cycle verification of the inter-stage contracts.
+    /// Each breach is surfaced as a `StageContractViolation` trace event
+    /// and retained in the checker (see [`FrRouter::contract_checker`]).
+    pub fn enable_contract_checks(&mut self) {
+        self.contracts = Some(StageContractChecker::new());
     }
 
-    fn advance_tables(&mut self, now: Cycle) {
-        for (_, table) in self.output_tables.iter_mut() {
-            table.advance_to(now);
-        }
-        for (_, table) in self.input_tables.iter_mut() {
-            table.advance_to(now);
-        }
-        self.ni.inject_table.advance_to(now);
+    /// The stage-contract checker, if enabled.
+    pub fn contract_checker(&self) -> Option<&StageContractChecker> {
+        self.contracts.as_ref()
     }
 
     /// Releases NI data flits whose scheduled injection cycle is `now`
     /// into the local input channel (delivered with this cycle's other
     /// arrivals by [`Self::accept_arrivals`]).
     fn release_injections(&mut self, now: Cycle) {
-        let mut i = 0;
-        let mut released = 0u32;
-        while i < self.ni.data_ready.len() {
-            if self.ni.data_ready[i].0 == now {
-                let (_, flit) = self.ni.data_ready.swap_remove(i);
-                released += 1;
-                assert!(
-                    released <= 1,
-                    "injection channel carried two flits in one cycle"
-                );
-                self.sink.flit_injected(now, self.node, &flit);
-                self.pending_data.push((Port::Local, flit));
-            } else {
-                debug_assert!(
-                    self.ni.data_ready[i].0 > now,
-                    "missed a scheduled injection"
-                );
-                i += 1;
-            }
+        for flit in self.ni.take_due_injections(now) {
+            self.sink.flit_injected(now, self.node, &flit);
+            self.data.queue_arrival(Port::Local, flit);
         }
     }
 
@@ -291,24 +179,26 @@ impl<S: TraceSink> FrRouter<S> {
     /// departures of the same cycle have freed their buffers), forwarding
     /// same-cycle bypass flits straight to their reserved outputs.
     fn accept_arrivals(&mut self, now: Cycle, out: &mut StepOutputs) {
-        let pending = std::mem::take(&mut self.pending_data);
-        for (port, flit) in pending {
-            match self.input_tables[port].on_data_arrival(flit, now) {
-                crate::ArrivalOutcome::Parked(buffer) => {
-                    self.stats.parked_arrivals += 1;
+        for (port, flit) in self.data.take_pending() {
+            match self.data.accept(port, flit, now) {
+                ArrivalOutcome::Parked(buffer) => {
                     self.sink.buffer_alloc(now, self.node, port, buffer, &flit);
                 }
-                crate::ArrivalOutcome::Bypass { out_port } => {
-                    self.stats.bypassed_flits += 1;
+                ArrivalOutcome::Bypass { out_port } => {
+                    // A bypass traverses its reserved output this cycle;
+                    // the output table's busy bit guarantees exclusivity.
+                    if let Some(ck) = self.contracts.as_mut() {
+                        ck.note_departure(out_port);
+                    }
                     if out_port == Port::Local {
                         out.eject(flit, now);
                     } else {
-                        self.stats.data_flits_sent += 1;
+                        self.data.note_data_sent();
                         self.sink.data_sent(now, self.node, out_port, &flit);
                         out.send(out_port, LinkEvent::Data(flit));
                     }
                 }
-                crate::ArrivalOutcome::Scheduled(_, buffer) => {
+                ArrivalOutcome::Scheduled(_, buffer) => {
                     self.sink.buffer_alloc(now, self.node, port, buffer, &flit);
                 }
             }
@@ -320,23 +210,9 @@ impl<S: TraceSink> FrRouter<S> {
     fn route_control_heads(&mut self, now: Cycle) {
         for &port in &Port::ALL {
             for vc in 0..self.config.control_vcs {
-                let dest = {
-                    let cvc = &self.control_inputs[port][vc];
-                    match cvc.queue.front() {
-                        Some(qc)
-                            if qc.flit.is_head() && cvc.route.is_none() && qc.arrived < now =>
-                        {
-                            match qc.flit.kind {
-                                ControlKind::Head { dest } => Some(dest),
-                                ControlKind::Body => None,
-                            }
-                        }
-                        _ => None,
-                    }
-                };
-                if let Some(dest) = dest {
-                    let out = self.route_to(dest);
-                    self.control_inputs[port][vc].route = Some(out);
+                if let Some(dest) = self.control.pending_route(port, vc, now) {
+                    let out = self.route.route(dest);
+                    self.control.set_route(port, vc, out);
                 }
             }
         }
@@ -345,6 +221,10 @@ impl<S: TraceSink> FrRouter<S> {
     /// Attempts to reserve departures for every still-unscheduled data
     /// flit of the control flit at the front of `(in_port, vc)`, routed to
     /// `out_port`. Returns `true` if the control flit is fully scheduled.
+    ///
+    /// Each attempt crosses the stage boundary as a typed
+    /// [`ReservationRequest`]; the reservation stage answers with a
+    /// `ReservationGrant` naming the booked departure cycle.
     ///
     /// Under per-flit scheduling, successfully booked flits stay booked
     /// even when later ones fail ("each successfully scheduled data flit
@@ -360,50 +240,35 @@ impl<S: TraceSink> FrRouter<S> {
         out: &mut StepOutputs,
     ) -> bool {
         if self.config.policy == SchedulingPolicy::AllOrNothing {
-            let front = &self.control_inputs[in_port][vc]
-                .queue
-                .front()
+            let leds: Vec<(Cycle, bool)> = self
+                .control
+                .front_flit(in_port, vc)
                 .expect("caller guarantees a front flit")
-                .flit;
-            let mut snapshot = self.output_tables[out_port].clone();
-            let mut booked: Vec<Cycle> = Vec::new();
-            let mut remaining = front.led.iter().filter(|l| !l.scheduled).count() as i64;
-            for led in front.led.iter().filter(|l| !l.scheduled) {
-                let input = &self.input_tables[in_port];
-                let allow_bypass = self.config.same_cycle_bypass && led.arrival > now;
-                let found =
-                    snapshot.schedule_search(led.arrival, now, remaining, allow_bypass, |c| {
-                        !input.departure_booked(c) && !booked.contains(&c)
-                    });
-                match found {
-                    Some(t_d) => {
-                        snapshot.reserve(t_d);
-                        booked.push(t_d);
-                        remaining -= 1;
-                    }
-                    None => {
-                        self.stats.reservation_misses += 1;
-                        return false;
-                    }
-                }
+                .led
+                .iter()
+                .filter(|l| !l.scheduled)
+                .map(|l| (l.arrival, self.config.same_cycle_bypass && l.arrival > now))
+                .collect();
+            let data = &self.data;
+            let feasible = self
+                .reservation
+                .feasible_all(out_port, now, &leds, |c| data.departure_booked(in_port, c));
+            if !feasible {
+                return false;
             }
         }
 
         loop {
             // Copy out the next unscheduled entry (index, arrival, flit).
-            let next = {
-                let front = &self.control_inputs[in_port][vc]
-                    .queue
-                    .front()
-                    .expect("caller guarantees a front flit")
-                    .flit;
-                front
-                    .led
-                    .iter()
-                    .enumerate()
-                    .find(|(_, l)| !l.scheduled)
-                    .map(|(i, l)| (i, l.arrival, l.flit))
-            };
+            let next = self
+                .control
+                .front_flit(in_port, vc)
+                .expect("caller guarantees a front flit")
+                .led
+                .iter()
+                .enumerate()
+                .find(|(_, l)| !l.scheduled)
+                .map(|(i, l)| (i, l.arrival, l.flit));
             let (idx, t_a, led_flit) = match next {
                 Some(n) => n,
                 None => return true,
@@ -415,35 +280,43 @@ impl<S: TraceSink> FrRouter<S> {
             let remaining = if self.config.policy == SchedulingPolicy::PerFlitGreedy {
                 1
             } else {
-                self.control_inputs[in_port][vc]
-                    .queue
-                    .front()
+                self.control
+                    .front_flit(in_port, vc)
                     .expect("front still present")
-                    .flit
                     .led
                     .iter()
                     .filter(|l| !l.scheduled)
                     .count() as i64
             };
-            let input = &self.input_tables[in_port];
-            let allow_bypass = self.config.same_cycle_bypass && t_a > now;
-            let found = self.output_tables[out_port].schedule_search(
-                t_a,
-                now,
-                remaining,
-                allow_bypass,
-                |c| !input.departure_booked(c),
-            );
-            let t_d = match found {
-                Some(t) => t,
+            let req = ReservationRequest {
+                in_port,
+                out_port,
+                arrival: t_a,
+                min_free: remaining,
+                allow_bypass: self.config.same_cycle_bypass && t_a > now,
+            };
+            if let Some(ck) = self.contracts.as_mut() {
+                ck.note_reservation_request(req);
+            }
+            // The input's single read port rejects cycles it has already
+            // booked a departure on (paper footnote 7).
+            let data = &self.data;
+            let grant = self
+                .reservation
+                .try_reserve(&req, now, |c| data.departure_booked(in_port, c));
+            let grant = match grant {
+                Some(g) => g,
                 None => {
                     // Stall; already-booked flits stand.
-                    self.stats.reservation_misses += 1;
                     return false;
                 }
             };
-            self.output_tables[out_port].reserve(t_d);
-            self.input_tables[in_port].apply_reservation(t_a, t_d, out_port, now);
+            if let Some(ck) = self.contracts.as_mut() {
+                ck.note_reservation_grant(&req, grant);
+            }
+            let t_d = grant.departure;
+            self.data
+                .apply_reservation(in_port, t_a, t_d, out_port, now);
             // Ejection reservations hold no channel bandwidth, so only
             // mesh-port grants are traced (and must be consumed by a
             // matching data-flit departure).
@@ -452,36 +325,24 @@ impl<S: TraceSink> FrRouter<S> {
             }
             self.sink
                 .reservation_made(now, self.node, &led_flit, in_port, out_port, t_a, t_d);
-            if let Some(counters) = &mut self.transfer_counters {
-                // Bypassed flits (t_d == t_a) never occupy a buffer.
-                if t_d > t_a {
-                    counters[in_port].book(t_a, t_d);
-                }
-            }
-            self.stats.scheduled_flits += 1;
+            self.data.book_transfer(in_port, t_a, t_d);
             if out_port == Port::Local {
                 // How far ahead of its data flit did this control flit
                 // schedule the ejection? Negative = data flit got here
                 // first and waited in the schedule list.
-                self.stats
-                    .dest_lead
-                    .record(t_a.raw() as f64 - now.raw() as f64);
+                self.reservation.record_dest_lead(t_a, now);
             }
             // Advance credit: the buffer at this input frees at t_d, plus
             // the plesiochronous synchronization margin (Section 5).
             let frees_at = t_d + self.config.sync_margin;
             if in_port == Port::Local {
-                self.ni.inject_table.credit(frees_at, now);
+                self.ni.inject_credit(frees_at, now);
             } else {
                 self.sink.credit_sent(now, self.node, in_port, 0);
                 out.send(in_port, LinkEvent::FrCredit { frees_at });
             }
-            let front = self.control_inputs[in_port][vc]
-                .queue
-                .front_mut()
-                .expect("front still present");
-            front.flit.led[idx].arrival = t_d + self.config.timing.data_delay;
-            front.flit.led[idx].scheduled = true;
+            self.control
+                .mark_scheduled(in_port, vc, idx, t_d + self.config.timing.data_delay);
         }
     }
 
@@ -495,13 +356,11 @@ impl<S: TraceSink> FrRouter<S> {
             let mut candidates: Vec<(Port, usize)> = Vec::new();
             for &in_port in &Port::ALL {
                 for vc in 0..self.config.control_vcs {
-                    let cvc = &self.control_inputs[in_port][vc];
-                    if cvc.route != Some(out_port) {
+                    if self.control.route(in_port, vc) != Some(out_port) {
                         continue;
                     }
-                    match cvc.queue.front() {
-                        Some(qc) if qc.arrived < now => candidates.push((in_port, vc)),
-                        _ => {}
+                    if self.control.front_ready(in_port, vc, now) {
+                        candidates.push((in_port, vc));
                     }
                 }
             }
@@ -521,30 +380,36 @@ impl<S: TraceSink> FrRouter<S> {
         now: Cycle,
         out: &mut StepOutputs,
     ) {
-        // Downstream control VC allocation (heads, non-local routes).
-        if out_port != Port::Local && self.control_inputs[in_port][vc].out_vc.is_none() {
-            let free: Vec<u8> = self.control_vc_owner[out_port]
-                .iter()
-                .enumerate()
-                .filter(|(_, &owned)| !owned)
-                .map(|(v, _)| v as u8)
-                .collect();
-            if free.is_empty() {
-                return; // stall: no downstream control VC
+        // Downstream control VC allocation (heads, non-local routes): a
+        // typed request into the control stage's allocator.
+        if out_port != Port::Local && self.control.out_vc(in_port, vc).is_none() {
+            let req = VcAllocRequest {
+                in_port,
+                in_vc: vc,
+                out_port,
+            };
+            if let Some(ck) = self.contracts.as_mut() {
+                ck.note_vc_request(req);
             }
-            let granted = *self.rng.choose(&free);
-            self.control_vc_owner[out_port][granted as usize] = true;
-            self.control_inputs[in_port][vc].out_vc = Some(granted);
+            match self
+                .control
+                .try_alloc_out_vc(in_port, vc, out_port, &mut self.rng)
+            {
+                Some(granted) => {
+                    if let Some(ck) = self.contracts.as_mut() {
+                        ck.note_vc_grant(&req, VcAllocGrant { out_vc: granted });
+                    }
+                }
+                None => return, // stall: no downstream control VC
+            }
         }
         // Credit check before doing the scheduling work: a forwarded
         // control flit needs a downstream queue slot.
         let out_vc = if out_port == Port::Local {
             0
         } else {
-            let ovc = self.control_inputs[in_port][vc]
-                .out_vc
-                .expect("allocated above");
-            if self.control_credits[out_port][ovc as usize] == 0 {
+            let ovc = self.control.out_vc(in_port, vc).expect("allocated above");
+            if !self.control.has_credit(out_port, ovc) {
                 return; // stall: downstream control queue full
             }
             ovc
@@ -555,11 +420,7 @@ impl<S: TraceSink> FrRouter<S> {
         }
 
         // Fully scheduled: consume or forward the control flit.
-        let qc = self.control_inputs[in_port][vc]
-            .queue
-            .pop_front()
-            .expect("front present");
-        let mut flit = qc.flit;
+        let mut flit = self.control.pop_front(in_port, vc);
         let is_tail = flit.is_tail;
         if in_port != Port::Local {
             self.sink.credit_sent(now, self.node, in_port, vc as u8);
@@ -569,33 +430,30 @@ impl<S: TraceSink> FrRouter<S> {
             // Destination: the control flit has scheduled the ejection of
             // its data flits and is consumed.
         } else {
-            self.control_credits[out_port][out_vc as usize] -= 1;
+            self.control.consume_credit(out_port, out_vc);
             flit.vc = out_vc;
-            self.stats.control_flits_sent += 1;
+            self.control.note_control_sent();
             self.sink
                 .control_sent(now, self.node, out_port, out_vc, flit.packet);
             out.send(out_port, LinkEvent::Control(flit));
         }
         if is_tail {
-            let cvc = &mut self.control_inputs[in_port][vc];
-            cvc.route = None;
-            if out_port != Port::Local {
-                let ovc = cvc.out_vc.expect("tail releases an allocated VC");
-                self.control_vc_owner[out_port][ovc as usize] = false;
-            }
-            cvc.out_vc = None;
+            self.control.end_packet(in_port, vc, out_port);
         }
     }
 
     /// Executes booked departures: drive buffers onto output channels.
     fn run_data_path(&mut self, now: Cycle, out: &mut StepOutputs) {
         for &port in &Port::ALL {
-            if let Some((flit, out_port, buffer)) = self.input_tables[port].take_departure(now) {
+            if let Some((flit, out_port, buffer)) = self.data.take_departure(port, now) {
+                if let Some(ck) = self.contracts.as_mut() {
+                    ck.note_departure(out_port);
+                }
                 self.sink.buffer_free(now, self.node, port, buffer, &flit);
                 if out_port == Port::Local {
                     out.eject(flit, now);
                 } else {
-                    self.stats.data_flits_sent += 1;
+                    self.data.note_data_sent();
                     self.sink.data_sent(now, self.node, out_port, &flit);
                     out.send(out_port, LinkEvent::Data(flit));
                 }
@@ -607,21 +465,17 @@ impl<S: TraceSink> FrRouter<S> {
     /// local control input, scheduling data-flit injections.
     fn inject_control(&mut self, now: Cycle) {
         let lanes = self.config.control_lanes;
+        let d = self.config.flits_per_control as usize;
         for _ in 0..lanes {
-            if self.ni.staged.is_empty() {
-                let packet = match self.ni.pending.pop_front() {
-                    Some(p) => p,
-                    None => break,
-                };
-                self.stage_packet(packet);
+            if self.ni.staged_is_empty() && !self.ni.stage_next_packet(d) {
+                break;
             }
-            let is_head = self.ni.staged.front().map(|f| f.is_head()).unwrap_or(false);
+            let is_head = self.ni.staged_front_is_head();
             // Pick / look up the local control VC for this packet.
             let vc = if is_head {
                 let free: Vec<u8> = (0..self.config.control_vcs)
                     .filter(|&v| {
-                        self.control_inputs[Port::Local][v].queue.len()
-                            < self.config.control_queue_depth
+                        self.control.queue_len(Port::Local, v) < self.config.control_queue_depth
                     })
                     .map(|v| v as u8)
                     .collect();
@@ -629,12 +483,12 @@ impl<S: TraceSink> FrRouter<S> {
                     break;
                 }
                 let chosen = *self.rng.choose(&free);
-                self.ni.current_vc = Some(chosen);
+                self.ni.bind_vc(chosen);
                 chosen
             } else {
-                match self.ni.current_vc {
+                match self.ni.current_vc() {
                     Some(v)
-                        if self.control_inputs[Port::Local][v as usize].queue.len()
+                        if self.control.queue_len(Port::Local, v as usize)
                             < self.config.control_queue_depth =>
                     {
                         v
@@ -642,92 +496,21 @@ impl<S: TraceSink> FrRouter<S> {
                     _ => break,
                 }
             };
-            // Schedule the injection of this control flit's data flits.
-            if !self.schedule_injections(now) {
+            // Schedule the injection of this control flit's data flits. A
+            // control flit is only injected "after [it has] scheduled the
+            // injection times of [its] data flits".
+            if !self
+                .ni
+                .schedule_injections(now, self.config.timing.control_lead)
+            {
                 break;
             }
-            let mut flit = self.ni.staged.pop_front().expect("staged front");
+            let mut flit = self.ni.pop_staged();
             flit.vc = vc;
             if flit.is_tail {
-                self.ni.current_vc = None;
+                self.ni.unbind_vc();
             }
-            self.control_inputs[Port::Local][vc as usize]
-                .queue
-                .push_back(QueuedControl { flit, arrived: now });
-        }
-    }
-
-    /// Books injection slots for the front staged control flit's data
-    /// flits. A control flit is only injected "after \[it has\] scheduled
-    /// the injection times of \[its\] data flits", so this is atomic per
-    /// control flit regardless of the router-level scheduling policy:
-    /// either every led flit gets an injection cycle or nothing is booked.
-    fn schedule_injections(&mut self, now: Cycle) -> bool {
-        let lead = self.config.timing.control_lead;
-        // Earliest allowed injection: `now + 1`, or `now + lead` when the
-        // control flit must lead its data flits by `lead` cycles. The
-        // table searches strictly after the floor we pass it.
-        let floor = Cycle::new((now.raw() + lead).saturating_sub(1));
-        let front = self.ni.staged.front_mut().expect("caller checked");
-        // Dry-run on a snapshot so failure books nothing.
-        let mut snapshot = self.ni.inject_table.clone();
-        let mut slots = Vec::with_capacity(front.led.len());
-        let mut remaining = front.led.len() as i64;
-        for _ in &front.led {
-            match snapshot.find_departure_min(floor, now, remaining, |_| true) {
-                Some(t) => {
-                    snapshot.reserve(t);
-                    slots.push(t);
-                    remaining -= 1;
-                }
-                None => return false,
-            }
-        }
-        for (led, &t_inj) in front.led.iter_mut().zip(&slots) {
-            self.ni.inject_table.reserve(t_inj);
-            led.arrival = t_inj;
-            led.scheduled = false; // to be scheduled by this router next
-            self.ni.data_ready.push((t_inj, led.flit));
-        }
-        true
-    }
-
-    fn stage_packet(&mut self, packet: Packet) {
-        let d = self.config.flits_per_control as usize;
-        let total = packet.length_flits;
-        let mut flits: Vec<DataFlit> = (0..total)
-            .map(|seq| DataFlit {
-                packet: packet.id,
-                seq,
-                length: total,
-                dest: packet.dest,
-                created_at: packet.created_at,
-                crc_ok: true,
-            })
-            .collect();
-        let mut first = true;
-        while !flits.is_empty() || first {
-            let chunk: Vec<LedFlit> = flits
-                .drain(..d.min(flits.len()))
-                .map(|flit| LedFlit {
-                    arrival: Cycle::ZERO, // set when the injection is booked
-                    scheduled: false,
-                    flit,
-                })
-                .collect();
-            let is_tail = flits.is_empty();
-            self.ni.staged.push_back(ControlFlit {
-                vc: 0,
-                kind: if first {
-                    ControlKind::Head { dest: packet.dest }
-                } else {
-                    ControlKind::Body
-                },
-                is_tail,
-                led: chunk,
-                packet: packet.id,
-            });
-            first = false;
+            self.control.push(Port::Local, vc as usize, flit, now);
         }
     }
 }
@@ -742,7 +525,7 @@ impl<S: TraceSink> Router for FrRouter<S> {
             LinkEvent::Data(flit) => {
                 // Deferred to `step`: this cycle's departures must free
                 // their buffers before this arrival claims one.
-                self.pending_data.push((port, flit));
+                self.data.queue_arrival(port, flit);
             }
             LinkEvent::Control(mut flit) => {
                 // Every led flit must be rescheduled at this router.
@@ -751,21 +534,16 @@ impl<S: TraceSink> Router for FrRouter<S> {
                 }
                 let vc = flit.vc as usize;
                 assert!(vc < self.config.control_vcs, "control vc out of range");
-                let q = &mut self.control_inputs[port][vc];
                 assert!(
-                    q.queue.len() < self.config.control_queue_depth,
+                    self.control.queue_len(port, vc) < self.config.control_queue_depth,
                     "control queue overflow at node {} port {port}",
                     self.node
                 );
-                q.queue.push_back(QueuedControl { flit, arrived: now });
+                self.control.push(port, vc, flit, now);
             }
             LinkEvent::ControlCredit { vc } => {
-                let c = &mut self.control_credits[port][vc as usize];
-                *c += 1;
-                debug_assert!(
-                    *c <= self.config.control_queue_depth,
-                    "control credit overflow"
-                );
+                self.control
+                    .credit_returned(port, vc, self.config.control_queue_depth);
             }
             LinkEvent::FrCredit { frees_at } => {
                 // Slide the window to `now` before applying: if this
@@ -774,55 +552,50 @@ impl<S: TraceSink> Router for FrRouter<S> {
                 // is state-identical to the advance the step phase would
                 // have performed (recycled slots inherit `tail_free`
                 // either way), so stepped and skipped runs stay bit-equal.
-                let table = &mut self.output_tables[port];
-                table.advance_to(now);
-                table.credit(frees_at, now);
+                self.reservation.apply_credit(port, frees_at, now);
             }
             other => panic!("FR router received foreign event {other:?}"),
         }
     }
 
     fn try_inject(&mut self, packet: Packet, _now: Cycle) -> bool {
-        self.ni.pending.push_back(packet);
+        self.ni.push_packet(packet);
         true
     }
 
     fn step(&mut self, now: Cycle, out: &mut StepOutputs) {
-        self.advance_tables(now);
+        if let Some(ck) = self.contracts.as_mut() {
+            ck.begin_cycle();
+        }
+        self.reservation.advance_all(now);
+        self.data.advance_all(now);
+        self.ni.advance_table(now);
         if now.raw().is_multiple_of(64) {
-            if let Some(counters) = &mut self.transfer_counters {
-                for (_, c) in counters.iter_mut() {
-                    c.collect_garbage(now);
-                }
-            }
+            self.data.collect_garbage(now);
         }
         self.run_data_path(now, out);
         self.release_injections(now);
         self.accept_arrivals(now, out);
         self.process_control(now, out);
         self.inject_control(now);
+        if let Some(ck) = self.contracts.as_ref() {
+            for &code in ck.end_cycle() {
+                self.sink.stage_violation(now, self.node, code);
+            }
+        }
     }
 
     fn occupied_data_buffers(&self, port: Port) -> usize {
-        self.input_tables[port].occupied()
+        self.data.occupied(port)
     }
 
     fn data_buffer_capacity(&self, port: Port) -> usize {
-        self.input_tables[port].capacity()
+        self.data.capacity(port)
     }
 
     fn queued_flits(&self) -> usize {
-        let pooled: usize = Port::ALL
-            .iter()
-            .map(|&p| self.input_tables[p].occupied())
-            .sum();
-        let pending: usize = self
-            .ni
-            .pending
-            .iter()
-            .map(|p| p.length_flits as usize)
-            .sum();
-        pooled + pending + self.ni.data_ready.len()
+        let pooled: usize = Port::ALL.iter().map(|&p| self.data.occupied(p)).sum();
+        pooled + self.ni.pending_flits() + self.ni.data_ready_len()
     }
 
     /// Quiescent when no control flit is queued at any input, the NI has
@@ -836,37 +609,32 @@ impl<S: TraceSink> Router for FrRouter<S> {
     /// buffer-transfer ablation keeps per-buffer interval state with its
     /// own garbage-collection schedule, so it conservatively never idles.
     fn is_idle(&self) -> bool {
-        if self.transfer_counters.is_some() {
+        if self.data.has_transfer_counters() {
             return false;
         }
-        self.pending_data.is_empty()
-            && self.ni.pending.is_empty()
-            && self.ni.staged.is_empty()
-            && self.ni.data_ready.is_empty()
-            && Port::ALL.iter().all(|&p| {
-                self.input_tables[p].is_quiet()
-                    && self.control_inputs[p].iter().all(|vc| vc.queue.is_empty())
-            })
+        self.data.pending_empty()
+            && self.ni.is_quiet()
+            && Port::ALL
+                .iter()
+                .all(|&p| self.data.is_quiet(p) && self.control.port_empty(p))
     }
 
     fn collect_counters(&self, out: &mut noc_flow::RouterCounters) {
-        out.reservation_hits = self.stats.scheduled_flits;
-        out.reservation_misses = self.stats.reservation_misses;
-        out.control_flits_sent = self.stats.control_flits_sent;
-        out.zero_turnaround_departures = self.stats.bypassed_flits;
-        out.parked_arrivals = self.stats.parked_arrivals;
-        out.data_flits_sent = self.stats.data_flits_sent;
+        out.reservation_hits = self.reservation.scheduled_flits();
+        out.reservation_misses = self.reservation.reservation_misses();
+        out.control_flits_sent = self.control.control_flits_sent();
+        out.zero_turnaround_departures = self.data.bypassed_flits();
+        out.parked_arrivals = self.data.parked_arrivals();
+        out.data_flits_sent = self.data.data_flits_sent();
         out.bookings_in_flight = Port::ALL
             .iter()
-            .map(|&p| {
-                (self.input_tables[p].pending_departures() + self.input_tables[p].parked()) as u64
-            })
+            .map(|&p| (self.data.pending_departures(p) + self.data.parked(p)) as u64)
             .sum();
-        out.masked_routes = self.stats.masked_routes;
+        out.masked_routes = self.route.masked_routes();
     }
 
     fn on_link_dead(&mut self, port: Port) {
-        self.dead_mask |= 1 << port.index();
+        self.route.mask_dead(port);
     }
 
     /// Marks every control flit that was eligible this cycle but is still
@@ -878,17 +646,18 @@ impl<S: TraceSink> Router for FrRouter<S> {
     /// buffer-wait bucket, which is exactly the paper's claim rendered as
     /// attribution.
     fn emit_stall_provenance(&mut self, now: Cycle) {
-        if !S::ENABLED {
-            return;
-        }
+        let scan = match StallScan::begin(&self.sink, now, self.node) {
+            Some(s) => s,
+            None => return,
+        };
         for &in_port in &Port::ALL {
-            for cvc in &self.control_inputs[in_port] {
-                if cvc.route.is_none() {
+            for vc in 0..self.config.control_vcs {
+                if self.control.route(in_port, vc).is_none() {
                     continue;
                 }
-                if let Some(qc) = cvc.queue.front() {
-                    if qc.arrived < now {
-                        self.sink.control_stall(now, self.node, qc.flit.packet);
+                if let Some((packet, arrived)) = self.control.front_packet(in_port, vc) {
+                    if scan.eligible(arrived) {
+                        scan.control_stall(&mut self.sink, packet);
                     }
                 }
             }
@@ -899,6 +668,8 @@ impl<S: TraceSink> Router for FrRouter<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::BufferAllocPolicy;
+    use noc_flow::{ControlFlit, ControlKind, DataFlit, LedFlit};
     use noc_traffic::PacketId;
 
     fn mesh() -> Mesh {
@@ -1249,11 +1020,24 @@ mod tests {
         drive_echo(&mut r, 0, 60);
         assert_eq!(r.queued_flits(), 0, "everything drains");
     }
+
+    #[test]
+    fn contract_checker_stays_clean_under_load() {
+        let m = mesh();
+        let mut r = fr_router(1, 1, FrConfig::fr6());
+        r.enable_contract_checks();
+        assert!(r.try_inject(packet(m, (1, 1), (3, 1), 5), Cycle::ZERO));
+        drive_echo(&mut r, 0, 60);
+        let ck = r.contract_checker().expect("checker enabled");
+        ck.assert_clean();
+        assert_eq!(r.stats().scheduled_flits, 5);
+    }
 }
 
 #[cfg(test)]
 mod bypass_router_tests {
     use super::*;
+    use noc_flow::{ControlFlit, ControlKind, DataFlit, LedFlit};
     use noc_traffic::PacketId;
 
     /// With fast control and an idle network, every data flit of a

@@ -1,0 +1,762 @@
+//! Concrete pipeline stages of the flit-reservation router.
+//!
+//! Each stage owns one slice of the router's state and answers typed
+//! requests from the driver ([`crate::FrRouter`]'s `step`); no stage
+//! reaches into another's fields. The stage chain mirrors the paper's
+//! Figure 3 split between the control and data networks:
+//!
+//! * route compute — `noc_flow::pipeline::RouteCompute`, shared with
+//!   the VC baseline;
+//! * control plane — [`ControlStage`], owning the per-VC control
+//!   queues, downstream control-VC ownership and control credits (the
+//!   FR analogue of VC allocation);
+//! * reservation match — [`ReservationStage`], owning the output
+//!   reservation tables that answer `ReservationRequest`s;
+//! * data path — [`DataPathStage`], owning the input reservation
+//!   tables, buffer pools and the arrival staging area (traversal is
+//!   table-directed: "there are no decisions to be made");
+//! * injection — [`FrNiStage`], the network interface with its own
+//!   injection reservation table.
+
+#![deny(private_interfaces, private_bounds)]
+
+use crate::transfers::TransferCounter;
+use crate::{ArrivalOutcome, FrConfig, InputReservationTable, OutputReservationTable};
+use noc_engine::stats::RunningStats;
+use noc_engine::{Cycle, Rng};
+use noc_flow::pipeline::{ReservationGrant, ReservationRequest};
+use noc_flow::{BufferId, ControlFlit, ControlKind, DataFlit, LedFlit};
+use noc_topology::{NodeId, Port, PortMap};
+use noc_traffic::{Packet, PacketId};
+use std::collections::VecDeque;
+
+/// A control flit waiting in an input control-VC queue.
+#[derive(Clone, Debug)]
+struct QueuedControl {
+    flit: ControlFlit,
+    arrived: Cycle,
+}
+
+/// Per-input control VC state.
+#[derive(Clone, Debug)]
+struct ControlVc {
+    queue: VecDeque<QueuedControl>,
+    /// Output port of the packet currently flowing through this VC.
+    route: Option<Port>,
+    /// Downstream control VC granted to that packet.
+    out_vc: Option<u8>,
+}
+
+impl ControlVc {
+    fn new() -> Self {
+        ControlVc {
+            queue: VecDeque::new(),
+            route: None,
+            out_vc: None,
+        }
+    }
+}
+
+/// The control-plane stage: per-input control-VC queues, downstream
+/// control-VC ownership and control credits. Its VC allocation is the
+/// FR counterpart of the baseline's `VcAllocStage`, driven by the same
+/// typed request/grant contract.
+#[derive(Clone, Debug)]
+pub(crate) struct ControlStage {
+    /// Control input queues: per input port, per control VC.
+    inputs: PortMap<Vec<ControlVc>>,
+    /// Credits for downstream control-VC queues, per output port.
+    credits: PortMap<Vec<usize>>,
+    /// Downstream control-VC ownership, per output port.
+    vc_owner: PortMap<Vec<bool>>,
+    control_flits_sent: u64,
+}
+
+impl ControlStage {
+    pub(crate) fn new(config: &FrConfig) -> Self {
+        ControlStage {
+            inputs: PortMap::from_fn(|_| {
+                (0..config.control_vcs).map(|_| ControlVc::new()).collect()
+            }),
+            credits: PortMap::from_fn(|_| vec![config.control_queue_depth; config.control_vcs]),
+            vc_owner: PortMap::from_fn(|_| vec![false; config.control_vcs]),
+            control_flits_sent: 0,
+        }
+    }
+
+    /// The destination of an unrouted head control flit that is
+    /// eligible for route compute this cycle (arrived before `now`).
+    pub(crate) fn pending_route(&self, port: Port, vc: usize, now: Cycle) -> Option<NodeId> {
+        let cvc = &self.inputs[port][vc];
+        match cvc.queue.front() {
+            Some(qc) if qc.flit.is_head() && cvc.route.is_none() && qc.arrived < now => {
+                match qc.flit.kind {
+                    ControlKind::Head { dest } => Some(dest),
+                    ControlKind::Body => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Installs the route-compute answer for lane (`port`, `vc`).
+    pub(crate) fn set_route(&mut self, port: Port, vc: usize, out: Port) {
+        self.inputs[port][vc].route = Some(out);
+    }
+
+    /// The output port the lane's current packet is routed to, if any.
+    pub(crate) fn route(&self, port: Port, vc: usize) -> Option<Port> {
+        self.inputs[port][vc].route
+    }
+
+    /// True if the lane's front control flit is eligible for
+    /// processing this cycle (arrived before `now`).
+    pub(crate) fn front_ready(&self, port: Port, vc: usize, now: Cycle) -> bool {
+        matches!(self.inputs[port][vc].queue.front(), Some(qc) if qc.arrived < now)
+    }
+
+    /// The downstream control VC held by the lane's packet, if any.
+    pub(crate) fn out_vc(&self, port: Port, vc: usize) -> Option<u8> {
+        self.inputs[port][vc].out_vc
+    }
+
+    /// Allocates a free downstream control VC on `out_port` to the
+    /// packet in lane (`port`, `vc`), uniformly at random; `None` when
+    /// every VC is owned (the lane stalls and retries).
+    pub(crate) fn try_alloc_out_vc(
+        &mut self,
+        port: Port,
+        vc: usize,
+        out_port: Port,
+        rng: &mut Rng,
+    ) -> Option<u8> {
+        let free: Vec<u8> = self.vc_owner[out_port]
+            .iter()
+            .enumerate()
+            .filter(|(_, &owned)| !owned)
+            .map(|(v, _)| v as u8)
+            .collect();
+        if free.is_empty() {
+            return None;
+        }
+        let granted = *rng.choose(&free);
+        self.vc_owner[out_port][granted as usize] = true;
+        self.inputs[port][vc].out_vc = Some(granted);
+        Some(granted)
+    }
+
+    /// True if a forwarded control flit has a downstream queue slot on
+    /// (`out_port`, `out_vc`).
+    pub(crate) fn has_credit(&self, out_port: Port, out_vc: u8) -> bool {
+        self.credits[out_port][out_vc as usize] > 0
+    }
+
+    /// Spends one downstream control-queue slot for a forwarded flit.
+    pub(crate) fn consume_credit(&mut self, out_port: Port, out_vc: u8) {
+        self.credits[out_port][out_vc as usize] -= 1;
+    }
+
+    /// Applies a control credit arriving on output `port` for `vc`.
+    pub(crate) fn credit_returned(&mut self, port: Port, vc: u8, depth: usize) {
+        let c = &mut self.credits[port][vc as usize];
+        *c += 1;
+        debug_assert!(*c <= depth, "control credit overflow");
+    }
+
+    /// The lane's front control flit, if any.
+    pub(crate) fn front_flit(&self, port: Port, vc: usize) -> Option<&ControlFlit> {
+        self.inputs[port][vc].queue.front().map(|qc| &qc.flit)
+    }
+
+    /// The packet id and arrival cycle of the lane's front control
+    /// flit, for the stall-provenance scan.
+    pub(crate) fn front_packet(&self, port: Port, vc: usize) -> Option<(PacketId, Cycle)> {
+        self.inputs[port][vc]
+            .queue
+            .front()
+            .map(|qc| (qc.flit.packet, qc.arrived))
+    }
+
+    /// Records a booked departure into the front control flit's led
+    /// entry `idx`: the carried arrival time becomes the next-hop
+    /// arrival and the entry stops requesting reservations here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is empty.
+    pub(crate) fn mark_scheduled(&mut self, port: Port, vc: usize, idx: usize, arrival: Cycle) {
+        let front = self.inputs[port][vc]
+            .queue
+            .front_mut()
+            .expect("front still present");
+        front.flit.led[idx].arrival = arrival;
+        front.flit.led[idx].scheduled = true;
+    }
+
+    /// Pops the fully scheduled front control flit of the lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is empty: only fully scheduled fronts pop.
+    pub(crate) fn pop_front(&mut self, port: Port, vc: usize) -> ControlFlit {
+        self.inputs[port][vc]
+            .queue
+            .pop_front()
+            .expect("front present")
+            .flit
+    }
+
+    /// Buffers a control flit at the back of lane (`port`, `vc`). The
+    /// driver checks queue depth first (its assertion names the node).
+    pub(crate) fn push(&mut self, port: Port, vc: usize, flit: ControlFlit, arrived: Cycle) {
+        self.inputs[port][vc]
+            .queue
+            .push_back(QueuedControl { flit, arrived });
+    }
+
+    /// Control flits queued in lane (`port`, `vc`).
+    pub(crate) fn queue_len(&self, port: Port, vc: usize) -> usize {
+        self.inputs[port][vc].queue.len()
+    }
+
+    /// Clears the lane's allocation after its packet's tail was
+    /// consumed or forwarded, releasing the downstream control VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-local tail departs without an allocated VC.
+    pub(crate) fn end_packet(&mut self, port: Port, vc: usize, out_port: Port) {
+        let cvc = &mut self.inputs[port][vc];
+        cvc.route = None;
+        if out_port != Port::Local {
+            let ovc = cvc.out_vc.expect("tail releases an allocated VC");
+            self.vc_owner[out_port][ovc as usize] = false;
+        }
+        cvc.out_vc = None;
+    }
+
+    /// True if every control queue of `port` is empty.
+    pub(crate) fn port_empty(&self, port: Port) -> bool {
+        self.inputs[port].iter().all(|vc| vc.queue.is_empty())
+    }
+
+    /// Counts a control flit forwarded onto an outgoing control link.
+    pub(crate) fn note_control_sent(&mut self) {
+        self.control_flits_sent += 1;
+    }
+
+    pub(crate) fn control_flits_sent(&self) -> u64 {
+        self.control_flits_sent
+    }
+}
+
+/// The reservation-match stage: the per-output reservation tables and
+/// the scheduling counters. Answers [`ReservationRequest`]s with booked
+/// departure slots.
+#[derive(Clone, Debug)]
+pub(crate) struct ReservationStage {
+    /// Output reservation tables, per output port.
+    tables: PortMap<OutputReservationTable>,
+    scheduled_flits: u64,
+    reservation_misses: u64,
+    /// Lead of ejection-scheduling control flits over their data flits.
+    dest_lead: RunningStats,
+}
+
+impl ReservationStage {
+    pub(crate) fn new(config: &FrConfig) -> Self {
+        let horizon = config.horizon;
+        let t = config.timing;
+        ReservationStage {
+            tables: PortMap::from_fn(|p| {
+                if p == Port::Local {
+                    // Ejection channel: 1 flit/cycle into unbounded
+                    // reassembly buffers, no propagation.
+                    OutputReservationTable::new(horizon, None, 0)
+                } else {
+                    OutputReservationTable::new(horizon, Some(config.data_buffers), t.data_delay)
+                }
+            }),
+            scheduled_flits: 0,
+            reservation_misses: 0,
+            dest_lead: RunningStats::default(),
+        }
+    }
+
+    /// Slides every table's window to `now`.
+    pub(crate) fn advance_all(&mut self, now: Cycle) {
+        for (_, table) in self.tables.iter_mut() {
+            table.advance_to(now);
+        }
+    }
+
+    /// Applies an advance credit arriving on output `port`, sliding the
+    /// window first in case this router was idle-skipped.
+    pub(crate) fn apply_credit(&mut self, port: Port, frees_at: Cycle, now: Cycle) {
+        let table = &mut self.tables[port];
+        table.advance_to(now);
+        table.credit(frees_at, now);
+    }
+
+    /// All-or-nothing dry run: true when every led entry in `leds`
+    /// (arrival, bypass-allowed) can be booked on `out_port` against a
+    /// snapshot, with `blocked` rejecting cycles the input's read port
+    /// already holds. A failed dry run counts one reservation miss.
+    pub(crate) fn feasible_all(
+        &mut self,
+        out_port: Port,
+        now: Cycle,
+        leds: &[(Cycle, bool)],
+        mut blocked: impl FnMut(Cycle) -> bool,
+    ) -> bool {
+        let mut snapshot = self.tables[out_port].clone();
+        let mut booked: Vec<Cycle> = Vec::new();
+        let mut remaining = leds.len() as i64;
+        for &(t_a, allow_bypass) in leds {
+            let found = snapshot.schedule_search(t_a, now, remaining, allow_bypass, |c| {
+                !blocked(c) && !booked.contains(&c)
+            });
+            match found {
+                Some(t_d) => {
+                    snapshot.reserve(t_d);
+                    booked.push(t_d);
+                    remaining -= 1;
+                }
+                None => {
+                    self.reservation_misses += 1;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Answers a reservation request: searches `req.out_port`'s table
+    /// and commits the earliest feasible departure. `None` (counting a
+    /// miss) when no slot exists within the horizon; `blocked` rejects
+    /// cycles where the requesting input already has a departure booked
+    /// (single-read-port input buffers, paper footnote 7).
+    pub(crate) fn try_reserve(
+        &mut self,
+        req: &ReservationRequest,
+        now: Cycle,
+        mut blocked: impl FnMut(Cycle) -> bool,
+    ) -> Option<ReservationGrant> {
+        let found = self.tables[req.out_port].schedule_search(
+            req.arrival,
+            now,
+            req.min_free,
+            req.allow_bypass,
+            |c| !blocked(c),
+        );
+        match found {
+            Some(t_d) => {
+                self.tables[req.out_port].reserve(t_d);
+                self.scheduled_flits += 1;
+                Some(ReservationGrant { departure: t_d })
+            }
+            None => {
+                self.reservation_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Samples how far ahead of its data flit an ejection-scheduling
+    /// control flit ran (negative = the data flit got here first).
+    pub(crate) fn record_dest_lead(&mut self, t_a: Cycle, now: Cycle) {
+        self.dest_lead.record(t_a.raw() as f64 - now.raw() as f64);
+    }
+
+    pub(crate) fn scheduled_flits(&self) -> u64 {
+        self.scheduled_flits
+    }
+
+    pub(crate) fn reservation_misses(&self) -> u64 {
+        self.reservation_misses
+    }
+
+    pub(crate) fn dest_lead(&self) -> &RunningStats {
+        &self.dest_lead
+    }
+}
+
+/// The data-path stage: input reservation tables (and buffer pools),
+/// the arrival staging area and the traversal counters. Departures are
+/// table-directed; this stage makes no decisions.
+#[derive(Clone, Debug)]
+pub(crate) struct DataPathStage {
+    /// Input reservation tables, per input port.
+    tables: PortMap<InputReservationTable>,
+    /// Data flits that arrived on links this cycle, buffered until the
+    /// data path has executed this cycle's departures: a buffer freed
+    /// at `t_d` may be reused by a flit arriving the same cycle, so
+    /// departures (reads) must run before arrivals (writes).
+    pending: Vec<(Port, DataFlit)>,
+    /// Present only under the bind-at-reservation ablation: per-input
+    /// interval bookkeeping that counts buffer-to-buffer transfers.
+    transfer_counters: Option<PortMap<TransferCounter>>,
+    parked_arrivals: u64,
+    bypassed_flits: u64,
+    data_flits_sent: u64,
+}
+
+impl DataPathStage {
+    pub(crate) fn new(config: &FrConfig) -> Self {
+        DataPathStage {
+            tables: PortMap::from_fn(|_| {
+                InputReservationTable::new(
+                    config.horizon,
+                    config.data_buffers,
+                    config.timing.data_delay,
+                )
+            }),
+            pending: Vec::new(),
+            transfer_counters: match config.buffer_alloc {
+                crate::BufferAllocPolicy::AtReservation => Some(PortMap::from_fn(|_| {
+                    TransferCounter::new(config.data_buffers)
+                })),
+                crate::BufferAllocPolicy::JustBeforeArrival => None,
+            },
+            parked_arrivals: 0,
+            bypassed_flits: 0,
+            data_flits_sent: 0,
+        }
+    }
+
+    /// Slides every table's window to `now`.
+    pub(crate) fn advance_all(&mut self, now: Cycle) {
+        for (_, table) in self.tables.iter_mut() {
+            table.advance_to(now);
+        }
+    }
+
+    /// Stages a data flit arriving on `port` this cycle (delivered to
+    /// the pools by `accept` after this cycle's departures ran).
+    pub(crate) fn queue_arrival(&mut self, port: Port, flit: DataFlit) {
+        self.pending.push((port, flit));
+    }
+
+    /// Drains the staged arrivals for processing.
+    pub(crate) fn take_pending(&mut self) -> Vec<(Port, DataFlit)> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// True when no arrival awaits buffering.
+    pub(crate) fn pending_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Delivers one staged arrival to its input table, counting parked
+    /// and bypassed flits.
+    pub(crate) fn accept(&mut self, port: Port, flit: DataFlit, now: Cycle) -> ArrivalOutcome {
+        let outcome = self.tables[port].on_data_arrival(flit, now);
+        match outcome {
+            ArrivalOutcome::Parked(_) => self.parked_arrivals += 1,
+            ArrivalOutcome::Bypass { .. } => self.bypassed_flits += 1,
+            ArrivalOutcome::Scheduled(..) => {}
+        }
+        outcome
+    }
+
+    /// True if `port`'s read port already has a departure booked at `t`.
+    pub(crate) fn departure_booked(&self, port: Port, t: Cycle) -> bool {
+        self.tables[port].departure_booked(t)
+    }
+
+    /// Records a granted reservation into `port`'s input table.
+    pub(crate) fn apply_reservation(
+        &mut self,
+        port: Port,
+        t_a: Cycle,
+        t_d: Cycle,
+        out_port: Port,
+        now: Cycle,
+    ) {
+        self.tables[port].apply_reservation(t_a, t_d, out_port, now);
+    }
+
+    /// Executes the departure booked on `port` for cycle `now`, if any.
+    pub(crate) fn take_departure(
+        &mut self,
+        port: Port,
+        now: Cycle,
+    ) -> Option<(DataFlit, Port, BufferId)> {
+        self.tables[port].take_departure(now)
+    }
+
+    /// Books the residency `[t_a, t_d)` under the bind-at-reservation
+    /// ablation; a no-op for bypasses (`t_d == t_a`) and under the
+    /// paper's deferred-binding policy.
+    pub(crate) fn book_transfer(&mut self, port: Port, t_a: Cycle, t_d: Cycle) {
+        if let Some(counters) = &mut self.transfer_counters {
+            if t_d > t_a {
+                counters[port].book(t_a, t_d);
+            }
+        }
+    }
+
+    /// Drops expired transfer-counter intervals.
+    pub(crate) fn collect_garbage(&mut self, now: Cycle) {
+        if let Some(counters) = &mut self.transfer_counters {
+            for (_, c) in counters.iter_mut() {
+                c.collect_garbage(now);
+            }
+        }
+    }
+
+    /// True under the bind-at-reservation ablation (which keeps
+    /// per-buffer interval state and so never idles).
+    pub(crate) fn has_transfer_counters(&self) -> bool {
+        self.transfer_counters.is_some()
+    }
+
+    /// Buffer transfers incurred so far, as `(transfers, residencies)`;
+    /// `None` under the paper's deferred-binding policy.
+    pub(crate) fn buffer_transfers(&self) -> Option<(u64, u64)> {
+        self.transfer_counters.as_ref().map(|counters| {
+            let mut t = 0;
+            let mut b = 0;
+            for (_, c) in counters.iter() {
+                t += c.transfers();
+                b += c.booked();
+            }
+            (t, b)
+        })
+    }
+
+    /// Counts a data flit forwarded onto an outgoing link.
+    pub(crate) fn note_data_sent(&mut self) {
+        self.data_flits_sent += 1;
+    }
+
+    pub(crate) fn occupied(&self, port: Port) -> usize {
+        self.tables[port].occupied()
+    }
+
+    pub(crate) fn capacity(&self, port: Port) -> usize {
+        self.tables[port].capacity()
+    }
+
+    pub(crate) fn is_quiet(&self, port: Port) -> bool {
+        self.tables[port].is_quiet()
+    }
+
+    pub(crate) fn pending_departures(&self, port: Port) -> usize {
+        self.tables[port].pending_departures()
+    }
+
+    pub(crate) fn parked(&self, port: Port) -> usize {
+        self.tables[port].parked()
+    }
+
+    pub(crate) fn parked_arrivals(&self) -> u64 {
+        self.parked_arrivals
+    }
+
+    pub(crate) fn bypassed_flits(&self) -> u64 {
+        self.bypassed_flits
+    }
+
+    pub(crate) fn data_flits_sent(&self) -> u64 {
+        self.data_flits_sent
+    }
+}
+
+/// The injection stage: packet staging, the injection reservation
+/// table and data flits awaiting their scheduled injection cycle.
+#[derive(Clone, Debug)]
+pub(crate) struct FrNiStage {
+    pending: VecDeque<Packet>,
+    /// Control flits of the packet currently being injected.
+    staged: VecDeque<ControlFlit>,
+    /// Local control VC carrying the current packet.
+    current_vc: Option<u8>,
+    /// Output reservation table of the NI→router injection channel.
+    inject_table: OutputReservationTable,
+    /// Data flits scheduled for injection, keyed by injection cycle.
+    data_ready: Vec<(Cycle, DataFlit)>,
+}
+
+impl FrNiStage {
+    pub(crate) fn new(config: &FrConfig) -> Self {
+        FrNiStage {
+            pending: VecDeque::new(),
+            staged: VecDeque::new(),
+            current_vc: None,
+            inject_table: OutputReservationTable::new(config.horizon, Some(config.data_buffers), 0),
+            data_ready: Vec::new(),
+        }
+    }
+
+    /// Slides the injection table's window to `now`.
+    pub(crate) fn advance_table(&mut self, now: Cycle) {
+        self.inject_table.advance_to(now);
+    }
+
+    /// Queues an injected packet behind the staging area.
+    pub(crate) fn push_packet(&mut self, packet: Packet) {
+        self.pending.push_back(packet);
+    }
+
+    /// True when no control flit of a packet is currently staged.
+    pub(crate) fn staged_is_empty(&self) -> bool {
+        self.staged.is_empty()
+    }
+
+    /// Stages the next pending packet as control flits, each leading up
+    /// to `d` data flits; false when nothing is pending.
+    pub(crate) fn stage_next_packet(&mut self, d: usize) -> bool {
+        let packet = match self.pending.pop_front() {
+            Some(p) => p,
+            None => return false,
+        };
+        let total = packet.length_flits;
+        let mut flits: Vec<DataFlit> = (0..total)
+            .map(|seq| DataFlit {
+                packet: packet.id,
+                seq,
+                length: total,
+                dest: packet.dest,
+                created_at: packet.created_at,
+                crc_ok: true,
+            })
+            .collect();
+        let mut first = true;
+        while !flits.is_empty() || first {
+            let chunk: Vec<LedFlit> = flits
+                .drain(..d.min(flits.len()))
+                .map(|flit| LedFlit {
+                    arrival: Cycle::ZERO, // set when the injection is booked
+                    scheduled: false,
+                    flit,
+                })
+                .collect();
+            let is_tail = flits.is_empty();
+            self.staged.push_back(ControlFlit {
+                vc: 0,
+                kind: if first {
+                    ControlKind::Head { dest: packet.dest }
+                } else {
+                    ControlKind::Body
+                },
+                is_tail,
+                led: chunk,
+                packet: packet.id,
+            });
+            first = false;
+        }
+        true
+    }
+
+    /// True if the front staged control flit is a packet head.
+    pub(crate) fn staged_front_is_head(&self) -> bool {
+        self.staged.front().map(|f| f.is_head()).unwrap_or(false)
+    }
+
+    /// The local input VC mid-packet injection is bound to, if any.
+    pub(crate) fn current_vc(&self) -> Option<u8> {
+        self.current_vc
+    }
+
+    /// Binds injection to local control VC `vc` for the current packet.
+    pub(crate) fn bind_vc(&mut self, vc: u8) {
+        self.current_vc = Some(vc);
+    }
+
+    /// Releases the binding after the packet's tail entered the router.
+    pub(crate) fn unbind_vc(&mut self) {
+        self.current_vc = None;
+    }
+
+    /// Books injection slots for the front staged control flit's data
+    /// flits, each departing strictly after `now + lead - 1`. Atomic
+    /// per control flit: a dry run on a snapshot guarantees failure
+    /// books nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is staged.
+    pub(crate) fn schedule_injections(&mut self, now: Cycle, lead: u64) -> bool {
+        // Earliest allowed injection: `now + 1`, or `now + lead` when
+        // the control flit must lead its data flits by `lead` cycles.
+        // The table searches strictly after the floor we pass it.
+        let floor = Cycle::new((now.raw() + lead).saturating_sub(1));
+        let front = self.staged.front_mut().expect("caller checked");
+        let mut snapshot = self.inject_table.clone();
+        let mut slots = Vec::with_capacity(front.led.len());
+        let mut remaining = front.led.len() as i64;
+        for _ in &front.led {
+            match snapshot.find_departure_min(floor, now, remaining, |_| true) {
+                Some(t) => {
+                    snapshot.reserve(t);
+                    slots.push(t);
+                    remaining -= 1;
+                }
+                None => return false,
+            }
+        }
+        for (led, &t_inj) in front.led.iter_mut().zip(&slots) {
+            self.inject_table.reserve(t_inj);
+            led.arrival = t_inj;
+            led.scheduled = false; // to be scheduled by this router next
+            self.data_ready.push((t_inj, led.flit));
+        }
+        true
+    }
+
+    /// Pops the front staged control flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is staged.
+    pub(crate) fn pop_staged(&mut self) -> ControlFlit {
+        self.staged.pop_front().expect("staged front")
+    }
+
+    /// Releases the data flits whose scheduled injection cycle is
+    /// `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two flits claim the 1-flit/cycle injection channel in
+    /// the same cycle.
+    pub(crate) fn take_due_injections(&mut self, now: Cycle) -> Vec<DataFlit> {
+        let mut released = Vec::new();
+        let mut i = 0;
+        while i < self.data_ready.len() {
+            if self.data_ready[i].0 == now {
+                let (_, flit) = self.data_ready.swap_remove(i);
+                released.push(flit);
+                assert!(
+                    released.len() <= 1,
+                    "injection channel carried two flits in one cycle"
+                );
+            } else {
+                debug_assert!(self.data_ready[i].0 > now, "missed a scheduled injection");
+                i += 1;
+            }
+        }
+        released
+    }
+
+    /// Applies an advance credit to the injection channel's table.
+    pub(crate) fn inject_credit(&mut self, frees_at: Cycle, now: Cycle) {
+        self.inject_table.credit(frees_at, now);
+    }
+
+    /// Flits of packets still queued behind the staging area.
+    pub(crate) fn pending_flits(&self) -> usize {
+        self.pending.iter().map(|p| p.length_flits as usize).sum()
+    }
+
+    /// Data flits awaiting their scheduled injection cycle.
+    pub(crate) fn data_ready_len(&self) -> usize {
+        self.data_ready.len()
+    }
+
+    /// True when the NI holds no state that obligates future work.
+    pub(crate) fn is_quiet(&self) -> bool {
+        self.pending.is_empty() && self.staged.is_empty() && self.data_ready.is_empty()
+    }
+}

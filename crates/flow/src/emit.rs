@@ -385,6 +385,13 @@ pub trait TraceEmit: TraceSink {
         });
     }
 
+    /// The stage-contract checker caught a pipeline-interface breach;
+    /// `code` names the broken contract (see `pipeline::contract`).
+    #[inline(always)]
+    fn stage_violation(&mut self, now: Cycle, node: NodeId, code: u8) {
+        self.record(|| event(now, node, TraceKind::StageContractViolation { code }));
+    }
+
     /// A link fault cleared `flit`'s CRC bit in transit.
     #[inline(always)]
     fn data_corrupted(&mut self, now: Cycle, node: NodeId, flit: &DataFlit) {

@@ -26,6 +26,7 @@ mod buffer;
 mod emit;
 mod flit;
 mod link;
+pub mod pipeline;
 mod router;
 mod timing;
 
@@ -33,5 +34,6 @@ pub use buffer::{BufferId, BufferPool};
 pub use emit::TraceEmit;
 pub use flit::{ControlFlit, ControlKind, DataFlit, FlitType, LedFlit, VcTag};
 pub use link::{BandwidthExceeded, Link};
+pub use pipeline::{ArbiterKind, RouteCompute, StageContractChecker, SwitchArbiter};
 pub use router::{Ejection, LinkEvent, Router, RouterCounters, StepOutputs, WireClass};
 pub use timing::LinkTiming;

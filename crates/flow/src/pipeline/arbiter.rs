@@ -1,0 +1,234 @@
+//! The pluggable switch-allocation arbiter stage.
+
+use crate::pipeline::iface::{SwitchBid, SwitchContender};
+use noc_engine::Rng;
+use noc_topology::{Port, PortMap};
+
+/// Rotation distance that sorts entries at or above the pointer before
+/// wrapped-around ones, without the arbiter having to know how many
+/// virtual channels exist.
+const WRAP: usize = 1 << 16;
+
+/// Which switch-allocation policy the [`SwitchArbiter`] runs.
+///
+/// `Random` is the paper's random arbitration and the default; it is
+/// bit-identical to the pre-stage-refactor routers. The other two are
+/// stage-swap variants: same interfaces, different policy, no new
+/// router.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ArbiterKind {
+    /// Uniform random choice among contenders (the paper's arbiter).
+    #[default]
+    Random,
+    /// Rotating-priority choice: the pointer advances past each winner,
+    /// so every contender is served within one rotation.
+    RoundRobin,
+    /// Oldest-first by buffer-arrival cycle, index as the tie-break.
+    AgeBased,
+}
+
+impl ArbiterKind {
+    /// Parses a config/CLI label (`random`, `round-robin`, `age-based`);
+    /// `None` for anything else.
+    pub fn from_label(label: &str) -> Option<ArbiterKind> {
+        match label {
+            "random" => Some(ArbiterKind::Random),
+            "round-robin" | "round_robin" | "rr" => Some(ArbiterKind::RoundRobin),
+            "age-based" | "age_based" | "age" => Some(ArbiterKind::AgeBased),
+            _ => None,
+        }
+    }
+}
+
+/// The switch-allocation arbiter: nominates one ready flit per input
+/// port, then grants one nomination per output port.
+///
+/// Owns all arbitration state (the policy and the rotating-priority
+/// pointers); callers hand in the candidate slate and an [`Rng`] and
+/// get the winner back. Under [`ArbiterKind::Random`] both methods make
+/// exactly one `Rng::choose` draw over the slate — the same draw the
+/// monolithic routers made — so the default policy is bit-identical.
+#[derive(Clone, Debug)]
+pub struct SwitchArbiter {
+    kind: ArbiterKind,
+    /// Per input port: the input VC index favored next (round-robin).
+    nominate_ptr: PortMap<usize>,
+    /// Per output port: the input port index favored next (round-robin).
+    grant_ptr: PortMap<usize>,
+}
+
+impl SwitchArbiter {
+    /// Creates an arbiter running `kind` with rotation pointers at zero.
+    pub fn new(kind: ArbiterKind) -> Self {
+        SwitchArbiter {
+            kind,
+            nominate_ptr: PortMap::from_fn(|_| 0),
+            grant_ptr: PortMap::from_fn(|_| 0),
+        }
+    }
+
+    /// The policy this arbiter runs.
+    pub fn kind(&self) -> ArbiterKind {
+        self.kind
+    }
+
+    /// Picks input port `in_port`'s nomination among its ready bids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bids` is empty: nominations exist only for inputs
+    /// with at least one ready flit.
+    pub fn nominate(&mut self, in_port: Port, bids: &[SwitchBid], rng: &mut Rng) -> SwitchBid {
+        assert!(!bids.is_empty(), "nomination from an empty bid slate");
+        match self.kind {
+            ArbiterKind::Random => *rng.choose(bids),
+            ArbiterKind::RoundRobin => {
+                let ptr = self.nominate_ptr[in_port];
+                let chosen = *bids
+                    .iter()
+                    .min_by_key(|b| rotation_distance(b.in_vc, ptr))
+                    .expect("non-empty slate");
+                self.nominate_ptr[in_port] = chosen.in_vc + 1;
+                chosen
+            }
+            ArbiterKind::AgeBased => *bids
+                .iter()
+                .min_by_key(|b| (b.arrived, b.in_vc))
+                .expect("non-empty slate"),
+        }
+    }
+
+    /// Picks the winner among the contenders for output port `out_port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contenders` is empty: outputs without bidders are
+    /// never arbitrated.
+    pub fn grant(
+        &mut self,
+        out_port: Port,
+        contenders: &[SwitchContender],
+        rng: &mut Rng,
+    ) -> SwitchContender {
+        assert!(
+            !contenders.is_empty(),
+            "grant over an empty contender slate"
+        );
+        match self.kind {
+            ArbiterKind::Random => *rng.choose(contenders),
+            ArbiterKind::RoundRobin => {
+                let ptr = self.grant_ptr[out_port];
+                let chosen = *contenders
+                    .iter()
+                    .min_by_key(|c| rotation_distance(c.in_port.index(), ptr))
+                    .expect("non-empty slate");
+                self.grant_ptr[out_port] = chosen.in_port.index() + 1;
+                chosen
+            }
+            ArbiterKind::AgeBased => *contenders
+                .iter()
+                .min_by_key(|c| (c.arrived, c.in_port.index(), c.in_vc))
+                .expect("non-empty slate"),
+        }
+    }
+}
+
+/// Priority of `index` under a rotating pointer: indices at or above
+/// the pointer come first (closest first), wrapped-around ones after.
+fn rotation_distance(index: usize, ptr: usize) -> usize {
+    if index >= ptr {
+        index - ptr
+    } else {
+        index + WRAP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_engine::Cycle;
+
+    fn bid(in_vc: usize, arrived: u64) -> SwitchBid {
+        SwitchBid {
+            in_vc,
+            out_port: Port::East,
+            arrived: Cycle::new(arrived),
+        }
+    }
+
+    fn contender(in_port: Port, arrived: u64) -> SwitchContender {
+        SwitchContender {
+            in_port,
+            in_vc: 0,
+            arrived: Cycle::new(arrived),
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        assert_eq!(ArbiterKind::from_label("random"), Some(ArbiterKind::Random));
+        assert_eq!(
+            ArbiterKind::from_label("round-robin"),
+            Some(ArbiterKind::RoundRobin)
+        );
+        assert_eq!(
+            ArbiterKind::from_label("age-based"),
+            Some(ArbiterKind::AgeBased)
+        );
+        assert_eq!(ArbiterKind::from_label("lottery"), None);
+    }
+
+    #[test]
+    fn random_matches_plain_choose() {
+        // The whole bit-identity argument: under Random the arbiter's
+        // draw is exactly `rng.choose(slate)`.
+        let slate = [bid(0, 0), bid(3, 0), bid(5, 0)];
+        let mut a = Rng::from_seed(7);
+        let mut b = Rng::from_seed(7);
+        let mut arb = SwitchArbiter::new(ArbiterKind::Random);
+        for _ in 0..64 {
+            let want = *b.choose(&slate);
+            assert_eq!(arb.nominate(Port::North, &slate, &mut a), want);
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_through_contenders() {
+        let mut arb = SwitchArbiter::new(ArbiterKind::RoundRobin);
+        let mut rng = Rng::from_seed(1);
+        let slate = [bid(1, 0), bid(4, 0), bid(6, 0)];
+        let picks: Vec<usize> = (0..4)
+            .map(|_| arb.nominate(Port::North, &slate, &mut rng).in_vc)
+            .collect();
+        // Pointer starts at 0: picks 1, then (ptr=2) 4, then (ptr=5) 6,
+        // then wraps back to 1.
+        assert_eq!(picks, vec![1, 4, 6, 1]);
+        // Rng untouched by round-robin decisions.
+        assert_eq!(rng, Rng::from_seed(1));
+    }
+
+    #[test]
+    fn round_robin_grant_is_fair_across_inputs() {
+        let mut arb = SwitchArbiter::new(ArbiterKind::RoundRobin);
+        let mut rng = Rng::from_seed(1);
+        let slate = [contender(Port::North, 0), contender(Port::West, 0)];
+        let picks: Vec<Port> = (0..4)
+            .map(|_| arb.grant(Port::East, &slate, &mut rng).in_port)
+            .collect();
+        assert_eq!(
+            picks,
+            vec![Port::North, Port::West, Port::North, Port::West]
+        );
+    }
+
+    #[test]
+    fn age_based_prefers_oldest_then_lowest_index() {
+        let mut arb = SwitchArbiter::new(ArbiterKind::AgeBased);
+        let mut rng = Rng::from_seed(1);
+        let slate = [bid(2, 9), bid(5, 3), bid(7, 3)];
+        assert_eq!(arb.nominate(Port::South, &slate, &mut rng).in_vc, 5);
+        let slate = [contender(Port::West, 4), contender(Port::North, 2)];
+        assert_eq!(arb.grant(Port::East, &slate, &mut rng).in_port, Port::North);
+        assert_eq!(rng, Rng::from_seed(1));
+    }
+}

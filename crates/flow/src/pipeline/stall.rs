@@ -1,0 +1,81 @@
+//! Shared scaffolding for the routers' stall-provenance hooks.
+
+use crate::TraceEmit;
+use noc_engine::trace::TraceSink;
+use noc_engine::Cycle;
+use noc_topology::NodeId;
+use noc_traffic::PacketId;
+
+/// One stall-provenance scan: the arrival/departure bracketing rule
+/// both router families share.
+///
+/// A front flit is charged a stall marker for cycle `now` only if it
+/// was already buffered when the cycle began (`arrived < now`) — a flit
+/// that arrived *this* cycle is in its mandatory pipeline wait, not a
+/// contention loss. Both routers used to reimplement this gate (plus
+/// the `ENABLED` short-circuit and the cycle/node bookkeeping) inline;
+/// this type is the single copy.
+///
+/// Construction is gated on `S::ENABLED`, so for untraced routers the
+/// whole scan folds away:
+///
+/// ```
+/// use noc_engine::trace::{NullSink, VecSink};
+/// use noc_engine::Cycle;
+/// use noc_flow::pipeline::StallScan;
+/// use noc_topology::NodeId;
+///
+/// assert!(StallScan::begin(&NullSink, Cycle::new(5), NodeId::new(0)).is_none());
+/// let scan = StallScan::begin(&VecSink::new(), Cycle::new(5), NodeId::new(0)).unwrap();
+/// assert!(scan.eligible(Cycle::new(4)));
+/// assert!(!scan.eligible(Cycle::new(5)));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct StallScan {
+    now: Cycle,
+    node: NodeId,
+}
+
+impl StallScan {
+    /// Begins a scan for `node` at `now`; `None` when the sink type is
+    /// compiled out, so callers can skip the walk entirely.
+    #[inline(always)]
+    pub fn begin<S: TraceSink>(_sink: &S, now: Cycle, node: NodeId) -> Option<StallScan> {
+        if S::ENABLED {
+            Some(StallScan { now, node })
+        } else {
+            None
+        }
+    }
+
+    /// True if a front flit that arrived at `arrived` is charged a
+    /// stall for this cycle.
+    #[inline(always)]
+    pub fn eligible(&self, arrived: Cycle) -> bool {
+        arrived < self.now
+    }
+
+    /// Marks a head losing VC allocation this cycle.
+    #[inline(always)]
+    pub fn vc_alloc_stall<S: TraceSink>(&self, sink: &mut S, packet: PacketId, seq: u32) {
+        sink.vc_alloc_stall(self.now, self.node, packet, seq);
+    }
+
+    /// Marks a flit blocked on downstream credit this cycle.
+    #[inline(always)]
+    pub fn credit_stall<S: TraceSink>(&self, sink: &mut S, packet: PacketId, seq: u32) {
+        sink.credit_stall(self.now, self.node, packet, seq);
+    }
+
+    /// Marks a flit losing switch arbitration this cycle.
+    #[inline(always)]
+    pub fn switch_stall<S: TraceSink>(&self, sink: &mut S, packet: PacketId, seq: u32) {
+        sink.switch_stall(self.now, self.node, packet, seq);
+    }
+
+    /// Marks a control flit blocked in a control queue this cycle (FR).
+    #[inline(always)]
+    pub fn control_stall<S: TraceSink>(&self, sink: &mut S, packet: PacketId) {
+        sink.control_stall(self.now, self.node, packet);
+    }
+}

@@ -597,7 +597,8 @@ impl TraceSink for ProvenanceCollector {
             | TraceKind::AckIssued { .. }
             | TraceKind::PacketRetransmitted { .. }
             | TraceKind::RetransmitTimeout { .. }
-            | TraceKind::LinkMasked { .. } => {}
+            | TraceKind::LinkMasked { .. }
+            | TraceKind::StageContractViolation { .. } => {}
         }
     }
 }

@@ -126,7 +126,8 @@ pub fn stall_phase(kind: &TraceKind) -> Option<Phase> {
         | TraceKind::AckIssued { .. }
         | TraceKind::PacketRetransmitted { .. }
         | TraceKind::RetransmitTimeout { .. }
-        | TraceKind::LinkMasked { .. } => None,
+        | TraceKind::LinkMasked { .. }
+        | TraceKind::StageContractViolation { .. } => None,
     }
 }
 

@@ -22,6 +22,8 @@
 
 mod config;
 mod router;
+mod stages;
 
 pub use config::{AllocationUnit, CreditMode, VcConfig};
+pub use noc_flow::ArbiterKind;
 pub use router::{VcRouter, VcStats};

@@ -10,65 +10,26 @@
 //! credit wires; a buffer is therefore idle from the moment its flit
 //! departs until the credit has propagated back and been processed — the
 //! non-zero turnaround time flit-reservation flow control eliminates.
+//!
+//! The router is a composition of pipeline stages (see
+//! [`crate::stages`] and `noc_flow::pipeline`): route compute, VC
+//! allocation, switch allocation/traversal, input buffering and
+//! injection each own their state; [`VcRouter::step`] is a thin driver
+//! moving typed requests and grants between them. With
+//! [`VcRouter::enable_contract_checks`] a `StageContractChecker`
+//! verifies the inter-stage contracts every cycle.
 
-use crate::{AllocationUnit, CreditMode, VcConfig};
+use crate::stages::{NiStage, QueuedFlit, SwitchStage, VcAllocStage, VcInputStage};
+use crate::{AllocationUnit, VcConfig};
 use noc_engine::trace::{NullSink, TraceSink};
 use noc_engine::{Cycle, Rng};
-use noc_flow::{DataFlit, FlitType, LinkEvent, Router, StepOutputs, TraceEmit, VcTag};
-use noc_topology::{masked_xy_route, xy_route, Mesh, NodeId, Port, PortMap};
+use noc_flow::pipeline::{StallScan, SwitchBid, SwitchContender, VcAllocRequest};
+use noc_flow::{
+    DataFlit, FlitType, LinkEvent, RouteCompute, Router, StageContractChecker, StepOutputs,
+    TraceEmit, VcTag,
+};
+use noc_topology::{Mesh, NodeId, Port};
 use noc_traffic::Packet;
-use std::collections::VecDeque;
-
-/// One buffered flit with its arrival cycle.
-#[derive(Clone, Debug)]
-struct QueuedFlit {
-    tag: VcTag,
-    flit: DataFlit,
-    arrived: Cycle,
-}
-
-/// Per-input-VC state machine.
-#[derive(Clone, Debug)]
-struct InputVc {
-    queue: VecDeque<QueuedFlit>,
-    /// Output port of the packet currently draining through this VC.
-    route: Option<Port>,
-    /// Downstream VC granted to that packet.
-    out_vc: Option<u8>,
-    /// Earliest cycle the (head) flit may bid for the switch.
-    switch_ready_at: Cycle,
-}
-
-impl InputVc {
-    fn new() -> Self {
-        InputVc {
-            queue: VecDeque::new(),
-            route: None,
-            out_vc: None,
-            switch_ready_at: Cycle::ZERO,
-        }
-    }
-}
-
-/// Per-output-port allocation and credit state.
-#[derive(Clone, Debug)]
-struct OutputPort {
-    /// Which downstream VCs are owned by an in-flight packet.
-    vc_owner: Vec<bool>,
-    /// Per-VC credits (PerVc mode).
-    credits: Vec<usize>,
-    /// Downstream occupancy per VC (SharedPool mode): the DAMQ admission
-    /// rule needs per-VC counts, not just a total.
-    downstream_occ: Vec<usize>,
-}
-
-/// Network-interface injection state.
-#[derive(Clone, Debug, Default)]
-struct NetworkInterface {
-    fifo: VecDeque<(VcTag, DataFlit)>,
-    /// Local input VC currently receiving the in-flight packet.
-    current_vc: Option<u8>,
-}
 
 /// A virtual-channel flow-control router.
 ///
@@ -90,16 +51,21 @@ struct NetworkInterface {
 #[derive(Clone, Debug)]
 pub struct VcRouter<S: TraceSink = NullSink> {
     node: NodeId,
-    mesh: Mesh,
     config: VcConfig,
     rng: Rng,
-    inputs: PortMap<Vec<InputVc>>,
-    outputs: PortMap<OutputPort>,
-    ni: NetworkInterface,
-    stats: VcStats,
-    /// Output ports masked out of routing after a permanent link failure
-    /// (bit `1 << port.index()`); see [`Router::on_link_dead`].
-    dead_mask: u8,
+    /// Route-compute stage (shared with the FR router family).
+    route: RouteCompute,
+    /// Input-buffer stage: per-lane queues and allocation state.
+    input: VcInputStage,
+    /// VC-allocation stage: downstream VC ownership.
+    alloc: VcAllocStage,
+    /// Switch-allocation + traversal stage: credits and the arbiter.
+    switch: SwitchStage,
+    /// Injection stage: the network-interface FIFO.
+    ni: NiStage,
+    /// Runtime verifier of the inter-stage contracts, off by default so
+    /// the step loop carries no checking cost.
+    contracts: Option<StageContractChecker>,
     sink: S,
 }
 
@@ -133,28 +99,22 @@ impl VcRouter {
 impl<S: TraceSink> VcRouter<S> {
     /// Creates a router that reports every event to `sink`.
     pub fn with_tracer(mesh: Mesh, node: NodeId, config: VcConfig, rng: Rng, sink: S) -> Self {
-        let inputs = PortMap::from_fn(|_| (0..config.num_vcs).map(|_| InputVc::new()).collect());
-        if config.credit_mode == CreditMode::SharedPool {
+        if config.credit_mode == crate::CreditMode::SharedPool {
             assert!(
                 config.buffers_per_input() >= config.num_vcs,
                 "shared pool needs one dedicated slot per VC"
             );
         }
-        let outputs = PortMap::from_fn(|_| OutputPort {
-            vc_owner: vec![false; config.num_vcs],
-            credits: vec![config.queue_depth; config.num_vcs],
-            downstream_occ: vec![0; config.num_vcs],
-        });
         VcRouter {
             node,
-            mesh,
             config,
             rng,
-            inputs,
-            outputs,
-            ni: NetworkInterface::default(),
-            stats: VcStats::default(),
-            dead_mask: 0,
+            route: RouteCompute::new(mesh, node),
+            input: VcInputStage::new(config.num_vcs),
+            alloc: VcAllocStage::new(config.num_vcs),
+            switch: SwitchStage::new(&config),
+            ni: NiStage::default(),
+            contracts: None,
             sink,
         }
     }
@@ -164,225 +124,167 @@ impl<S: TraceSink> VcRouter<S> {
         &self.config
     }
 
-    /// Cumulative contention counters since construction.
-    pub fn stats(&self) -> &VcStats {
-        &self.stats
-    }
-
-    fn route_to(&mut self, dest: NodeId) -> Port {
-        if dest == self.node {
-            return Port::Local;
-        }
-        let out = masked_xy_route(self.mesh, self.node, dest, self.dead_mask)
-            .expect("non-local destination must route");
-        if self.dead_mask != 0 && Some(out) != xy_route(self.mesh, self.node, dest) {
-            self.stats.masked_routes += 1;
-        }
-        out
-    }
-
-    fn input_port_occupancy(&self, port: Port) -> usize {
-        self.inputs[port].iter().map(|vc| vc.queue.len()).sum()
-    }
-
-    /// DAMQ admission rule [TamFra92]: every VC keeps one dedicated slot
-    /// so an empty VC can always accept a flit (preserving the per-VC
-    /// progress deadlock-freedom argument of private queues); the
-    /// remaining `b_d - v` slots are shared. A VC holding `o` flits uses
-    /// one dedicated slot plus `o - 1` shared slots.
-    fn damq_admits(per_vc: &[usize], vc: usize, capacity: usize) -> bool {
-        if per_vc[vc] == 0 {
-            return true;
-        }
-        let shared_used: usize = per_vc.iter().map(|&o| o.saturating_sub(1)).sum();
-        shared_used < capacity - per_vc.len()
-    }
-
-    fn has_input_space(&self, port: Port, vc: usize) -> bool {
-        match self.config.credit_mode {
-            CreditMode::PerVc => self.inputs[port][vc].queue.len() < self.config.queue_depth,
-            CreditMode::SharedPool => {
-                let per_vc: Vec<usize> = self.inputs[port].iter().map(|q| q.queue.len()).collect();
-                Self::damq_admits(&per_vc, vc, self.config.buffers_per_input())
-            }
+    /// Cumulative contention counters since construction, assembled
+    /// from the stages that own them.
+    pub fn stats(&self) -> VcStats {
+        VcStats {
+            credit_stalls: self.switch.credit_stalls(),
+            vc_alloc_conflicts: self.alloc.conflicts(),
+            switch_arb_retries: self.switch.arb_retries(),
+            data_flits_sent: self.switch.data_flits_sent(),
+            masked_routes: self.route.masked_routes(),
         }
     }
 
-    fn has_credit(&self, out_port: Port, out_vc: u8) -> bool {
-        if out_port == Port::Local {
-            return true;
-        }
-        match self.config.credit_mode {
-            CreditMode::PerVc => self.outputs[out_port].credits[out_vc as usize] > 0,
-            CreditMode::SharedPool => Self::damq_admits(
-                &self.outputs[out_port].downstream_occ,
-                out_vc as usize,
-                self.config.buffers_per_input(),
-            ),
-        }
+    /// Turns on per-cycle verification of the inter-stage contracts.
+    /// Each breach is surfaced as a `StageContractViolation` trace event
+    /// and retained in the checker (see [`VcRouter::contract_checker`]).
+    pub fn enable_contract_checks(&mut self) {
+        self.contracts = Some(StageContractChecker::new());
     }
 
+    /// The stage-contract checker, if enabled.
+    pub fn contract_checker(&self) -> Option<&StageContractChecker> {
+        self.contracts.as_ref()
+    }
+
+    /// Test hook: spends one downstream credit out of band.
+    #[cfg(test)]
     fn consume_credit(&mut self, out_port: Port, out_vc: u8) {
-        if out_port == Port::Local {
-            return;
-        }
-        match self.config.credit_mode {
-            CreditMode::PerVc => {
-                let c = &mut self.outputs[out_port].credits[out_vc as usize];
-                debug_assert!(*c > 0, "consuming credit below zero");
-                *c -= 1;
-            }
-            CreditMode::SharedPool => {
-                self.outputs[out_port].downstream_occ[out_vc as usize] += 1;
-            }
-        }
+        self.switch.consume_credit(out_port, out_vc, &self.config);
     }
 
     /// Phase 1: routing and virtual-channel allocation for head flits.
+    ///
+    /// The driver collects one typed [`VcAllocRequest`] per lane that is
+    /// routed but holds no output VC, shuffles them (the paper's random
+    /// allocation order) and plays each against the allocation stage.
     fn allocate_vcs(&mut self, now: Cycle) {
-        // Gather (in_port, in_vc, out_port) requests for heads that have
-        // computed their route but hold no output VC yet.
-        let mut requests: Vec<(Port, usize, Port)> = Vec::new();
+        let mut requests: Vec<VcAllocRequest> = Vec::new();
         for &in_port in &Port::ALL {
             for vc in 0..self.config.num_vcs {
-                let (do_route, dest) = {
-                    let ivc = &self.inputs[in_port][vc];
-                    match ivc.queue.front() {
-                        Some(front)
-                            if front.tag.ty.is_head()
-                                && ivc.route.is_none()
-                                && front.arrived < now =>
-                        {
-                            (true, Some(front.flit.dest))
-                        }
-                        _ => (false, None),
-                    }
-                };
-                if do_route {
-                    let out = self.route_to(dest.expect("dest set with do_route"));
-                    let ivc = &mut self.inputs[in_port][vc];
-                    ivc.route = Some(out);
+                if let Some(dest) = self.input.pending_route(in_port, vc, now) {
+                    let out = self.route.route(dest);
+                    self.input.set_route(in_port, vc, out, now);
                     if out == Port::Local {
                         // Ejection needs no downstream VC.
-                        ivc.out_vc = Some(0);
-                        ivc.switch_ready_at = now;
                         continue;
                     }
                 }
-                let ivc = &self.inputs[in_port][vc];
-                if let (Some(out), None) = (ivc.route, ivc.out_vc) {
-                    requests.push((in_port, vc, out));
+                if let Some(req) = self.input.alloc_request(in_port, vc) {
+                    requests.push(req);
                 }
             }
         }
         self.rng.shuffle(&mut requests);
-        for (in_port, in_vc, out_port) in requests {
-            let free: Vec<u8> = self.outputs[out_port]
-                .vc_owner
-                .iter()
-                .enumerate()
-                .filter(|(_, &owned)| !owned)
-                .map(|(v, _)| v as u8)
-                .collect();
-            if free.is_empty() {
-                self.stats.vc_alloc_conflicts += 1;
-                continue;
+        for req in requests {
+            if let Some(ck) = self.contracts.as_mut() {
+                ck.note_vc_request(req);
             }
-            let granted = *self.rng.choose(&free);
-            self.outputs[out_port].vc_owner[granted as usize] = true;
-            let ivc = &mut self.inputs[in_port][in_vc];
-            ivc.out_vc = Some(granted);
-            // Routing, VC allocation and switch traversal share the single
-            // routing/scheduling cycle of the paper's router.
-            ivc.switch_ready_at = now;
+            if let Some(grant) = self.alloc.try_grant(&req, &mut self.rng) {
+                if let Some(ck) = self.contracts.as_mut() {
+                    ck.note_vc_grant(&req, grant);
+                }
+                self.input.apply_grant(&req, grant, now);
+            }
         }
     }
 
-    /// Phase 2: switch allocation and traversal.
-    fn traverse_switch(&mut self, now: Cycle, out: &mut StepOutputs) {
-        // Each input port nominates one ready VC.
-        let mut bids: Vec<(Port, usize, Port)> = Vec::new();
-        for &in_port in &Port::ALL {
-            let mut ready: Vec<(usize, Port)> = Vec::new();
-            for vc in 0..self.config.num_vcs {
-                let ivc = &self.inputs[in_port][vc];
-                let front = match ivc.queue.front() {
-                    Some(f) => f,
-                    None => continue,
-                };
-                let (route, out_vc) = match (ivc.route, ivc.out_vc) {
-                    (Some(r), Some(v)) => (r, v),
-                    _ => continue,
-                };
-                if front.arrived + 1 > now {
-                    continue;
-                }
-                if front.tag.ty.is_head() && ivc.switch_ready_at > now {
-                    continue;
-                }
-                if !self.has_credit(route, out_vc) {
-                    self.stats.credit_stalls += 1;
-                    continue;
-                }
-                // Packet-sized allocation (store-and-forward and virtual
-                // cut-through): the head advances only once a whole
-                // packet buffer is free downstream ...
-                if front.tag.ty.is_head()
-                    && route != Port::Local
-                    && self.config.allocation != AllocationUnit::Flit
-                {
-                    let needed = front.flit.length as usize;
-                    assert!(
-                        needed <= self.config.queue_depth,
-                        "a {needed}-flit packet cannot fit the {}-flit packet buffer",
-                        self.config.queue_depth
-                    );
-                    let available = match self.config.credit_mode {
-                        CreditMode::PerVc => self.outputs[route].credits[out_vc as usize],
-                        CreditMode::SharedPool => {
-                            let occ: usize = self.outputs[route].downstream_occ.iter().sum();
-                            self.config.buffers_per_input().saturating_sub(occ)
-                        }
-                    };
-                    if available < needed {
-                        self.stats.credit_stalls += 1;
-                        continue;
-                    }
-                }
-                // ... and store-and-forward additionally waits for the
-                // tail to arrive before forwarding anything.
-                if front.tag.ty.is_head()
-                    && self.config.allocation == AllocationUnit::StoreAndForward
-                {
-                    let packet = front.flit.packet;
-                    let tail_buffered = ivc
-                        .queue
-                        .iter()
-                        .any(|q| q.flit.packet == packet && q.tag.ty.is_tail());
-                    if !tail_buffered {
-                        continue;
-                    }
-                }
-                ready.push((vc, route));
-            }
-            if !ready.is_empty() {
-                let &(vc, route) = self.rng.choose(&ready);
-                bids.push((in_port, vc, route));
+    /// Per-lane readiness gates for switch allocation; returns the
+    /// lane's bid when every gate passes.
+    fn switch_bid(&mut self, in_port: Port, vc: usize, now: Cycle) -> Option<SwitchBid> {
+        let front = self.input.front(in_port, vc)?;
+        let lane = self.input.lane(in_port, vc);
+        let (route, out_vc) = match (lane.route, lane.out_vc) {
+            (Some(r), Some(v)) => (r, v),
+            _ => return None,
+        };
+        if front.arrived + 1 > now {
+            return None;
+        }
+        if front.tag.ty.is_head() && lane.switch_ready_at > now {
+            return None;
+        }
+        if !self.switch.has_credit(route, out_vc, &self.config) {
+            self.switch.note_credit_stall();
+            return None;
+        }
+        // Packet-sized allocation (store-and-forward and virtual
+        // cut-through): the head advances only once a whole packet
+        // buffer is free downstream ...
+        if front.tag.ty.is_head()
+            && route != Port::Local
+            && self.config.allocation != AllocationUnit::Flit
+        {
+            let needed = front.flit.length as usize;
+            assert!(
+                needed <= self.config.queue_depth,
+                "a {needed}-flit packet cannot fit the {}-flit packet buffer",
+                self.config.queue_depth
+            );
+            if self
+                .switch
+                .available_for_packet(route, out_vc, &self.config)
+                < needed
+            {
+                self.switch.note_credit_stall();
+                return None;
             }
         }
-        // Each output port picks one winner among its bidders.
+        // ... and store-and-forward additionally waits for the tail to
+        // arrive before forwarding anything.
+        if front.tag.ty.is_head()
+            && self.config.allocation == AllocationUnit::StoreAndForward
+            && !self.input.tail_buffered(in_port, vc, front.flit.packet)
+        {
+            return None;
+        }
+        Some(SwitchBid {
+            in_vc: vc,
+            out_port: route,
+            arrived: front.arrived,
+        })
+    }
+
+    /// Phase 2: switch allocation and traversal. Each input port
+    /// nominates one ready bid, each output port grants one nomination;
+    /// both picks run through the configured arbiter stage.
+    fn traverse_switch(&mut self, now: Cycle, out: &mut StepOutputs) {
+        let mut nominations: Vec<(Port, SwitchBid)> = Vec::new();
+        for &in_port in &Port::ALL {
+            let mut bids: Vec<SwitchBid> = Vec::new();
+            for vc in 0..self.config.num_vcs {
+                if let Some(bid) = self.switch_bid(in_port, vc, now) {
+                    bids.push(bid);
+                }
+            }
+            if !bids.is_empty() {
+                let chosen = self.switch.nominate(in_port, &bids, &mut self.rng);
+                if let Some(ck) = self.contracts.as_mut() {
+                    ck.note_nomination(in_port, chosen);
+                }
+                nominations.push((in_port, chosen));
+            }
+        }
         for &out_port in &Port::ALL {
-            let contenders: Vec<(Port, usize)> = bids
+            let contenders: Vec<SwitchContender> = nominations
                 .iter()
-                .filter(|&&(_, _, o)| o == out_port)
-                .map(|&(p, v, _)| (p, v))
+                .filter(|&&(_, b)| b.out_port == out_port)
+                .map(|&(p, b)| SwitchContender {
+                    in_port: p,
+                    in_vc: b.in_vc,
+                    arrived: b.arrived,
+                })
                 .collect();
             if contenders.is_empty() {
                 continue;
             }
-            let &(in_port, in_vc) = self.rng.choose(&contenders);
-            self.stats.switch_arb_retries += (contenders.len() - 1) as u64;
-            self.forward_flit(in_port, in_vc, out_port, now, out);
+            let winner = self.switch.grant(out_port, &contenders, &mut self.rng);
+            if let Some(ck) = self.contracts.as_mut() {
+                ck.note_switch_grant(out_port, winner);
+                ck.note_traversal(out_port);
+            }
+            self.forward_flit(winner.in_port, winner.in_vc, out_port, now, out);
         }
     }
 
@@ -394,20 +296,19 @@ impl<S: TraceSink> VcRouter<S> {
         now: Cycle,
         out: &mut StepOutputs,
     ) {
-        let out_vc = self.inputs[in_port][in_vc]
+        let out_vc = self
+            .input
+            .lane(in_port, in_vc)
             .out_vc
             .expect("winner must hold an output VC");
-        let queued = self.inputs[in_port][in_vc]
-            .queue
-            .pop_front()
-            .expect("winner queue cannot be empty");
+        let queued = self.input.pop_front(in_port, in_vc);
         self.sink
             .queue_deq(now, self.node, in_port, in_vc as u8, &queued.flit);
-        self.consume_credit(out_port, out_vc);
+        self.switch.consume_credit(out_port, out_vc, &self.config);
         if out_port == Port::Local {
             out.eject(queued.flit, now);
         } else {
-            self.stats.data_flits_sent += 1;
+            self.switch.note_data_sent();
             self.sink
                 .vc_data_sent(now, self.node, out_port, out_vc, &queued.flit);
             out.send(
@@ -428,11 +329,9 @@ impl<S: TraceSink> VcRouter<S> {
             out.send(in_port, LinkEvent::VcCredit { vc: in_vc as u8 });
         }
         if queued.tag.ty.is_tail() {
-            let ivc = &mut self.inputs[in_port][in_vc];
-            ivc.route = None;
-            ivc.out_vc = None;
+            self.input.end_packet(in_port, in_vc);
             if out_port != Port::Local {
-                self.outputs[out_port].vc_owner[out_vc as usize] = false;
+                self.alloc.release(out_port, out_vc);
             }
         }
     }
@@ -440,42 +339,44 @@ impl<S: TraceSink> VcRouter<S> {
     /// Phase 3: move at most one flit per cycle from the injection FIFO
     /// into a local input VC.
     fn inject_from_ni(&mut self, now: Cycle) {
-        let (tag, _) = match self.ni.fifo.front() {
+        let (tag, _) = match self.ni.front() {
             Some(f) => *f,
             None => return,
         };
         let vc = if tag.ty.is_head() {
             // Pick a local VC with space for the new packet.
             let candidates: Vec<u8> = (0..self.config.num_vcs)
-                .filter(|&v| self.has_input_space(Port::Local, v))
+                .filter(|&v| self.input.has_space(Port::Local, v, &self.config))
                 .map(|v| v as u8)
                 .collect();
             if candidates.is_empty() {
                 return;
             }
             let chosen = *self.rng.choose(&candidates);
-            self.ni.current_vc = Some(chosen);
+            self.ni.bind_vc(chosen);
             chosen
         } else {
-            match self.ni.current_vc {
-                Some(v) if self.has_input_space(Port::Local, v as usize) => v,
+            match self.ni.current_vc() {
+                Some(v) if self.input.has_space(Port::Local, v as usize, &self.config) => v,
                 _ => return,
             }
         };
-        let (mut tag, flit) = self.ni.fifo.pop_front().expect("front checked");
+        let (mut tag, flit) = self.ni.pop().expect("front checked");
         if tag.ty.is_tail() {
-            self.ni.current_vc = None;
+            self.ni.unbind_vc();
         }
         tag.vc = vc;
         self.sink.flit_injected(now, self.node, &flit);
         self.sink.queue_enq(now, self.node, Port::Local, vc, &flit);
-        self.inputs[Port::Local][vc as usize]
-            .queue
-            .push_back(QueuedFlit {
+        self.input.push(
+            Port::Local,
+            vc as usize,
+            QueuedFlit {
                 tag,
                 flit,
                 arrived: now,
-            });
+            },
+        );
     }
 }
 
@@ -490,31 +391,24 @@ impl<S: TraceSink> Router for VcRouter<S> {
                 let vc = tag.vc as usize;
                 assert!(vc < self.config.num_vcs, "vc id out of range");
                 assert!(
-                    self.has_input_space(port, vc),
+                    self.input.has_space(port, vc, &self.config),
                     "upstream overflowed input {port} vc {vc} at node {}",
                     self.node
                 );
                 self.sink.queue_enq(now, self.node, port, tag.vc, &flit);
-                self.inputs[port][vc].queue.push_back(QueuedFlit {
-                    tag,
-                    flit,
-                    arrived: now,
-                });
+                self.input.push(
+                    port,
+                    vc,
+                    QueuedFlit {
+                        tag,
+                        flit,
+                        arrived: now,
+                    },
+                );
             }
             LinkEvent::VcCredit { vc } => {
                 // `port` names the *output* port this credit refers to.
-                match self.config.credit_mode {
-                    CreditMode::PerVc => {
-                        let c = &mut self.outputs[port].credits[vc as usize];
-                        *c += 1;
-                        debug_assert!(*c <= self.config.queue_depth, "credit overflow");
-                    }
-                    CreditMode::SharedPool => {
-                        let c = &mut self.outputs[port].downstream_occ[vc as usize];
-                        debug_assert!(*c > 0, "credit underflow");
-                        *c -= 1;
-                    }
-                }
+                self.switch.credit_returned(port, vc, &self.config);
             }
             other => panic!("VC router received foreign event {other:?}"),
         }
@@ -523,7 +417,7 @@ impl<S: TraceSink> Router for VcRouter<S> {
     fn try_inject(&mut self, packet: Packet, _now: Cycle) -> bool {
         for seq in 0..packet.length_flits {
             let ty = FlitType::for_position(seq, packet.length_flits);
-            self.ni.fifo.push_back((
+            self.ni.enqueue(
                 VcTag { vc: 0, ty },
                 DataFlit {
                     packet: packet.id,
@@ -533,19 +427,27 @@ impl<S: TraceSink> Router for VcRouter<S> {
                     created_at: packet.created_at,
                     crc_ok: true,
                 },
-            ));
+            );
         }
         true
     }
 
     fn step(&mut self, now: Cycle, out: &mut StepOutputs) {
+        if let Some(ck) = self.contracts.as_mut() {
+            ck.begin_cycle();
+        }
         self.allocate_vcs(now);
         self.traverse_switch(now, out);
         self.inject_from_ni(now);
+        if let Some(ck) = self.contracts.as_ref() {
+            for &code in ck.end_cycle() {
+                self.sink.stage_violation(now, self.node, code);
+            }
+        }
     }
 
     fn occupied_data_buffers(&self, port: Port) -> usize {
-        self.input_port_occupancy(port)
+        self.input.occupancy(port)
     }
 
     fn data_buffer_capacity(&self, _port: Port) -> usize {
@@ -553,11 +455,8 @@ impl<S: TraceSink> Router for VcRouter<S> {
     }
 
     fn queued_flits(&self) -> usize {
-        let buffered: usize = Port::ALL
-            .iter()
-            .map(|&p| self.input_port_occupancy(p))
-            .sum();
-        buffered + self.ni.fifo.len()
+        let buffered: usize = Port::ALL.iter().map(|&p| self.input.occupancy(p)).sum();
+        buffered + self.ni.len()
     }
 
     /// Quiescent when every input VC queue and the injection FIFO are
@@ -566,22 +465,19 @@ impl<S: TraceSink> Router for VcRouter<S> {
     /// `inject_from_ni` returns before any RNG draw when the FIFO is
     /// empty, so `step` is a pure no-op in this state.
     fn is_idle(&self) -> bool {
-        self.ni.fifo.is_empty()
-            && Port::ALL
-                .iter()
-                .all(|&p| self.inputs[p].iter().all(|vc| vc.queue.is_empty()))
+        self.ni.is_empty() && self.input.all_empty()
     }
 
     fn collect_counters(&self, out: &mut noc_flow::RouterCounters) {
-        out.credit_stalls = self.stats.credit_stalls;
-        out.vc_alloc_conflicts = self.stats.vc_alloc_conflicts;
-        out.switch_arb_retries = self.stats.switch_arb_retries;
-        out.data_flits_sent = self.stats.data_flits_sent;
-        out.masked_routes = self.stats.masked_routes;
+        out.credit_stalls = self.switch.credit_stalls();
+        out.vc_alloc_conflicts = self.alloc.conflicts();
+        out.switch_arb_retries = self.switch.arb_retries();
+        out.data_flits_sent = self.switch.data_flits_sent();
+        out.masked_routes = self.route.masked_routes();
     }
 
     fn on_link_dead(&mut self, port: Port) {
-        self.dead_mask |= 1 << port.index();
+        self.route.mask_dead(port);
     }
 
     /// Classifies every front flit that was eligible this cycle but did
@@ -594,21 +490,22 @@ impl<S: TraceSink> Router for VcRouter<S> {
     /// its predecessor packet (no route yet), a store-and-forward head
     /// waiting for its own tail, and all non-front flits.
     fn emit_stall_provenance(&mut self, now: Cycle) {
-        if !S::ENABLED {
-            return;
-        }
+        let scan = match StallScan::begin(&self.sink, now, self.node) {
+            Some(s) => s,
+            None => return,
+        };
         for &in_port in &Port::ALL {
             for vc in 0..self.config.num_vcs {
-                let ivc = &self.inputs[in_port][vc];
-                let front = match ivc.queue.front() {
-                    Some(f) if f.arrived < now => f,
+                let front = match self.input.front(in_port, vc) {
+                    Some(f) if scan.eligible(f.arrived) => f,
                     _ => continue,
                 };
                 let (packet, seq) = (front.flit.packet, front.flit.seq);
-                let (route, out_vc) = match (ivc.route, ivc.out_vc) {
+                let lane = self.input.lane(in_port, vc);
+                let (route, out_vc) = match (lane.route, lane.out_vc) {
                     (Some(r), Some(v)) => (r, v),
                     (Some(_), None) => {
-                        self.sink.vc_alloc_stall(now, self.node, packet, seq);
+                        scan.vc_alloc_stall(&mut self.sink, packet, seq);
                         continue;
                     }
                     // Head exposed mid-cycle by a departing tail: it has
@@ -616,11 +513,11 @@ impl<S: TraceSink> Router for VcRouter<S> {
                     // not a contention loss.
                     (None, _) => continue,
                 };
-                if front.tag.ty.is_head() && ivc.switch_ready_at > now {
+                if front.tag.ty.is_head() && lane.switch_ready_at > now {
                     continue;
                 }
-                if !self.has_credit(route, out_vc) {
-                    self.sink.credit_stall(now, self.node, packet, seq);
+                if !self.switch.has_credit(route, out_vc, &self.config) {
+                    scan.credit_stall(&mut self.sink, packet, seq);
                     continue;
                 }
                 if front.tag.ty.is_head()
@@ -628,30 +525,22 @@ impl<S: TraceSink> Router for VcRouter<S> {
                     && self.config.allocation != AllocationUnit::Flit
                 {
                     let needed = front.flit.length as usize;
-                    let available = match self.config.credit_mode {
-                        CreditMode::PerVc => self.outputs[route].credits[out_vc as usize],
-                        CreditMode::SharedPool => {
-                            let occ: usize = self.outputs[route].downstream_occ.iter().sum();
-                            self.config.buffers_per_input().saturating_sub(occ)
-                        }
-                    };
-                    if available < needed {
-                        self.sink.credit_stall(now, self.node, packet, seq);
+                    if self
+                        .switch
+                        .available_for_packet(route, out_vc, &self.config)
+                        < needed
+                    {
+                        scan.credit_stall(&mut self.sink, packet, seq);
                         continue;
                     }
                 }
                 if front.tag.ty.is_head()
                     && self.config.allocation == AllocationUnit::StoreAndForward
+                    && !self.input.tail_buffered(in_port, vc, packet)
                 {
-                    let tail_buffered = ivc
-                        .queue
-                        .iter()
-                        .any(|q| q.flit.packet == packet && q.tag.ty.is_tail());
-                    if !tail_buffered {
-                        continue;
-                    }
+                    continue;
                 }
-                self.sink.switch_stall(now, self.node, packet, seq);
+                scan.switch_stall(&mut self.sink, packet, seq);
             }
         }
     }
@@ -660,6 +549,7 @@ impl<S: TraceSink> Router for VcRouter<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::VcConfig;
     use noc_traffic::PacketId;
 
     fn mesh() -> Mesh {
@@ -964,6 +854,18 @@ mod tests {
             );
         }
         assert_eq!(r.occupied_data_buffers(Port::West), 6);
+    }
+
+    #[test]
+    fn contract_checker_stays_clean_under_load() {
+        let m = mesh();
+        let mut r = router_at(0, 0);
+        r.enable_contract_checks();
+        assert!(r.try_inject(packet(m, (0, 0), (3, 0), 5), Cycle::ZERO));
+        drive_with_credit_echo(&mut r, Cycle::ZERO, Cycle::new(30));
+        let ck = r.contract_checker().expect("checker enabled");
+        ck.assert_clean();
+        assert_eq!(r.queued_flits(), 0);
     }
 }
 
