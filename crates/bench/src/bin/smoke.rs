@@ -122,6 +122,7 @@ fn validate_export(path: &std::path::Path, config: &str, offered: f64) -> Json {
         "git_rev",
         "toolchain",
         "threads",
+        "host_cpus",
         "wall_ms",
     ] {
         assert!(

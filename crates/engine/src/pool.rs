@@ -31,8 +31,10 @@
 //! ```
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Type-erased borrow of the round's job. The pointer is only
 /// dereferenced between the round being published and the worker's
@@ -67,6 +69,53 @@ struct Shared {
     work_cv: Condvar,
     /// The caller parks here until `remaining` reaches zero.
     done_cv: Condvar,
+    /// Opt-in wall-clock accounting. Every timer is a thread-local
+    /// `Instant` whose elapsed duration is `fetch_add`ed into these cells,
+    /// so no cross-thread clock values are ever compared — the counters
+    /// are barrier-safe by construction. Off by default; the hot path pays
+    /// one relaxed load per round when off.
+    prof: Profiling,
+}
+
+/// Accumulated pool timing, all in nanoseconds.
+struct Profiling {
+    enabled: AtomicBool,
+    /// Per-worker time spent inside the round's job.
+    busy_ns: Vec<AtomicU64>,
+    /// Caller time parked on `done_cv` after finishing its own share.
+    barrier_wait_ns: AtomicU64,
+    /// Caller wall time per `run` call, publish to barrier release.
+    round_wall_ns: AtomicU64,
+    /// Number of profiled rounds.
+    rounds: AtomicU64,
+}
+
+/// Snapshot of a pool's accumulated timing, taken via
+/// [`WorkerPool::profile`]. All durations are nanoseconds summed since
+/// profiling was enabled.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolProfile {
+    /// Rounds executed while profiling was on.
+    pub rounds: u64,
+    /// Caller wall-clock across those rounds (publish to barrier release).
+    pub round_wall_ns: u64,
+    /// Caller time spent waiting on the barrier after its own share.
+    pub barrier_wait_ns: u64,
+    /// Per-worker busy time inside the job, indexed by worker id.
+    pub busy_ns: Vec<u64>,
+}
+
+impl PoolProfile {
+    /// Fraction of worker-seconds spent idle: 1 minus total busy time over
+    /// `threads x round wall`. 0 when nothing was profiled.
+    pub fn idle_fraction(&self) -> f64 {
+        let capacity = self.round_wall_ns as f64 * self.busy_ns.len() as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let busy: u64 = self.busy_ns.iter().sum();
+        (1.0 - busy as f64 / capacity).max(0.0)
+    }
 }
 
 /// A pool of persistent worker threads driving identical per-round jobs.
@@ -106,6 +155,13 @@ impl WorkerPool {
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            prof: Profiling {
+                enabled: AtomicBool::new(false),
+                busy_ns: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+                barrier_wait_ns: AtomicU64::new(0),
+                round_wall_ns: AtomicU64::new(0),
+                rounds: AtomicU64::new(0),
+            },
         });
         let handles = (1..threads)
             .map(|worker| {
@@ -128,6 +184,40 @@ impl WorkerPool {
         self.threads
     }
 
+    /// Turns wall-clock profiling on or off. Enabling does not clear
+    /// previously accumulated timing; use [`WorkerPool::reset_profile`]
+    /// for a fresh measurement window.
+    pub fn set_profiling(&self, on: bool) {
+        self.shared.prof.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Clears all accumulated profiling counters.
+    pub fn reset_profile(&self) {
+        let prof = &self.shared.prof;
+        for cell in &prof.busy_ns {
+            cell.store(0, Ordering::Relaxed);
+        }
+        prof.barrier_wait_ns.store(0, Ordering::Relaxed);
+        prof.round_wall_ns.store(0, Ordering::Relaxed);
+        prof.rounds.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the timing accumulated since profiling was enabled.
+    /// Call between rounds (outside `run`) for consistent numbers.
+    pub fn profile(&self) -> PoolProfile {
+        let prof = &self.shared.prof;
+        PoolProfile {
+            rounds: prof.rounds.load(Ordering::Relaxed),
+            round_wall_ns: prof.round_wall_ns.load(Ordering::Relaxed),
+            barrier_wait_ns: prof.barrier_wait_ns.load(Ordering::Relaxed),
+            busy_ns: prof
+                .busy_ns
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
     /// Runs `job(worker)` once for every `worker` in `0..threads()`,
     /// worker 0 on the calling thread, and returns after **all** workers
     /// have finished — the call is a barrier.
@@ -138,8 +228,17 @@ impl WorkerPool {
     /// here with its original payload, after every other worker has
     /// finished the round.
     pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        let prof = &self.shared.prof;
+        let profiling = prof.enabled.load(Ordering::Relaxed);
+        let round_start = profiling.then(Instant::now);
         if self.threads == 1 {
             job(0);
+            if let Some(t0) = round_start {
+                let ns = t0.elapsed().as_nanos() as u64;
+                prof.busy_ns[0].fetch_add(ns, Ordering::Relaxed);
+                prof.round_wall_ns.fetch_add(ns, Ordering::Relaxed);
+                prof.rounds.fetch_add(1, Ordering::Relaxed);
+            }
             return;
         }
         {
@@ -159,7 +258,12 @@ impl WorkerPool {
         // caller panic must still wait for the round to finish (workers
         // hold the job borrow), so it is caught and re-raised after the
         // barrier.
+        let own_start = profiling.then(Instant::now);
         let own = catch_unwind(AssertUnwindSafe(|| job(0)));
+        let wait_start = own_start.map(|t0| {
+            prof.busy_ns[0].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            Instant::now()
+        });
         let worker_panic = {
             let mut state = self.shared.state.lock().unwrap();
             while state.remaining > 0 {
@@ -168,6 +272,15 @@ impl WorkerPool {
             state.job = None;
             state.panic.take()
         };
+        if let Some(t0) = wait_start {
+            prof.barrier_wait_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        if let Some(t0) = round_start {
+            prof.round_wall_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            prof.rounds.fetch_add(1, Ordering::Relaxed);
+        }
         if let Some(payload) = worker_panic {
             resume_unwind(payload);
         }
@@ -211,10 +324,19 @@ fn worker_loop(shared: &Shared, worker: usize) {
             }
             state.job.expect("published round carries a job")
         };
+        let busy_start = shared
+            .prof
+            .enabled
+            .load(Ordering::Relaxed)
+            .then(Instant::now);
         // SAFETY: the caller blocks in `run` until this worker counts
         // its completion below, so the closure behind the pointer is
         // alive for the whole call.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(worker) }));
+        if let Some(t0) = busy_start {
+            shared.prof.busy_ns[worker]
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         let mut state = shared.state.lock().unwrap();
         if let Err(payload) = result {
             state.panic.get_or_insert(payload);
@@ -316,5 +438,56 @@ mod tests {
     #[should_panic(expected = "thread count must be positive")]
     fn zero_threads_panics() {
         WorkerPool::new(0);
+    }
+
+    #[test]
+    fn profiling_off_accumulates_nothing() {
+        let pool = WorkerPool::new(2);
+        pool.run(&|_| {});
+        assert_eq!(pool.profile(), PoolProfile::default_for(2));
+    }
+
+    #[test]
+    fn profiling_counts_rounds_and_busy_time() {
+        let pool = WorkerPool::new(3);
+        pool.set_profiling(true);
+        for _ in 0..5 {
+            pool.run(&|_| {
+                std::hint::black_box((0..2000).sum::<u64>());
+            });
+        }
+        let prof = pool.profile();
+        assert_eq!(prof.rounds, 5);
+        assert_eq!(prof.busy_ns.len(), 3);
+        assert!(prof.round_wall_ns > 0);
+        // Every worker ran every round, so each accumulated some time.
+        assert!(prof.busy_ns.iter().all(|&ns| ns > 0), "{prof:?}");
+        let frac = prof.idle_fraction();
+        assert!((0.0..=1.0).contains(&frac), "idle fraction {frac}");
+        pool.reset_profile();
+        assert_eq!(pool.profile(), PoolProfile::default_for(3));
+    }
+
+    #[test]
+    fn profiling_single_thread_pool_attributes_all_to_worker_zero() {
+        let pool = WorkerPool::new(1);
+        pool.set_profiling(true);
+        pool.run(&|_| {
+            std::hint::black_box((0..2000).sum::<u64>());
+        });
+        let prof = pool.profile();
+        assert_eq!(prof.rounds, 1);
+        assert_eq!(prof.barrier_wait_ns, 0);
+        assert!(prof.busy_ns[0] > 0);
+        assert_eq!(prof.round_wall_ns, prof.busy_ns[0]);
+    }
+
+    impl PoolProfile {
+        fn default_for(threads: usize) -> PoolProfile {
+            PoolProfile {
+                busy_ns: vec![0; threads],
+                ..PoolProfile::default()
+            }
+        }
     }
 }

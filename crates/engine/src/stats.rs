@@ -188,6 +188,15 @@ impl Histogram {
         }
     }
 
+    /// Clears all samples while keeping the bucket capacity, so one
+    /// allocation serves many recording epochs.
+    pub fn reset(&mut self) {
+        self.buckets.fill(0);
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0;
+    }
+
     /// Total number of samples.
     pub fn count(&self) -> u64 {
         self.count

@@ -168,6 +168,26 @@ impl RouterCounters {
         self.bookings_in_flight += other.bookings_in_flight;
         self.masked_routes += other.masked_routes;
     }
+
+    /// Per-window delta against an earlier snapshot of the same counters.
+    /// Every monotonic field subtracts; `bookings_in_flight` is an
+    /// instantaneous gauge, so the current value passes through unchanged.
+    pub fn delta(&self, prev: &RouterCounters) -> RouterCounters {
+        RouterCounters {
+            credit_stalls: self.credit_stalls - prev.credit_stalls,
+            vc_alloc_conflicts: self.vc_alloc_conflicts - prev.vc_alloc_conflicts,
+            switch_arb_retries: self.switch_arb_retries - prev.switch_arb_retries,
+            reservation_misses: self.reservation_misses - prev.reservation_misses,
+            reservation_hits: self.reservation_hits - prev.reservation_hits,
+            control_flits_sent: self.control_flits_sent - prev.control_flits_sent,
+            zero_turnaround_departures: self.zero_turnaround_departures
+                - prev.zero_turnaround_departures,
+            parked_arrivals: self.parked_arrivals - prev.parked_arrivals,
+            data_flits_sent: self.data_flits_sent - prev.data_flits_sent,
+            bookings_in_flight: self.bookings_in_flight,
+            masked_routes: self.masked_routes - prev.masked_routes,
+        }
+    }
 }
 
 /// A flow-control router that can be wired into a `Network`.

@@ -57,10 +57,12 @@
 pub mod json;
 pub mod manifest;
 pub mod registry;
+pub mod window;
 
 pub use json::{strip_nondeterministic, Json, JsonError};
-pub use manifest::{RunManifest, SCHEMA_VERSION};
+pub use manifest::{host_cpu_count, RunManifest, SCHEMA_VERSION};
 pub use registry::{MetricsRegistry, NullRecorder, Recorder, Series};
+pub use window::{WindowKind, WindowSeries};
 
 /// Writes a JSON document to `path` with a trailing newline, creating
 /// parent directories as needed.

@@ -27,6 +27,10 @@ pub struct RunManifest {
     /// Determinism makes the results independent of this, but audits need
     /// to know what was exercised.
     pub threads: u64,
+    /// Physical/logical CPU count of the host the run executed on, so a
+    /// BENCH row from a 1-core baseline host is self-describing next to
+    /// its `threads` value. 0 when the count cannot be determined.
+    pub host_cpus: u64,
     /// Wall-clock duration of the run in milliseconds. Nondeterministic;
     /// stripped by [`crate::json::strip_nondeterministic`].
     pub wall_ms: u64,
@@ -49,6 +53,7 @@ impl RunManifest {
             git_rev: capture_git_rev(),
             toolchain: capture_toolchain(),
             threads: 1,
+            host_cpus: host_cpu_count(),
             wall_ms: 0,
         }
     }
@@ -63,6 +68,7 @@ impl RunManifest {
             ("git_rev".into(), Json::str(&self.git_rev)),
             ("toolchain".into(), Json::str(&self.toolchain)),
             ("threads".into(), Json::Num(self.threads as f64)),
+            ("host_cpus".into(), Json::Num(self.host_cpus as f64)),
             ("wall_ms".into(), Json::Num(self.wall_ms as f64)),
         ])
     }
@@ -88,6 +94,29 @@ pub fn capture_git_rev() -> String {
         .filter(|o| o.status.success())
         .and_then(|o| first_line(&o.stdout))
         .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The host's CPU count: the number of `processor` entries in
+/// `/proc/cpuinfo`, falling back to `std::thread::available_parallelism`
+/// off Linux (where the reading can be affinity-limited), and 0 when
+/// neither source is available.
+pub fn host_cpu_count() -> u64 {
+    let from_cpuinfo = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .map(|text| {
+            text.lines()
+                .filter(|l| {
+                    let mut parts = l.splitn(2, ':');
+                    parts.next().map(str::trim) == Some("processor")
+                })
+                .count() as u64
+        })
+        .filter(|&n| n > 0);
+    from_cpuinfo.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(0)
+    })
 }
 
 /// The `rustc --version` string, or `"unknown"` when rustc is not on PATH.
@@ -119,6 +148,7 @@ mod tests {
             "git_rev",
             "toolchain",
             "threads",
+            "host_cpus",
             "wall_ms",
         ] {
             assert!(doc.get(key).is_some(), "missing manifest key {key}");
@@ -126,5 +156,12 @@ mod tests {
         assert_eq!(doc.get("seed").and_then(Json::as_u64), Some(2000));
         assert_eq!(doc.get("config").and_then(Json::as_str), Some("FR6"));
         assert_eq!(doc.get("threads").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn host_cpu_count_is_positive_on_linux() {
+        if std::path::Path::new("/proc/cpuinfo").exists() {
+            assert!(host_cpu_count() > 0, "cpuinfo present but count is 0");
+        }
     }
 }

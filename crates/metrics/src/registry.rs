@@ -4,6 +4,7 @@
 
 use crate::json::Json;
 use crate::manifest::{RunManifest, SCHEMA_VERSION};
+use crate::window::{WindowKind, WindowSeries};
 use noc_engine::stats::TimeWeighted;
 use noc_engine::Cycle;
 use std::collections::BTreeMap;
@@ -30,13 +31,16 @@ pub struct Series {
 /// * **gauges** — `f64` point-in-time or derived values;
 /// * **time-weighted** — [`TimeWeighted`] signals whose average weights each
 ///   value by how long it was held;
-/// * **series** — periodic samples for time-axis plots.
+/// * **series** — periodic samples for time-axis plots;
+/// * **windows** — epoch-bucketed [`WindowSeries`] over power-of-two cycle
+///   windows (the time-resolved telemetry layer).
 #[derive(Clone, Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     time_weighted: BTreeMap<String, TimeWeighted>,
     series: BTreeMap<String, Series>,
+    windows: BTreeMap<String, WindowSeries>,
     /// Latest cycle seen by any update; time-weighted averages are closed
     /// out at this watermark when exporting.
     watermark: Cycle,
@@ -54,6 +58,7 @@ impl MetricsRegistry {
             && self.gauges.is_empty()
             && self.time_weighted.is_empty()
             && self.series.is_empty()
+            && self.windows.is_empty()
     }
 
     /// Adds `delta` to a counter, creating it at zero first if needed.
@@ -131,6 +136,67 @@ impl MetricsRegistry {
         self.series.get(name)
     }
 
+    /// Adds `delta` into the Sum window covering `cycle`, creating the
+    /// series on first use. Windows span `1 << log2` cycles; recording
+    /// must move forward in time (window indices nondecreasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing series under `name` has a different `log2`
+    /// or is a Gauge window.
+    pub fn window_add(&mut self, name: &str, log2: u32, cycle: Cycle, delta: f64) {
+        self.watermark = self.watermark.max(cycle);
+        let w = cycle.raw() >> log2;
+        self.window_entry(name, log2, w, WindowKind::Sum)
+            .add(w, delta);
+    }
+
+    /// Sets the value of absolute window index `window` in a Gauge window
+    /// series, creating the series on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an existing series under `name` has a different `log2`
+    /// or is a Sum window.
+    pub fn window_set(&mut self, name: &str, log2: u32, window: u64, value: f64) {
+        self.watermark = self.watermark.max(Cycle::new(window << log2));
+        self.window_entry(name, log2, window, WindowKind::Gauge)
+            .set(window, value);
+    }
+
+    fn window_entry(
+        &mut self,
+        name: &str,
+        log2: u32,
+        w: u64,
+        kind: WindowKind,
+    ) -> &mut WindowSeries {
+        if !self.windows.contains_key(name) {
+            self.windows
+                .insert(name.to_string(), WindowSeries::new(log2, w, kind));
+        }
+        let s = self.windows.get_mut(name).expect("just inserted");
+        assert_eq!(s.log2, log2, "window {name}: log2 mismatch");
+        assert_eq!(s.kind, kind, "window {name}: kind mismatch");
+        s
+    }
+
+    /// Reads a window series.
+    pub fn window(&self, name: &str) -> Option<&WindowSeries> {
+        self.windows.get(name)
+    }
+
+    /// Iterates window series in sorted key order.
+    pub fn windows(&self) -> impl Iterator<Item = (&str, &WindowSeries)> {
+        self.windows.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Sum of a window series' values; 0 when absent. For Sum windows this
+    /// equals the aggregate counter of the same name.
+    pub fn window_total(&self, name: &str) -> f64 {
+        self.windows.get(name).map_or(0.0, WindowSeries::total)
+    }
+
     /// Iterates counters in sorted key order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
@@ -144,11 +210,15 @@ impl MetricsRegistry {
     /// Merges another registry into this one, as when per-shard registries
     /// from a parallel sweep are combined: counters and gauges add;
     /// time-weighted signals and series must be key-disjoint (a shard owns
-    /// its signals outright) and are moved over.
+    /// its signals outright) and are moved over. Sum windows on the same
+    /// grid add element-wise, aligned by absolute window index, keeping the
+    /// window-sum == aggregate-counter identity through the merge; Gauge
+    /// windows must be key-disjoint like series.
     ///
     /// # Panics
     ///
-    /// Panics if `other` shares a time-weighted or series key with `self`.
+    /// Panics if `other` shares a time-weighted, series or Gauge-window key
+    /// with `self`, or if a shared Sum window disagrees on `log2`.
     pub fn merge(&mut self, other: MetricsRegistry) {
         for (k, v) in other.counters {
             *self.entry_counter(&k) += v;
@@ -163,6 +233,21 @@ impl MetricsRegistry {
         for (k, v) in other.series {
             let clash = self.series.insert(k, v);
             assert!(clash.is_none(), "merge: duplicate series key");
+        }
+        for (k, v) in other.windows {
+            match self.windows.get_mut(&k) {
+                Some(mine) => {
+                    assert_eq!(
+                        mine.kind,
+                        WindowKind::Sum,
+                        "merge: duplicate gauge-window key {k}"
+                    );
+                    mine.merge_add(&v);
+                }
+                None => {
+                    self.windows.insert(k, v);
+                }
+            }
         }
         self.watermark = self.watermark.max(other.watermark);
     }
@@ -225,6 +310,11 @@ impl MetricsRegistry {
                 )
             })
             .collect();
+        let windows = self
+            .windows
+            .iter()
+            .map(|(k, w)| (k.clone(), w.to_json()))
+            .collect();
         Json::Obj(vec![
             ("schema_version".into(), Json::Num(SCHEMA_VERSION as f64)),
             ("manifest".into(), manifest.to_json()),
@@ -232,6 +322,7 @@ impl MetricsRegistry {
             ("gauges".into(), Json::Obj(gauges)),
             ("time_weighted".into(), Json::Obj(time_weighted)),
             ("series".into(), Json::Obj(series)),
+            ("windows".into(), Json::Obj(windows)),
             ("profile".into(), Json::Obj(profile)),
         ])
     }
@@ -312,6 +403,59 @@ mod tests {
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.counter("y"), 7);
         assert_eq!(a.gauge("g"), Some(0.75));
+    }
+
+    #[test]
+    fn window_add_buckets_by_shift_and_zero_fills() {
+        let mut reg = MetricsRegistry::new();
+        reg.window_add("inj", 6, Cycle::new(10), 2.0);
+        reg.window_add("inj", 6, Cycle::new(63), 1.0);
+        reg.window_add("inj", 6, Cycle::new(200), 5.0);
+        let w = reg.window("inj").unwrap();
+        assert_eq!(w.start, 0);
+        assert_eq!(w.values, vec![3.0, 0.0, 0.0, 5.0]);
+        assert_eq!(reg.window_total("inj"), 8.0);
+        assert_eq!(reg.window_total("absent"), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_sum_windows_and_moves_gauge_windows() {
+        let mut a = MetricsRegistry::new();
+        a.window_add("flits", 4, Cycle::new(0), 1.0);
+        a.window_set("p95.a", 4, 0, 9.0);
+        let mut b = MetricsRegistry::new();
+        b.window_add("flits", 4, Cycle::new(16), 2.0);
+        b.window_set("p95.b", 4, 1, 7.0);
+        a.merge(b);
+        assert_eq!(a.window("flits").unwrap().values, vec![1.0, 2.0]);
+        assert_eq!(a.window("p95.a").unwrap().values, vec![9.0]);
+        let pb = a.window("p95.b").unwrap();
+        assert_eq!((pb.start, pb.values.clone()), (1, vec![7.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate gauge-window key")]
+    fn merge_rejects_gauge_window_collisions() {
+        let mut a = MetricsRegistry::new();
+        a.window_set("g", 4, 0, 1.0);
+        let mut b = MetricsRegistry::new();
+        b.window_set("g", 4, 0, 2.0);
+        a.merge(b);
+    }
+
+    #[test]
+    fn export_includes_windows_section() {
+        let mut reg = MetricsRegistry::new();
+        reg.window_add("net.offered_flits", 7, Cycle::new(130), 4.0);
+        let doc = reg.to_json(&RunManifest::new("t", 1, "tiny", "cfg"));
+        let w = doc
+            .get("windows")
+            .unwrap()
+            .get("net.offered_flits")
+            .unwrap();
+        assert_eq!(w.get("kind").and_then(Json::as_str), Some("sum"));
+        assert_eq!(w.get("log2").and_then(Json::as_u64), Some(7));
+        assert_eq!(w.get("start").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

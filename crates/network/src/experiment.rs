@@ -2,7 +2,10 @@
 //! offered loads, and locate saturation — the machinery behind every
 //! figure and table of the paper.
 
-use crate::{run_simulation, run_simulation_sharded, FaultSummary, Network, RunResult, SimConfig};
+use crate::{
+    run_simulation, run_simulation_sharded, EngineProfile, FaultSummary, Network, RunResult,
+    SimConfig,
+};
 use flit_reservation::{FrConfig, FrRouter};
 use noc_engine::trace::{NullSink, SharedSink};
 use noc_engine::{sweep, Rng};
@@ -13,6 +16,45 @@ use noc_provenance::{ProvenanceCollector, ProvenanceReport};
 use noc_topology::Mesh;
 use noc_traffic::{LoadSpec, TrafficGenerator};
 use noc_vc::{VcConfig, VcRouter};
+
+/// Everything one telemetry-armed run produces: the measurement record,
+/// the registry (aggregates, series *and* windowed telemetry) and the
+/// engine's runtime profile. From [`FlowControl::run_telemetry`].
+#[derive(Debug)]
+pub struct TelemetryRun {
+    /// The measurement record, identical to an uninstrumented run.
+    pub result: RunResult,
+    /// The filled metrics registry, windows included.
+    pub registry: MetricsRegistry,
+    /// The engine's wall-clock profile (nondeterministic by nature).
+    pub profile: EngineProfile,
+}
+
+/// Shared tail of [`FlowControl::run_telemetry`]: arms windows and the
+/// profiler, runs the methodology, and snapshots the profile before the
+/// registry is taken.
+fn run_with_telemetry<R: noc_flow::Router + Send>(
+    network: &mut Network<R, NullSink, MetricsRegistry>,
+    sim: &SimConfig,
+    sample_period: u64,
+    window_log2: u32,
+    threads: usize,
+) -> TelemetryRun {
+    network.set_metrics_period(sample_period);
+    network.set_telemetry_windows(window_log2);
+    network.set_profiling(true);
+    let result = if threads <= 1 {
+        run_simulation(network, sim)
+    } else {
+        run_simulation_sharded(network, sim, threads)
+    };
+    let profile = network.engine_profile();
+    TelemetryRun {
+        result,
+        registry: std::mem::take(network.metrics_mut()),
+        profile,
+    }
+}
 
 /// Which flow control to simulate, with its full configuration.
 #[derive(Clone, Debug, PartialEq)]
@@ -205,6 +247,59 @@ impl FlowControl {
                 network.set_metrics_period(sample_period);
                 let result = run_simulation_sharded(&mut network, sim, threads);
                 (result, std::mem::take(network.metrics_mut()))
+            }
+        }
+    }
+
+    /// Runs one simulation at `load` with windowed telemetry and the
+    /// runtime profiler armed: the registry collects everything
+    /// [`FlowControl::run_metered`] collects *plus* epoch-bucketed
+    /// windows of `1 << window_log2` cycles (per-window offered/ejected
+    /// flits, latency quantiles, stall and reservation counters, buffer
+    /// occupancy), and the engine samples its own wall clock into an
+    /// [`EngineProfile`].
+    ///
+    /// `threads == 1` runs the true sequential engine; larger values
+    /// shard the stepping. Either way the `RunResult` and the
+    /// deterministic registry sections are bit-identical to
+    /// [`FlowControl::run_metered`] at the same seed — telemetry records
+    /// only in the sequential phases, and all wall-clock data stays in
+    /// the profile.
+    pub fn run_telemetry(
+        &self,
+        mesh: Mesh,
+        load: LoadSpec,
+        sim: &SimConfig,
+        sample_period: u64,
+        window_log2: u32,
+        threads: usize,
+    ) -> TelemetryRun {
+        let root = Rng::from_seed(sim.seed);
+        let generator = TrafficGenerator::uniform(mesh, load, root.fork(0x7261_6666_6963)); // "raffic"
+        match self {
+            FlowControl::VirtualChannel(cfg, timing) => {
+                let mut network = Network::with_instruments(
+                    mesh,
+                    *timing,
+                    2,
+                    generator,
+                    |node| VcRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64)),
+                    NullSink,
+                    MetricsRegistry::new(),
+                );
+                run_with_telemetry(&mut network, sim, sample_period, window_log2, threads)
+            }
+            FlowControl::FlitReservation(cfg) => {
+                let mut network = Network::with_instruments(
+                    mesh,
+                    cfg.timing,
+                    cfg.control_lanes,
+                    generator,
+                    |node| FrRouter::new(mesh, node, *cfg, root.fork(node.raw() as u64)),
+                    NullSink,
+                    MetricsRegistry::new(),
+                );
+                run_with_telemetry(&mut network, sim, sample_period, window_log2, threads)
             }
         }
     }

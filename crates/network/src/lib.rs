@@ -24,12 +24,16 @@
 
 mod experiment;
 mod network;
+pub mod profile;
 mod runner;
 mod shard;
 mod tracker;
 
-pub use experiment::{base_latency, find_saturation, sweep_loads, Curve, FlowControl, LoadPoint};
+pub use experiment::{
+    base_latency, find_saturation, sweep_loads, Curve, FlowControl, LoadPoint, TelemetryRun,
+};
 pub use network::{FaultSummary, Network, ProbeConfig, ProbeState};
+pub use profile::{EngineProfile, ProfileSample};
 pub use runner::{run_simulation, run_simulation_sharded, RunResult, SimConfig};
 pub use shard::ShardPlan;
 pub use tracker::{DeliveryError, DeliveryTracker};

@@ -47,6 +47,7 @@
 //! global node order. Either way the result is bit-identical to
 //! [`Network::cycle`] for every thread count and shard plan.
 
+use crate::profile::{EngineProfile, ProfileSample};
 use crate::{DeliveryTracker, ShardPlan};
 use noc_engine::pool::WorkerPool;
 use noc_engine::trace::{NullSink, TraceSink};
@@ -62,6 +63,7 @@ use noc_topology::{Mesh, NodeId, Port, PortMap};
 use noc_traffic::{Packet, TrafficGenerator};
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -72,6 +74,16 @@ const PHASE_STEP: usize = 2;
 const PHASE_APPLY: usize = 3;
 const PHASE_OBSERVE: usize = 4;
 const PHASE_NAMES: [&str; 5] = ["deliver", "inject", "step", "apply", "observe"];
+
+/// Sequential-tail indices into [`Instruments::tail_ns`]: the parts of a
+/// sharded cycle that run on one thread whatever the worker count, and so
+/// bound the parallel speed-up (Amdahl). Indexes must agree with
+/// [`crate::profile::PROFILE_TAILS`].
+const TAIL_TRAFFIC_GEN: usize = 0;
+const TAIL_FAULT_EVENTS: usize = 1;
+const TAIL_EJECT_COMMIT: usize = 2;
+const TAIL_OUTBOX: usize = 3;
+const TAIL_CTX_BUILD: usize = 4;
 
 /// Flits committed onto one directed link, split by wire class.
 #[derive(Clone, Copy, Debug, Default)]
@@ -97,6 +109,12 @@ struct PoolStat {
 struct Instruments {
     /// Wall-clock nanoseconds per engine phase (self-profiler).
     phase_ns: [u64; 5],
+    /// Wall-clock nanoseconds of the sequential tails (profiler only;
+    /// indexed by the `TAIL_*` constants).
+    tail_ns: [u64; 5],
+    /// Wall-clock nanoseconds of whole cycles while profiling was on —
+    /// the denominator of the profiler's attribution check.
+    cycle_wall_ns: u64,
     /// Cycles observed while metrics were enabled.
     observed_cycles: u64,
     /// Sum over cycles of the wake-list size (idle-skip effectiveness).
@@ -107,6 +125,80 @@ struct Instruments {
     link_flits: Vec<PortMap<LinkFlits>>,
     /// Control-wire bandwidth in flits/cycle (for utilization gauges).
     control_bandwidth: u32,
+    /// Windowed telemetry accumulators; `None` until
+    /// [`Network::set_telemetry_windows`] arms them.
+    win: Option<Box<TelemetryWindow>>,
+    /// Per-window wall-clock samples (profiling only; nondeterministic,
+    /// exported through [`Network::engine_profile`], never the registry's
+    /// deterministic sections).
+    profile_samples: Vec<ProfileSample>,
+    /// Phase/tail snapshots at the last window fold, for sample deltas.
+    prev_phase_ns: [u64; 5],
+    prev_tail_ns: [u64; 5],
+}
+
+/// Windowed-telemetry state: event accumulators for the window in flight
+/// plus snapshots of every cumulative source, so each fold writes exact
+/// per-window deltas. All recording sites sit in the sequential phases of
+/// both stepping modes, which is what makes windowed exports byte-identical
+/// across thread counts and shard plans.
+#[derive(Debug)]
+struct TelemetryWindow {
+    /// Window length exponent (windows span `1 << log2` cycles).
+    log2: u32,
+    /// Absolute index of the window currently accumulating.
+    current: u64,
+    /// Whether anything has been observed since the last fold.
+    dirty: bool,
+    /// Flits offered by the traffic generator this window (whole packets
+    /// count all their flits at injection time, matching the tracker).
+    offered_flits: u64,
+    /// Flits accepted by destination network interfaces this window.
+    ejected_flits: u64,
+    /// Packets fully delivered this window.
+    delivered_packets: u64,
+    /// Latencies of packets delivered this window (reset per window).
+    latencies: noc_engine::stats::Histogram,
+    /// Run totals of the per-window event counts (folded windows only);
+    /// the aggregate side of the window-sum == aggregate identity.
+    cum_offered_flits: u64,
+    cum_ejected_flits: u64,
+    cum_delivered_packets: u64,
+    /// Router-counter totals at the last fold.
+    prev_router: RouterCounters,
+    /// Fault-layer counters at the last fold.
+    prev_fault: FaultCounters,
+    /// Control-retry count at the last fold.
+    prev_retries: u64,
+    /// Per-router `occ_sum` totals (over ports) at the last fold.
+    prev_occ: Vec<f64>,
+    /// Observed-cycle count at the last fold.
+    prev_observed: u64,
+    /// Ports with data capacity per router; lazily filled at first fold.
+    occ_ports: Vec<u32>,
+}
+
+impl TelemetryWindow {
+    fn new(log2: u32, start_window: u64, nodes: usize) -> Self {
+        TelemetryWindow {
+            log2,
+            current: start_window,
+            dirty: false,
+            offered_flits: 0,
+            ejected_flits: 0,
+            delivered_packets: 0,
+            latencies: noc_engine::stats::Histogram::new(4096),
+            cum_offered_flits: 0,
+            cum_ejected_flits: 0,
+            cum_delivered_packets: 0,
+            prev_router: RouterCounters::default(),
+            prev_fault: FaultCounters::default(),
+            prev_retries: 0,
+            prev_occ: vec![0.0; nodes],
+            prev_observed: 0,
+            occ_ports: Vec::new(),
+        }
+    }
 }
 
 /// Deterministic fault-injection state. Boxed behind an `Option` so a
@@ -285,6 +377,13 @@ struct ParallelEngine {
     /// Per-shard awake-router counts, sampled inside the fused round and
     /// summed (deterministically — u64 partials) after the barrier.
     awake: Vec<u64>,
+    /// Profiler: per-shard `ShardCtx` mutex acquisitions. Each worker
+    /// only ever locks its own shard's mutex, so these count the lock
+    /// traffic the splitting protocol costs (contention-free by design —
+    /// the timing numbers prove it).
+    lock_count: Vec<AtomicU64>,
+    /// Profiler: wall-clock nanoseconds spent acquiring those locks.
+    lock_ns: Vec<AtomicU64>,
 }
 
 /// One worker's disjoint view of the network's hot per-node state: its
@@ -348,6 +447,29 @@ fn shard_contexts<'a, R>(
         }));
     }
     ctxs
+}
+
+/// Acquires one shard's context mutex, optionally timing the acquisition
+/// into the profiler's per-shard lock cells. Each worker locks only its
+/// own shard's mutex, so the wait time measures the protocol's fixed
+/// cost, not contention. Barrier-safe clocking: the `Instant` is created
+/// and read on the acquiring thread; only the elapsed duration crosses
+/// threads, through a relaxed atomic add.
+fn lock_shard<'a, 'b, R>(
+    ctx: &'a Mutex<ShardCtx<'b, R>>,
+    profiling: bool,
+    count: &AtomicU64,
+    ns: &AtomicU64,
+) -> std::sync::MutexGuard<'a, ShardCtx<'b, R>> {
+    if profiling {
+        let start = Instant::now();
+        let guard = ctx.lock().expect("shard context");
+        ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        count.fetch_add(1, Ordering::Relaxed);
+        guard
+    } else {
+        ctx.lock().expect("shard context")
+    }
 }
 
 /// Per-cycle observation knobs (warm-up signal, occupancy probe).
@@ -461,6 +583,12 @@ pub struct Network<R: Router, S: TraceSink = NullSink, M: Recorder = NullRecorde
     metrics: M,
     /// Series sampling period in cycles; 0 disables series sampling.
     metrics_period: u64,
+    /// Runtime profiler switch: when on (and metrics are enabled), the
+    /// engine times its sequential tails, whole-cycle wall clock and
+    /// shard-lock acquisitions, and folds per-window profile samples.
+    /// All wall-clock data stays out of the deterministic export
+    /// sections, so profiling never perturbs determinism comparisons.
+    profiling: bool,
     /// Retained instrumentation accumulators (untouched when `M` is the
     /// null recorder).
     instruments: Instruments,
@@ -610,6 +738,7 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             sink,
             metrics,
             metrics_period: 64,
+            profiling: false,
             instruments,
         }
     }
@@ -637,6 +766,98 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
     /// density changes.
     pub fn set_metrics_period(&mut self, period: u64) {
         self.metrics_period = period;
+    }
+
+    /// Arms windowed telemetry: per-window event counts and derived
+    /// gauges, bucketed into epochs of `1 << log2` cycles. Recording
+    /// sites all sit in the sequential phases of both stepping modes, so
+    /// windowed exports are byte-identical across thread counts and
+    /// shard plans. A no-op under the null recorder.
+    ///
+    /// Arm before the first cycle: every per-window Sum then sums exactly
+    /// to its aggregate counter (the `telemetry_report --quick`
+    /// consistency contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `log2 < 32` (larger windows than 4 G-cycles are a
+    /// configuration bug).
+    pub fn set_telemetry_windows(&mut self, log2: u32) {
+        assert!(log2 < 32, "telemetry window log2 {log2} out of range");
+        if !M::ENABLED {
+            return;
+        }
+        self.instruments.win = Some(Box::new(TelemetryWindow::new(
+            log2,
+            self.now.raw() >> log2,
+            self.slots.len(),
+        )));
+    }
+
+    /// The armed telemetry window exponent, if any.
+    pub fn telemetry_log2(&self) -> Option<u32> {
+        self.instruments.win.as_ref().map(|w| w.log2)
+    }
+
+    /// Turns the runtime profiler on or off: sequential-tail timers,
+    /// whole-cycle wall clock, worker busy/barrier-wait accounting and
+    /// shard-lock acquisition counts, read back via
+    /// [`Network::engine_profile`]. Requires metrics to be enabled
+    /// (`M::ENABLED`); a no-op otherwise.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+        if let Some(engine) = self.parallel.as_ref() {
+            engine.pool.set_profiling(M::ENABLED && on);
+        }
+    }
+
+    /// Whether the runtime profiler is on.
+    pub fn profiling(&self) -> bool {
+        self.profiling
+    }
+
+    /// Snapshot of the runtime profiler: engine phase and sequential-tail
+    /// wall-clock totals, per-worker busy/barrier-wait time, shard-lock
+    /// traffic and per-window samples. Meaningful after a profiled run;
+    /// all zeros otherwise. Wall-clock data is nondeterministic by
+    /// nature — export it next to, never inside, the deterministic
+    /// metric sections.
+    pub fn engine_profile(&self) -> EngineProfile {
+        let ins = &self.instruments;
+        let mut profile = EngineProfile {
+            threads: 1,
+            cycles: self.now.raw(),
+            cycle_wall_ns: ins.cycle_wall_ns,
+            phase_ns: ins.phase_ns,
+            tail_ns: ins.tail_ns,
+            rounds: 0,
+            round_wall_ns: 0,
+            barrier_wait_ns: 0,
+            worker_busy_ns: Vec::new(),
+            lock_count: Vec::new(),
+            lock_ns: Vec::new(),
+            samples: ins.profile_samples.clone(),
+            window_log2: ins.win.as_ref().map(|w| w.log2),
+        };
+        if let Some(engine) = self.parallel.as_ref() {
+            let pool = engine.pool.profile();
+            profile.threads = engine.pool.threads() as u64;
+            profile.rounds = pool.rounds;
+            profile.round_wall_ns = pool.round_wall_ns;
+            profile.barrier_wait_ns = pool.barrier_wait_ns;
+            profile.worker_busy_ns = pool.busy_ns;
+            profile.lock_count = engine
+                .lock_count
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect();
+            profile.lock_ns = engine
+                .lock_ns
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect();
+        }
+        profile
     }
 
     /// The network-level trace sink.
@@ -904,6 +1125,11 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
         self.generator.tick_into(now, &mut self.packet_scratch);
         for packet in self.packet_scratch.drain(..) {
             self.tracker.on_inject(&packet, self.measuring);
+            if M::ENABLED {
+                if let Some(win) = self.instruments.win.as_deref_mut() {
+                    win.offered_flits += packet.length_flits as u64;
+                }
+            }
             if let Some(f) = self.faults.as_mut() {
                 f.reliability.register(packet);
             }
@@ -923,9 +1149,9 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
     /// node's backlog to its router, waking routers that accept.
     fn offer_traffic(&mut self, now: Cycle) {
         if self.faults.is_some() {
-            self.apply_fault_events(now);
+            self.tail_timed(TAIL_FAULT_EVENTS, |n| n.apply_fault_events(now));
         }
-        self.generate_traffic(now);
+        self.tail_timed(TAIL_TRAFFIC_GEN, |n| n.generate_traffic(now));
         for n in 0..self.slots.len() {
             offer_backlog(&mut self.slots[n], &mut self.backlog[n], now);
         }
@@ -1044,6 +1270,15 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                 match self.tracker.on_eject(e.flit.packet, e.flit.seq, node, e.at) {
                     Ok(done) => {
                         self.sink.flit_ejected(e.at, node, &e.flit);
+                        if M::ENABLED {
+                            if let Some(win) = self.instruments.win.as_deref_mut() {
+                                win.ejected_flits += 1;
+                                if let Some(latency) = done {
+                                    win.delivered_packets += 1;
+                                    win.latencies.record(latency);
+                                }
+                            }
+                        }
                         if let Some(latency) = done {
                             self.sink
                                 .packet_delivered(e.at, node, e.flit.packet, latency);
@@ -1129,20 +1364,16 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             let queued = self.mean_queued_flits();
             let awake = self.awake_routers() as f64;
             let in_flight = self.tracker.in_flight() as f64;
-            let slots = &self.slots;
             self.metrics.with(|reg| {
                 reg.time_weighted_set("net.queued_flits", now, queued);
                 reg.series_push("net.queued_flits", period, now, queued);
                 reg.series_push("net.awake_routers", period, now, awake);
                 reg.series_push("net.in_flight_packets", period, now, in_flight);
-                for (i, slot) in slots.iter().enumerate() {
-                    reg.series_push(
-                        &format!("router.{i}.occupancy"),
-                        period,
-                        now,
-                        mean_pool_fraction(&slot.router),
-                    );
-                }
+                // Per-router occupancy no longer re-walks the routers
+                // here: the windowed telemetry layer derives it from the
+                // per-cycle `pools` accumulators above, so one
+                // accumulation path feeds both the end-of-run gauges and
+                // the `router.{i}.occupancy` windows.
             });
         }
     }
@@ -1161,6 +1392,199 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
         }
     }
 
+    /// Times one sequential tail when the profiler is on; transparent
+    /// otherwise. Tails nest inside phases, so tail time is a breakdown
+    /// of phase time, never additional attribution.
+    #[inline(always)]
+    fn tail_timed<T>(&mut self, tail: usize, f: impl FnOnce(&mut Self) -> T) -> T {
+        if M::ENABLED && self.profiling {
+            let start = Instant::now();
+            let result = f(self);
+            self.instruments.tail_ns[tail] += start.elapsed().as_nanos() as u64;
+            result
+        } else {
+            f(self)
+        }
+    }
+
+    /// Start-of-cycle telemetry hook: folds the accumulating window when
+    /// `now` has crossed into a new one. Runs *before* deliver/inject so
+    /// the new window's first-cycle events (traffic generated this cycle)
+    /// land in the new window, not the old.
+    #[inline(always)]
+    fn begin_cycle_telemetry(&mut self, now: Cycle) {
+        if !M::ENABLED {
+            return;
+        }
+        let Some(win) = self.instruments.win.as_deref_mut() else {
+            return;
+        };
+        let w = now.raw() >> win.log2;
+        if w != win.current {
+            self.fold_telemetry_window(w);
+        }
+        if let Some(win) = self.instruments.win.as_deref_mut() {
+            win.dirty = true;
+        }
+    }
+
+    /// Folds the accumulating telemetry window into the registry and
+    /// re-anchors at window `next`: per-window event counts become Sum
+    /// windows (element-wise additive, summing back to their aggregate
+    /// counters), derived values become Gauge windows, and cumulative
+    /// sources (router counters, fault counters, occupancy accumulators)
+    /// contribute exact deltas against their last-fold snapshots.
+    fn fold_telemetry_window(&mut self, next: u64) {
+        let Some(mut win) = self.instruments.win.take() else {
+            return;
+        };
+        if !win.dirty {
+            win.current = next;
+            self.instruments.win = Some(win);
+            return;
+        }
+        let w = win.current;
+        let log2 = win.log2;
+        let anchor = Cycle::new(w << log2);
+
+        // Router-counter totals (cumulative) for this fold's deltas.
+        let mut totals = RouterCounters::default();
+        for slot in &self.slots {
+            let mut scratch = RouterCounters::default();
+            slot.router.collect_counters(&mut scratch);
+            totals.absorb(&scratch);
+        }
+        let d = totals.delta(&win.prev_router);
+
+        // Per-router occupancy: the same per-cycle `pools` accumulators
+        // that feed the end-of-run gauges, windowed by snapshot deltas —
+        // one accumulation path serves both consumers.
+        if win.occ_ports.is_empty() {
+            win.occ_ports = self
+                .slots
+                .iter()
+                .map(|slot| {
+                    Port::ALL
+                        .iter()
+                        .filter(|&&p| slot.router.data_buffer_capacity(p) > 0)
+                        .count() as u32
+                })
+                .collect();
+        }
+        let d_cycles = self.instruments.observed_cycles - win.prev_observed;
+        let mut mean_occ_sum = 0.0;
+        let mut occ_now: Vec<f64> = Vec::with_capacity(self.slots.len());
+        for (i, pools) in self.instruments.pools.iter().enumerate() {
+            let sum: f64 = Port::ALL.iter().map(|&p| pools[p].occ_sum).sum();
+            occ_now.push(sum);
+            let denom = win.occ_ports[i] as f64 * d_cycles as f64;
+            let frac = if denom > 0.0 {
+                (sum - win.prev_occ[i]) / denom
+            } else {
+                0.0
+            };
+            mean_occ_sum += frac;
+        }
+        let mean_occ = mean_occ_sum / self.slots.len().max(1) as f64;
+
+        let retries_delta = self.control_retries - win.prev_retries;
+        let fault_delta = self.faults.as_ref().map(|f| {
+            let c = f.counters;
+            let p = win.prev_fault;
+            [
+                ("fault.retransmits", c.retransmits - p.retransmits),
+                ("fault.data_corrupted", c.data_corrupted - p.data_corrupted),
+                (
+                    "fault.control_dropped",
+                    c.control_dropped - p.control_dropped,
+                ),
+                ("fault.nacks", c.nacks - p.nacks),
+            ]
+        });
+        let lat = &win.latencies;
+        let quantiles = [
+            ("latency.p50", lat.quantile(0.50).unwrap_or(0) as f64),
+            ("latency.p95", lat.quantile(0.95).unwrap_or(0) as f64),
+            ("latency.p99", lat.quantile(0.99).unwrap_or(0) as f64),
+            ("latency.mean", lat.mean()),
+        ];
+        let sums = [
+            ("net.offered_flits", win.offered_flits),
+            ("net.ejected_flits", win.ejected_flits),
+            ("net.delivered_packets", win.delivered_packets),
+            ("net.control_retries", retries_delta),
+            ("total.credit_stalls", d.credit_stalls),
+            ("total.vc_alloc_conflicts", d.vc_alloc_conflicts),
+            ("total.reservation_hits", d.reservation_hits),
+            ("total.reservation_misses", d.reservation_misses),
+            ("total.data_flits_sent", d.data_flits_sent),
+            ("total.control_flits_sent", d.control_flits_sent),
+        ];
+        let occ_ports = &win.occ_ports;
+        let prev_occ = &win.prev_occ;
+        let bookings = totals.bookings_in_flight;
+        self.metrics.with(|reg| {
+            for (name, value) in sums {
+                reg.window_add(name, log2, anchor, value as f64);
+            }
+            if let Some(fields) = fault_delta {
+                for (name, value) in fields {
+                    reg.window_add(name, log2, anchor, value as f64);
+                }
+            }
+            for (name, value) in quantiles {
+                reg.window_set(name, log2, w, value);
+            }
+            reg.window_set("net.mean_occupancy", log2, w, mean_occ);
+            reg.window_set("total.bookings_in_flight", log2, w, bookings as f64);
+            for i in 0..occ_now.len() {
+                let denom = occ_ports[i] as f64 * d_cycles as f64;
+                let frac = if denom > 0.0 {
+                    (occ_now[i] - prev_occ[i]) / denom
+                } else {
+                    0.0
+                };
+                reg.window_set(&format!("router.{i}.occupancy"), log2, w, frac);
+            }
+        });
+
+        // Profiler: one wall-clock sample per folded window.
+        if self.profiling {
+            let mut sample = ProfileSample {
+                window: w,
+                phase_ns: [0; 5],
+                tail_ns: [0; 5],
+            };
+            for p in 0..5 {
+                sample.phase_ns[p] =
+                    self.instruments.phase_ns[p] - self.instruments.prev_phase_ns[p];
+                sample.tail_ns[p] = self.instruments.tail_ns[p] - self.instruments.prev_tail_ns[p];
+            }
+            self.instruments.prev_phase_ns = self.instruments.phase_ns;
+            self.instruments.prev_tail_ns = self.instruments.tail_ns;
+            self.instruments.profile_samples.push(sample);
+        }
+
+        // Re-anchor for the next window.
+        win.cum_offered_flits += win.offered_flits;
+        win.cum_ejected_flits += win.ejected_flits;
+        win.cum_delivered_packets += win.delivered_packets;
+        win.offered_flits = 0;
+        win.ejected_flits = 0;
+        win.delivered_packets = 0;
+        win.latencies.reset();
+        win.prev_router = totals;
+        if let Some(f) = self.faults.as_ref() {
+            win.prev_fault = f.counters;
+        }
+        win.prev_retries = self.control_retries;
+        win.prev_occ = occ_now;
+        win.prev_observed = self.instruments.observed_cycles;
+        win.current = next;
+        win.dirty = false;
+        self.instruments.win = Some(win);
+    }
+
     /// Writes every accumulated metric into the registry: router counters
     /// ([`Router::collect_counters`]) and their network totals, per-link
     /// flit counts and utilizations, per-pool occupancy, idle-skip
@@ -1172,6 +1596,18 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
     pub fn flush_metrics(&mut self) {
         if !M::ENABLED {
             return;
+        }
+        // Final (possibly partial) telemetry window: fold it before the
+        // aggregates are written, so every Sum window sums exactly to its
+        // aggregate counter. Idempotent — a clean window folds to nothing.
+        if let Some(w) = self
+            .instruments
+            .win
+            .as_ref()
+            .filter(|w| w.dirty)
+            .map(|w| w.current)
+        {
+            self.fold_telemetry_window(w);
         }
         let cycles = self.instruments.observed_cycles.max(1);
         let mut per_router: Vec<RouterCounters> = Vec::with_capacity(self.slots.len());
@@ -1198,9 +1634,24 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                 f.reliability.peak_buffered(),
             )
         });
+        let telemetry_totals = self.instruments.win.as_ref().map(|w| {
+            (
+                w.cum_offered_flits,
+                w.cum_ejected_flits,
+                w.cum_delivered_packets,
+            )
+        });
         let instruments = &self.instruments;
         self.metrics.with(|reg| {
             reg.counter_set("net.cycles", total_cycles);
+            // Telemetry aggregates: present only when windows are armed,
+            // and then exactly equal to the matching window sums (the
+            // events fold through `cum_*`, nothing is counted twice).
+            if let Some((offered, ejected, delivered)) = telemetry_totals {
+                reg.counter_set("net.offered_flits", offered);
+                reg.counter_set("net.ejected_flits", ejected);
+                reg.counter_set("net.delivered_packets", delivered);
+            }
             reg.counter_set("net.links", num_links);
             reg.counter_set("net.routers", mesh.node_count() as u64);
             reg.counter_set("net.mesh_width", mesh.width() as u64);
@@ -1340,6 +1791,12 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                 total_ns += ns;
                 reg.gauge_set(&format!("profile.{name}_ms"), ns as f64 / 1.0e6);
             }
+            for (tail, name) in crate::profile::PROFILE_TAILS.iter().enumerate() {
+                let ns = instruments.tail_ns[tail];
+                if ns > 0 {
+                    reg.gauge_set(&format!("profile.tail_{name}_ms"), ns as f64 / 1.0e6);
+                }
+            }
             reg.gauge_set("profile.total_ms", total_ns as f64 / 1.0e6);
             if total_ns > 0 {
                 reg.gauge_set(
@@ -1353,6 +1810,8 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
     /// Advances the network by one cycle (sequential step phase).
     pub fn cycle(&mut self) {
         let now = self.now;
+        self.begin_cycle_telemetry(now);
+        let wall = (M::ENABLED && self.profiling).then(Instant::now);
         self.timed(PHASE_DELIVER, |n| n.deliver_arrivals(now));
         self.timed(PHASE_INJECT, |n| n.offer_traffic(now));
         if M::ENABLED {
@@ -1361,6 +1820,9 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
         self.timed(PHASE_STEP, |n| n.step_routers(now));
         self.timed(PHASE_APPLY, |n| n.apply_outputs(now));
         self.timed(PHASE_OBSERVE, |n| n.finish_cycle(now));
+        if let Some(start) = wall {
+            self.instruments.cycle_wall_ns += start.elapsed().as_nanos() as u64;
+        }
     }
 
     /// Runs `n` cycles.
@@ -1368,26 +1830,6 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
         for _ in 0..n {
             self.cycle();
         }
-    }
-}
-
-/// Mean occupancy fraction over the router's existing input pools, for the
-/// per-router series sampler.
-fn mean_pool_fraction<R: Router>(router: &R) -> f64 {
-    let mut sum = 0.0;
-    let mut ports = 0u32;
-    for &port in &Port::ALL {
-        let cap = router.data_buffer_capacity(port);
-        if cap == 0 {
-            continue;
-        }
-        sum += router.occupied_data_buffers(port) as f64 / cap as f64;
-        ports += 1;
-    }
-    if ports == 0 {
-        0.0
-    } else {
-        sum / ports as f64
     }
 }
 
@@ -1421,11 +1863,14 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
             Some(engine) if engine.pool.threads() == shards => engine.pool,
             _ => WorkerPool::new(shards),
         };
+        pool.set_profiling(M::ENABLED && self.profiling);
         self.parallel = Some(Box::new(ParallelEngine {
             pool,
             plan,
             outboxes: vec![Vec::new(); shards],
             awake: vec![0; shards],
+            lock_count: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            lock_ns: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }));
     }
 
@@ -1489,15 +1934,19 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
     /// nondeterministic by nature and stripped from every comparison.)
     fn cycle_planned(&mut self) {
         let now = self.now;
+        self.begin_cycle_telemetry(now);
+        let wall = (M::ENABLED && self.profiling).then(Instant::now);
         if self.faults.is_some() {
             self.timed(PHASE_DELIVER, |n| n.parallel_round(now, true, false));
             self.timed(PHASE_INJECT, |n| {
-                n.apply_fault_events(now);
-                n.generate_traffic(now);
+                n.tail_timed(TAIL_FAULT_EVENTS, |n| n.apply_fault_events(now));
+                n.tail_timed(TAIL_TRAFFIC_GEN, |n| n.generate_traffic(now));
             });
             self.timed(PHASE_STEP, |n| n.parallel_round(now, false, true));
         } else {
-            self.timed(PHASE_INJECT, |n| n.generate_traffic(now));
+            self.timed(PHASE_INJECT, |n| {
+                n.tail_timed(TAIL_TRAFFIC_GEN, |n| n.generate_traffic(now))
+            });
             self.timed(PHASE_STEP, |n| n.parallel_round(now, true, true));
         }
         if self.rng_sends() {
@@ -1506,6 +1955,9 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
             self.timed(PHASE_APPLY, |n| n.parallel_apply(now));
         }
         self.timed(PHASE_OBSERVE, |n| n.finish_cycle(now));
+        if let Some(start) = wall {
+            self.instruments.cycle_wall_ns += start.elapsed().as_nanos() as u64;
+        }
     }
 
     /// Runs the shard-local half of a cycle across the worker pool:
@@ -1521,11 +1973,15 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
             plan,
             outboxes,
             awake,
+            lock_count,
+            lock_ns,
         } = &mut *engine;
         let idle_skip = self.idle_skip;
         let count_awake = M::ENABLED && step;
+        let profiling = M::ENABLED && self.profiling;
         let inbound = &self.inbound;
         let order = &self.deliver_order;
+        let ctx_start = profiling.then(Instant::now);
         let ctxs = shard_contexts(
             plan,
             &self.link_starts,
@@ -1536,8 +1992,11 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
             outboxes,
             awake,
         );
+        let ctx_ns = ctx_start.map(|s| s.elapsed().as_nanos() as u64);
+        let lock_count: &[AtomicU64] = lock_count;
+        let lock_ns: &[AtomicU64] = lock_ns;
         pool.run(&|w| {
-            let mut ctx = ctxs[w].lock().expect("shard context");
+            let mut ctx = lock_shard(&ctxs[w], profiling, &lock_count[w], &lock_ns[w]);
             let ctx = &mut *ctx;
             if deliver {
                 for (i, slot) in ctx.slots.iter_mut().enumerate() {
@@ -1565,6 +2024,9 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
             }
         });
         drop(ctxs);
+        if let Some(ns) = ctx_ns {
+            self.instruments.tail_ns[TAIL_CTX_BUILD] += ns;
+        }
         if count_awake {
             self.instruments.awake_sum += engine.awake.iter().sum::<u64>();
         }
@@ -1588,9 +2050,13 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
             plan,
             outboxes,
             awake,
+            lock_count,
+            lock_ns,
         } = &mut *engine;
         let mesh = self.mesh;
+        let profiling = M::ENABLED && self.profiling;
         let inbound = &self.inbound;
+        let ctx_start = profiling.then(Instant::now);
         let ctxs = shard_contexts(
             plan,
             &self.link_starts,
@@ -1601,8 +2067,11 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
             outboxes,
             awake,
         );
+        let ctx_ns = ctx_start.map(|s| s.elapsed().as_nanos() as u64);
+        let lock_count: &[AtomicU64] = lock_count;
+        let lock_ns: &[AtomicU64] = lock_ns;
         pool.run(&|w| {
-            let mut ctx = ctxs[w].lock().expect("shard context");
+            let mut ctx = lock_shard(&ctxs[w], profiling, &lock_count[w], &lock_ns[w]);
             let ctx = &mut *ctx;
             for (i, (slot, flits)) in ctx.slots.iter_mut().zip(ctx.flits.iter_mut()).enumerate() {
                 if slot.out.sends.is_empty() {
@@ -1639,10 +2108,14 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
             }
         });
         drop(ctxs);
+        if let Some(ns) = ctx_ns {
+            self.instruments.tail_ns[TAIL_CTX_BUILD] += ns;
+        }
         // Cross-shard hand-off: flits whose receiver lives in another
         // shard enter their link only here, at the barrier, never
         // mid-round. Shard staging order is node order, so publishing
         // the outboxes in shard order restores global sender order.
+        let publish_start = profiling.then(Instant::now);
         for outbox in outboxes.iter_mut() {
             for (idx, event) in outbox.drain(..) {
                 let set = &mut self.links[idx as usize];
@@ -1651,8 +2124,11 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
                     .expect("link bandwidth exceeded: flow-control protocol bug");
             }
         }
+        if let Some(start) = publish_start {
+            self.instruments.tail_ns[TAIL_OUTBOX] += start.elapsed().as_nanos() as u64;
+        }
         self.parallel = Some(engine);
-        self.commit_ejections();
+        self.tail_timed(TAIL_EJECT_COMMIT, |n| n.commit_ejections());
     }
 
     /// Sequential tail of the parallel apply: ejections commit to the
@@ -1669,6 +2145,15 @@ impl<R: Router + Send, S: TraceSink, M: Recorder> Network<R, S, M> {
                 match self.tracker.on_eject(e.flit.packet, e.flit.seq, node, e.at) {
                     Ok(done) => {
                         self.sink.flit_ejected(e.at, node, &e.flit);
+                        if M::ENABLED {
+                            if let Some(win) = self.instruments.win.as_deref_mut() {
+                                win.ejected_flits += 1;
+                                if let Some(latency) = done {
+                                    win.delivered_packets += 1;
+                                    win.latencies.record(latency);
+                                }
+                            }
+                        }
                         if let Some(latency) = done {
                             self.sink
                                 .packet_delivered(e.at, node, e.flit.packet, latency);

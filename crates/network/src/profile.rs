@@ -1,0 +1,383 @@
+//! Runtime profiles of the parallel engine.
+//!
+//! [`crate::Network::set_profiling`] arms wall-clock sampling across the
+//! stepping engine: per-phase and per-sequential-tail durations on the
+//! driving thread, per-worker busy time and barrier waits inside the
+//! [`noc_engine::pool::WorkerPool`], and shard-context lock traffic. The
+//! snapshot comes back as an [`EngineProfile`], which renders as a JSON
+//! object (for `telemetry_report` and experiment sidecars) or a Chrome
+//! trace-event timeline (load `chrome://tracing` or Perfetto on the
+//! output of [`EngineProfile::chrome_trace`]).
+//!
+//! **Barrier-safe clocking.** Every duration is measured as an elapsed
+//! `Instant` on the thread that did the work; only elapsed nanoseconds
+//! ever cross threads (through relaxed atomic adds). No timestamp from
+//! one thread is compared against a timestamp from another, so the
+//! profile is meaningful even on hosts without synchronized per-core
+//! clocks — and turning it off reverts the engine to the exact
+//! instruction stream the determinism suites pin down.
+//!
+//! All wall-clock data is nondeterministic by nature. It lives here and
+//! in `profile.*` registry keys — never in the deterministic metric
+//! sections — so same-seed exports stay byte-identical whether or not a
+//! run was profiled.
+
+use noc_metrics::Json;
+
+/// Engine phase names, indexing [`EngineProfile::phase_ns`]. Matches the
+/// network's phase order: deliver, inject, step, apply, observe.
+pub const PROFILE_PHASES: [&str; 5] = ["deliver", "inject", "step", "apply", "observe"];
+
+/// Sequential-tail names, indexing [`EngineProfile::tail_ns`]: the parts
+/// of a sharded cycle that run on one thread whatever the worker count
+/// (traffic generation, fault events, ejection commit, outbox publish,
+/// shard-context construction). These bound the parallel speed-up.
+pub const PROFILE_TAILS: [&str; 5] = [
+    "traffic_gen",
+    "fault_events",
+    "eject_commit",
+    "outbox_publish",
+    "ctx_build",
+];
+
+/// One per-window wall-clock sample: the phase and tail time spent while
+/// the telemetry window `window` was accumulating. Tails nest inside
+/// phases (a breakdown, not extra attribution).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProfileSample {
+    /// Absolute telemetry window index the sample covers.
+    pub window: u64,
+    /// Per-phase wall-clock nanoseconds within the window.
+    pub phase_ns: [u64; 5],
+    /// Per-tail wall-clock nanoseconds within the window.
+    pub tail_ns: [u64; 5],
+}
+
+/// A complete runtime profile of one run, from
+/// [`crate::Network::engine_profile`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineProfile {
+    /// Worker threads the engine ran with (1 = sequential).
+    pub threads: u64,
+    /// Simulated cycles elapsed.
+    pub cycles: u64,
+    /// Whole-cycle wall clock on the driving thread — the denominator of
+    /// [`EngineProfile::attributed_fraction`].
+    pub cycle_wall_ns: u64,
+    /// Per-phase wall clock, indexed by [`PROFILE_PHASES`].
+    pub phase_ns: [u64; 5],
+    /// Per-sequential-tail wall clock, indexed by [`PROFILE_TAILS`].
+    pub tail_ns: [u64; 5],
+    /// Pool rounds executed while profiling (0 for sequential runs).
+    pub rounds: u64,
+    /// Driving-thread wall clock across those rounds.
+    pub round_wall_ns: u64,
+    /// Driving-thread time spent waiting at the round barrier after
+    /// finishing its own shard.
+    pub barrier_wait_ns: u64,
+    /// Per-worker busy time inside shard jobs, indexed by worker id.
+    pub worker_busy_ns: Vec<u64>,
+    /// Per-shard context-mutex acquisitions.
+    pub lock_count: Vec<u64>,
+    /// Per-shard wall clock spent acquiring those mutexes.
+    pub lock_ns: Vec<u64>,
+    /// Per-telemetry-window samples (empty without windowed telemetry).
+    pub samples: Vec<ProfileSample>,
+    /// Telemetry window exponent the samples were folded on, if armed.
+    pub window_log2: Option<u32>,
+}
+
+impl EngineProfile {
+    /// Fraction of the measured whole-cycle wall clock attributed to a
+    /// named phase. The phase timers wrap everything a cycle does except
+    /// the loop scaffolding itself, so a healthy profile attributes
+    /// ≥ 95% (`1.0` when nothing was measured).
+    pub fn attributed_fraction(&self) -> f64 {
+        if self.cycle_wall_ns == 0 {
+            return 1.0;
+        }
+        let attributed: u64 = self.phase_ns.iter().sum();
+        (attributed as f64 / self.cycle_wall_ns as f64).min(1.0)
+    }
+
+    /// Worker idle fraction: time workers spent without a shard job,
+    /// relative to total worker capacity over the profiled rounds.
+    /// `0.0` for sequential runs or unprofiled pools.
+    pub fn worker_idle_fraction(&self) -> f64 {
+        let threads = self.worker_busy_ns.len() as u64;
+        if threads == 0 || self.round_wall_ns == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.worker_busy_ns.iter().sum();
+        let capacity = self.round_wall_ns.saturating_mul(threads);
+        (1.0 - busy as f64 / capacity as f64).max(0.0)
+    }
+
+    /// Named wall-clock consumers, largest first: every engine phase,
+    /// the barrier wait, and every sequential tail (tails are marked
+    /// with a `tail:` prefix because they nest inside phases).
+    pub fn top_consumers(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = Vec::new();
+        for (i, name) in PROFILE_PHASES.iter().enumerate() {
+            out.push((format!("phase:{name}"), self.phase_ns[i]));
+        }
+        out.push(("barrier_wait".to_string(), self.barrier_wait_ns));
+        for (i, name) in PROFILE_TAILS.iter().enumerate() {
+            out.push((format!("tail:{name}"), self.tail_ns[i]));
+        }
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Renders the profile as a JSON object (the `profile` side-car
+    /// schema documented in EXPERIMENTS.md).
+    pub fn to_json(&self) -> Json {
+        let ns_map = |names: &[&str; 5], values: &[u64; 5]| {
+            Json::Obj(
+                names
+                    .iter()
+                    .zip(values.iter())
+                    .map(|(n, &v)| (n.to_string(), Json::Num(v as f64)))
+                    .collect(),
+            )
+        };
+        let u64s =
+            |values: &[u64]| Json::Arr(values.iter().map(|&v| Json::Num(v as f64)).collect());
+        let samples = Json::Arr(
+            self.samples
+                .iter()
+                .map(|s| {
+                    Json::Obj(vec![
+                        ("window".into(), Json::Num(s.window as f64)),
+                        ("phase_ns".into(), ns_map(&PROFILE_PHASES, &s.phase_ns)),
+                        ("tail_ns".into(), ns_map(&PROFILE_TAILS, &s.tail_ns)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("cycles".into(), Json::Num(self.cycles as f64)),
+            ("cycle_wall_ns".into(), Json::Num(self.cycle_wall_ns as f64)),
+            (
+                "attributed_fraction".into(),
+                Json::Num(self.attributed_fraction()),
+            ),
+            ("phase_ns".into(), ns_map(&PROFILE_PHASES, &self.phase_ns)),
+            ("tail_ns".into(), ns_map(&PROFILE_TAILS, &self.tail_ns)),
+            (
+                "pool".into(),
+                Json::Obj(vec![
+                    ("rounds".into(), Json::Num(self.rounds as f64)),
+                    ("round_wall_ns".into(), Json::Num(self.round_wall_ns as f64)),
+                    (
+                        "barrier_wait_ns".into(),
+                        Json::Num(self.barrier_wait_ns as f64),
+                    ),
+                    ("worker_busy_ns".into(), u64s(&self.worker_busy_ns)),
+                    (
+                        "worker_idle_fraction".into(),
+                        Json::Num(self.worker_idle_fraction()),
+                    ),
+                ]),
+            ),
+            (
+                "locks".into(),
+                Json::Obj(vec![
+                    ("count".into(), u64s(&self.lock_count)),
+                    ("ns".into(), u64s(&self.lock_ns)),
+                ]),
+            ),
+            (
+                "window_log2".into(),
+                match self.window_log2 {
+                    Some(l) => Json::Num(l as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("samples".into(), samples),
+        ])
+    }
+
+    /// Renders the profile as a Chrome trace-event document (the JSON
+    /// object form with a `traceEvents` array), loadable in
+    /// `chrome://tracing` or Perfetto.
+    ///
+    /// Two tracks are emitted on one process: tid 1 carries the engine
+    /// phases, tid 2 the sequential tails. Per-window samples are laid
+    /// out sequentially along the timeline (each window's phases
+    /// back-to-back), which preserves every duration and the window
+    /// ordering; without windowed samples one span per phase/tail covers
+    /// the whole run.
+    pub fn chrome_trace(&self) -> Json {
+        let mut events: Vec<Json> = Vec::new();
+        let meta = |name: &str, tid: u64, label: &str| {
+            Json::Obj(vec![
+                ("name".into(), Json::str(name)),
+                ("ph".into(), Json::str("M")),
+                ("pid".into(), Json::Num(1.0)),
+                ("tid".into(), Json::Num(tid as f64)),
+                (
+                    "args".into(),
+                    Json::Obj(vec![("name".into(), Json::str(label))]),
+                ),
+            ])
+        };
+        events.push(meta("thread_name", 1, "engine phases"));
+        events.push(meta("thread_name", 2, "sequential tails"));
+        let span =
+            |name: &str, tid: u64, ts_us: f64, dur_us: f64, cat: &str, window: Option<u64>| {
+                let mut fields = vec![
+                    ("name".into(), Json::str(name)),
+                    ("cat".into(), Json::str(cat)),
+                    ("ph".into(), Json::str("X")),
+                    ("pid".into(), Json::Num(1.0)),
+                    ("tid".into(), Json::Num(tid as f64)),
+                    ("ts".into(), Json::Num(ts_us)),
+                    ("dur".into(), Json::Num(dur_us)),
+                ];
+                if let Some(w) = window {
+                    fields.push((
+                        "args".into(),
+                        Json::Obj(vec![("window".into(), Json::Num(w as f64))]),
+                    ));
+                }
+                Json::Obj(fields)
+            };
+        let us = |ns: u64| ns as f64 / 1.0e3;
+        if self.samples.is_empty() {
+            let mut ts = 0.0;
+            for (i, name) in PROFILE_PHASES.iter().enumerate() {
+                let dur = us(self.phase_ns[i]);
+                events.push(span(name, 1, ts, dur, "phase", None));
+                ts += dur;
+            }
+            let mut ts = 0.0;
+            for (i, name) in PROFILE_TAILS.iter().enumerate() {
+                let dur = us(self.tail_ns[i]);
+                if dur > 0.0 {
+                    events.push(span(name, 2, ts, dur, "tail", None));
+                }
+                ts += dur;
+            }
+        } else {
+            let mut phase_ts = 0.0f64;
+            let mut tail_ts = 0.0f64;
+            for s in &self.samples {
+                let window_start = phase_ts;
+                for (i, name) in PROFILE_PHASES.iter().enumerate() {
+                    let dur = us(s.phase_ns[i]);
+                    events.push(span(name, 1, phase_ts, dur, "phase", Some(s.window)));
+                    phase_ts += dur;
+                }
+                // Tails track aligns each window with the phase track.
+                tail_ts = tail_ts.max(window_start);
+                for (i, name) in PROFILE_TAILS.iter().enumerate() {
+                    let dur = us(s.tail_ns[i]);
+                    if dur > 0.0 {
+                        events.push(span(name, 2, tail_ts, dur, "tail", Some(s.window)));
+                        tail_ts += dur;
+                    }
+                }
+            }
+        }
+        Json::Obj(vec![("traceEvents".into(), Json::Arr(events))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> EngineProfile {
+        EngineProfile {
+            threads: 4,
+            cycles: 1000,
+            cycle_wall_ns: 1_000_000,
+            phase_ns: [100_000, 200_000, 400_000, 200_000, 60_000],
+            tail_ns: [50_000, 0, 30_000, 10_000, 20_000],
+            rounds: 2000,
+            round_wall_ns: 600_000,
+            barrier_wait_ns: 80_000,
+            worker_busy_ns: vec![500_000, 480_000, 470_000, 460_000],
+            lock_count: vec![2000; 4],
+            lock_ns: vec![5_000; 4],
+            samples: vec![ProfileSample {
+                window: 3,
+                phase_ns: [10, 20, 30, 40, 50],
+                tail_ns: [1, 0, 2, 3, 4],
+            }],
+            window_log2: Some(9),
+        }
+    }
+
+    #[test]
+    fn attribution_sums_phases_over_cycle_wall() {
+        let p = sample_profile();
+        assert!((p.attributed_fraction() - 0.96).abs() < 1e-12);
+        assert_eq!(EngineProfile::default().attributed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn idle_fraction_is_capacity_minus_busy() {
+        let p = sample_profile();
+        let busy = 500_000.0 + 480_000.0 + 470_000.0 + 460_000.0;
+        let expect = 1.0 - busy / (600_000.0 * 4.0);
+        assert!((p.worker_idle_fraction() - expect).abs() < 1e-12);
+        assert_eq!(EngineProfile::default().worker_idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn top_consumers_sorts_descending_with_barrier_and_tails() {
+        let p = sample_profile();
+        let top = p.top_consumers();
+        assert_eq!(top[0].0, "phase:step");
+        assert!(top.iter().any(|(n, _)| n == "barrier_wait"));
+        assert!(top.iter().any(|(n, _)| n == "tail:eject_commit"));
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn json_shape_is_self_describing() {
+        let doc = sample_profile().to_json();
+        assert_eq!(doc.get("threads").and_then(Json::as_u64), Some(4));
+        let phases = doc.get("phase_ns").expect("phase_ns");
+        assert_eq!(phases.get("step").and_then(Json::as_u64), Some(400_000));
+        let pool = doc.get("pool").expect("pool");
+        assert_eq!(pool.get("rounds").and_then(Json::as_u64), Some(2000));
+        assert!(doc.get("attributed_fraction").is_some());
+        assert_eq!(doc.get("window_log2").and_then(Json::as_u64), Some(9));
+    }
+
+    #[test]
+    fn chrome_trace_emits_spans_for_every_sampled_phase() {
+        let p = sample_profile();
+        let doc = p.chrome_trace();
+        let rendered = doc.render();
+        assert!(rendered.contains("traceEvents"));
+        for name in PROFILE_PHASES {
+            assert!(rendered.contains(name), "missing phase span {name}");
+        }
+        // 2 metadata events + 5 phase spans + 4 nonzero tail spans.
+        if let Json::Obj(fields) = &doc {
+            if let Json::Arr(events) = &fields[0].1 {
+                assert_eq!(events.len(), 2 + 5 + 4);
+            } else {
+                panic!("traceEvents not an array");
+            }
+        } else {
+            panic!("trace not an object");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_without_samples_uses_run_totals() {
+        let mut p = sample_profile();
+        p.samples.clear();
+        let rendered = p.chrome_trace().render();
+        assert!(rendered.contains("\"dur\""));
+        assert!(rendered.contains("outbox_publish"));
+    }
+}

@@ -33,7 +33,7 @@ TIMINGS=""
 for bin in table1 table2 fig5 fig6 fig7 fig8 fig9 table3 occupancy \
            ablation_scheduling ablation_shared_pool ablation_transfers \
            related_work ext_bursty ext_errors ext_sync_margin \
-           fault_sweep; do
+           fault_sweep telemetry_report; do
     echo "=== $bin (scale: $SCALE, seed: $SEED) ==="
     BIN_START="$(date +%s)"
     # Redirect into the .txt instead of piping through tee: a pipeline
@@ -54,6 +54,16 @@ for bin in table1 table2 fig5 fig6 fig7 fig8 fig9 table3 occupancy \
 done
 
 TOTAL_WALL=$(( $(date +%s) - RUN_START ))
+
+# Telemetry sidecars the run produced (windowed metrics export, runtime
+# profile, Chrome trace), recorded so the manifest names every artifact.
+SIDECARS=""
+for f in telemetry.metrics.json telemetry.profile.json telemetry.trace.json; do
+    if [ -s "$RESULTS/$f" ]; then
+        SIDECARS="${SIDECARS:+$SIDECARS, }\"$f\""
+    fi
+done
+
 cat >"$RESULTS/manifest.json" <<EOF
 {
   "schema_version": 1,
@@ -62,7 +72,8 @@ cat >"$RESULTS/manifest.json" <<EOF
   "git_rev": "$GIT_REV",
   "toolchain": "$TOOLCHAIN",
   "total_wall_s": $TOTAL_WALL,
-  "bins": [$TIMINGS]
+  "bins": [$TIMINGS],
+  "telemetry_sidecars": [$SIDECARS]
 }
 EOF
 echo "wrote $RESULTS/manifest.json (total ${TOTAL_WALL}s)"

@@ -10,10 +10,12 @@
 //! Prints a one-run report: mean latency with 95% CI, p50/p95/p99, accepted
 //! throughput and the occupancy probe.
 
+use frfc::engine::trace::NullSink;
 use frfc::engine::Rng;
 use frfc::flow::LinkTiming;
 use frfc::fr::{FrConfig, FrRouter};
-use frfc::network::{run_simulation, Network, RunResult, SimConfig};
+use frfc::metrics::{write_json_file, MetricsRegistry, RunManifest};
+use frfc::network::{run_simulation, EngineProfile, Network, RunResult, SimConfig};
 use frfc::topology::{Mesh, NodeId};
 use frfc::traffic::{
     BitComplement, Hotspot, InjectionKind, LoadSpec, Tornado, TrafficGenerator, TrafficPattern,
@@ -43,6 +45,10 @@ OPTIONS:
     --sync-margin <N>   plesiochronous buffer-release margin [default: 0]
     --scale <S>         tiny | quick | paper    [default: quick]
     --seed <N>          root seed               [default: 2000]
+    --telemetry-out <P> write a windowed-telemetry JSON sidecar to <P>
+                        (plus <P minus .json>.profile.json with the
+                        runtime profile and Chrome trace)
+    --window-log2 <N>   telemetry window = 2^N cycles [default: 9]
     -h, --help          print this help
 ";
 
@@ -60,6 +66,8 @@ struct Args {
     sync_margin: u64,
     scale: String,
     seed: u64,
+    telemetry_out: Option<std::path::PathBuf>,
+    window_log2: u32,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -76,6 +84,8 @@ fn parse_args() -> Result<Args, String> {
         sync_margin: 0,
         scale: "quick".into(),
         seed: 2000,
+        telemetry_out: None,
+        window_log2: 9,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -148,6 +158,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--scale" => args.scale = value.clone(),
             "--seed" => args.seed = value.parse().map_err(|_| format!("bad seed {value}"))?,
+            "--telemetry-out" => args.telemetry_out = Some(value.into()),
+            "--window-log2" => {
+                args.window_log2 = value
+                    .parse()
+                    .map_err(|_| format!("bad window log2 {value}"))?;
+                if args.window_log2 >= 32 {
+                    return Err("window log2 must be below 32".into());
+                }
+            }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
         i += 2;
@@ -187,6 +206,53 @@ fn sim_for_scale(scale: &str, seed: u64) -> Result<SimConfig, String> {
     })
 }
 
+/// `foo.json` → `foo<suffix>` (e.g. `foo.profile.json`), next to the
+/// telemetry sidecar.
+fn sibling(path: &std::path::Path, suffix: &str) -> std::path::PathBuf {
+    let stem = path.with_extension("");
+    std::path::PathBuf::from(format!("{}{suffix}", stem.display()))
+}
+
+/// Runs one telemetry-armed simulation and writes the sidecars: the
+/// metrics export (aggregates, series and windowed telemetry) to
+/// `--telemetry-out`, plus the runtime profile and its Chrome trace next
+/// to it.
+fn simulate_telemetry<R: frfc::flow::Router + Send>(
+    mut net: Network<R, NullSink, MetricsRegistry>,
+    sim: &SimConfig,
+    args: &Args,
+    label: &str,
+) -> Result<(RunResult, u64), String> {
+    if args.error_rate > 0.0 {
+        net.set_control_error_rate(args.error_rate, args.seed ^ 0xE44);
+    }
+    net.set_telemetry_windows(args.window_log2);
+    net.set_profiling(true);
+    let wall = std::time::Instant::now();
+    let r = run_simulation(&mut net, sim);
+    let retries = net.control_retries();
+    let profile: EngineProfile = net.engine_profile();
+    let registry = std::mem::take(net.metrics_mut());
+    let out = args.telemetry_out.as_ref().expect("telemetry path set");
+    let mut manifest = RunManifest::new("frfc-sim", args.seed, args.scale.clone(), label);
+    manifest.wall_ms = wall.elapsed().as_millis() as u64;
+    let write = |path: &std::path::Path, doc: &frfc::metrics::Json| {
+        write_json_file(path, doc).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    };
+    write(out, &registry.to_json(&manifest))?;
+    let profile_path = sibling(out, ".profile.json");
+    write(&profile_path, &profile.to_json())?;
+    let trace_path = sibling(out, ".trace.json");
+    write(&trace_path, &profile.chrome_trace())?;
+    eprintln!(
+        "telemetry : {} (+ {} / {})",
+        out.display(),
+        profile_path.display(),
+        trace_path.display()
+    );
+    Ok((r, retries))
+}
+
 fn run(args: &Args) -> Result<(String, RunResult, u64), String> {
     let mesh = Mesh::new(args.mesh.0, args.mesh.1);
     let sim = sim_for_scale(&args.scale, args.seed)?;
@@ -206,9 +272,21 @@ fn run(args: &Args) -> Result<(String, RunResult, u64), String> {
     let make_vc = |cfg: VcConfig| -> Result<(String, RunResult, u64), String> {
         let label = format!("VC{}", cfg.buffers_per_input());
         let generator = make_generator()?;
-        let mut net = Network::new(mesh, args.timing, 2, generator, |n: NodeId| {
-            VcRouter::new(mesh, n, cfg, root.fork(n.raw() as u64))
-        });
+        let make_router = |n: NodeId| VcRouter::new(mesh, n, cfg, root.fork(n.raw() as u64));
+        if args.telemetry_out.is_some() {
+            let net = Network::with_instruments(
+                mesh,
+                args.timing,
+                2,
+                generator,
+                make_router,
+                NullSink,
+                MetricsRegistry::new(),
+            );
+            let (r, retries) = simulate_telemetry(net, &sim, args, &label)?;
+            return Ok((label, r, retries));
+        }
+        let mut net = Network::new(mesh, args.timing, 2, generator, make_router);
         if args.error_rate > 0.0 {
             net.set_control_error_rate(args.error_rate, args.seed ^ 0xE44);
         }
@@ -239,13 +317,23 @@ fn run(args: &Args) -> Result<(String, RunResult, u64), String> {
                     .with_sync_margin(args.sync_margin);
                 let label = format!("FR{}", cfg.data_buffers);
                 let generator = make_generator()?;
-                let mut net = Network::new(
-                    mesh,
-                    cfg.timing,
-                    cfg.control_lanes,
-                    generator,
-                    |n: NodeId| FrRouter::new(mesh, n, cfg, root.fork(n.raw() as u64)),
-                );
+                let make_router =
+                    |n: NodeId| FrRouter::new(mesh, n, cfg, root.fork(n.raw() as u64));
+                if args.telemetry_out.is_some() {
+                    let net = Network::with_instruments(
+                        mesh,
+                        cfg.timing,
+                        cfg.control_lanes,
+                        generator,
+                        make_router,
+                        NullSink,
+                        MetricsRegistry::new(),
+                    );
+                    let (r, retries) = simulate_telemetry(net, &sim, args, &label)?;
+                    return Ok((label, r, retries));
+                }
+                let mut net =
+                    Network::new(mesh, cfg.timing, cfg.control_lanes, generator, make_router);
                 if args.error_rate > 0.0 {
                     net.set_control_error_rate(args.error_rate, args.seed ^ 0xE44);
                 }
