@@ -112,6 +112,22 @@ fn print_dashboard(label: &str, load: f64, run: &TelemetryRun) {
         ),
         None => println!("  saturation onset: none — accepted tracks offered in every window"),
     }
+    // High-water marks from the blackbox gauges: the worst instantaneous
+    // pressure the run ever saw, which time-averaged occupancy hides.
+    let mut peaks: Vec<String> = Vec::new();
+    for (name, label) in [
+        ("net.peak_buffer_occupancy", "buffer occupancy"),
+        ("total.bookings_in_flight_peak", "bookings in flight"),
+        ("fault.retransmit_peak", "retransmit depth"),
+    ] {
+        let v = reg.counter(name);
+        if v > 0 {
+            peaks.push(format!("{label} {v}"));
+        }
+    }
+    if !peaks.is_empty() {
+        println!("  peaks: {}", peaks.join(", "));
+    }
 }
 
 fn print_profile(run: &TelemetryRun) {
@@ -125,6 +141,14 @@ fn print_profile(run: &TelemetryRun) {
         p.attributed_fraction() * 100.0,
         p.worker_idle_fraction() * 100.0
     );
+    let host_cpus = noc_metrics::host_cpu_count();
+    if p.threads > host_cpus {
+        println!(
+            "  warning: {} worker threads requested but the host reports only {host_cpus} \
+             cpu(s) — wall-clock numbers include oversubscription, not real speedup",
+            p.threads
+        );
+    }
     let top: Vec<String> = p
         .top_consumers()
         .into_iter()

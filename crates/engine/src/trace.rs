@@ -427,6 +427,11 @@ impl RingSink {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// The ring's fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
 }
 
 impl TraceSink for RingSink {
@@ -436,6 +441,41 @@ impl TraceSink for RingSink {
             self.dropped += 1;
         }
         self.events.push_back(event);
+    }
+}
+
+/// Feeds every event to two sinks in order: `a` first, then `b`.
+///
+/// The composition is enabled if either half is, and each half still
+/// honours its own `ENABLED` flag — so `TeeSink<VecSink, RingSink>` arms
+/// a flight recorder *next to* a full recording without touching the
+/// emit sites, which is how the zero-perturbation proof compares a
+/// ring-armed run's full stream against the golden fingerprints.
+#[derive(Clone, Debug, Default)]
+pub struct TeeSink<A, B> {
+    /// The first sink; receives each event before `b`.
+    pub a: A,
+    /// The second sink.
+    pub b: B,
+}
+
+impl<A: TraceSink, B: TraceSink> TeeSink<A, B> {
+    /// Combines two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn emit(&mut self, event: TraceEvent) {
+        if A::ENABLED {
+            self.a.emit(event);
+        }
+        if B::ENABLED {
+            self.b.emit(event);
+        }
     }
 }
 
@@ -919,6 +959,56 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn ring_sink_rejects_zero_capacity() {
         RingSink::new(0);
+    }
+
+    #[test]
+    fn ring_sink_preserves_emission_order_across_many_wraparounds() {
+        // The retained window must always be the exact tail of the full
+        // stream, oldest first, no matter how many times the ring wraps
+        // or whether capacity divides the stream length evenly.
+        for capacity in [1usize, 3, 4, 7] {
+            for total in [0u64, 1, 3, 4, 5, 11, 29] {
+                let mut ring = RingSink::new(capacity);
+                let mut full = VecSink::new();
+                for c in 0..total {
+                    let event = at(
+                        c,
+                        (c % 5) as u16,
+                        TraceKind::CreditSent { port: 0, class: 0 },
+                    );
+                    ring.emit(event);
+                    full.emit(event);
+                }
+                let kept = total.min(capacity as u64) as usize;
+                assert_eq!(ring.len(), kept, "cap={capacity} total={total}");
+                assert_eq!(ring.dropped(), total - kept as u64);
+                assert_eq!(ring.capacity(), capacity);
+                let tail = &full.events()[full.events().len() - kept..];
+                let ringed: Vec<TraceEvent> = ring.events().copied().collect();
+                assert_eq!(ringed, tail, "cap={capacity} total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_halves_in_order() {
+        let mut tee = TeeSink::new(VecSink::new(), RingSink::new(2));
+        for c in 0..5 {
+            tee.record(|| at(c, 0, TraceKind::FlitEjected { packet: c, seq: 0 }));
+        }
+        assert_eq!(tee.a.events().len(), 5);
+        assert_eq!(tee.b.len(), 2);
+        let ring_tail: Vec<TraceEvent> = tee.b.events().copied().collect();
+        assert_eq!(ring_tail, tee.a.events()[3..]);
+    }
+
+    #[test]
+    fn tee_sink_with_a_null_half_still_enables_the_other() {
+        const { assert!(<TeeSink<NullSink, RingSink> as TraceSink>::ENABLED) };
+        const { assert!(!<TeeSink<NullSink, NullSink> as TraceSink>::ENABLED) };
+        let mut tee = TeeSink::new(NullSink, RingSink::new(4));
+        tee.record(|| at(1, 0, TraceKind::CreditSent { port: 1, class: 0 }));
+        assert_eq!(tee.b.len(), 1);
     }
 
     #[test]

@@ -318,6 +318,67 @@ impl InputReservationTable {
     }
 }
 
+impl noc_metrics::Snapshot for InputReservationTable {
+    /// Unrolls both slot rings into time order from `base`. `incoming`
+    /// lists pending arrival reservations as `(arrival, depart,
+    /// out_port)`; `outgoing` lists booked departures as `(depart,
+    /// out_port, buffer, bypass)`. The schedule list is sorted by
+    /// arrival time (its internal order is a `swap_remove` artefact).
+    fn snapshot(&self) -> noc_metrics::Json {
+        use noc_metrics::Json;
+        let mut incoming = Vec::new();
+        let mut outgoing = Vec::new();
+        for i in 0..self.window {
+            let t = self.base + i as u64;
+            let s = self.slot(t);
+            if let Some(res) = self.incoming[s] {
+                incoming.push(Json::obj(vec![
+                    ("arrival".into(), Json::Num(t.raw() as f64)),
+                    ("depart".into(), Json::Num(res.depart.raw() as f64)),
+                    ("out_port".into(), Json::str(format!("{:?}", res.out_port))),
+                ]));
+            }
+            if let Some(dep) = self.outgoing[s] {
+                outgoing.push(Json::obj(vec![
+                    ("depart".into(), Json::Num(t.raw() as f64)),
+                    ("out_port".into(), Json::str(format!("{:?}", dep.out_port))),
+                    (
+                        "buffer".into(),
+                        match dep.buffer {
+                            Some(b) => Json::Num(b.index() as f64),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("bypass".into(), Json::Bool(dep.bypass)),
+                ]));
+            }
+        }
+        let mut early: Vec<(u64, u8)> = self
+            .early
+            .iter()
+            .map(|&(at, buf)| (at.raw(), buf.raw()))
+            .collect();
+        early.sort_unstable();
+        let parked: Vec<Json> = early
+            .into_iter()
+            .map(|(at, buf)| {
+                Json::obj(vec![
+                    ("arrived".into(), Json::Num(at as f64)),
+                    ("buffer".into(), Json::Num(buf as f64)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("base".into(), Json::Num(self.base.raw() as f64)),
+            ("booked".into(), Json::Num(self.booked as f64)),
+            ("incoming".into(), Json::Arr(incoming)),
+            ("outgoing".into(), Json::Arr(outgoing)),
+            ("parked".into(), Json::Arr(parked)),
+            ("pool".into(), self.pool.snapshot()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

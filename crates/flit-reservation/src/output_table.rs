@@ -98,6 +98,16 @@ impl OutputReservationTable {
         self.prop_delay
     }
 
+    /// The cycle the sliding window currently starts at.
+    pub fn base(&self) -> Cycle {
+        self.base
+    }
+
+    /// The window length in cycles (slots tracked ahead of `base`).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
     fn slot(&self, t: Cycle) -> usize {
         (t.raw() % self.window as u64) as usize
     }
@@ -355,6 +365,45 @@ impl OutputReservationTable {
         if let Some(cap) = self.capacity {
             assert!(self.tail_free <= cap, "steady-state credit overflow");
         }
+    }
+}
+
+impl noc_metrics::Snapshot for OutputReservationTable {
+    /// Unrolls the slot ring into time order from `base`: `busy` renders
+    /// as one character per window slot (`X` reserved, `.` free) — the
+    /// ASCII timeline `frfc-inspect` prints — and `free` as the
+    /// per-slot free-buffer counts. Pending credits are sorted (their
+    /// internal order is a `swap_remove` artefact, not state).
+    fn snapshot(&self) -> noc_metrics::Json {
+        use noc_metrics::Json;
+        let mut busy = String::with_capacity(self.window);
+        let mut free = Vec::with_capacity(self.window);
+        for i in 0..self.window {
+            let s = self.slot(self.base + i as u64);
+            busy.push(if self.busy[s] { 'X' } else { '.' });
+            free.push(Json::Num(self.free[s] as f64));
+        }
+        let mut pending: Vec<u64> = self.pending_credits.iter().map(|c| c.raw()).collect();
+        pending.sort_unstable();
+        Json::obj(vec![
+            ("base".into(), Json::Num(self.base.raw() as f64)),
+            ("horizon".into(), Json::Num(self.horizon as f64)),
+            ("prop_delay".into(), Json::Num(self.prop_delay as f64)),
+            (
+                "capacity".into(),
+                match self.capacity {
+                    Some(c) => Json::Num(c as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("tail_free".into(), Json::Num(self.tail_free as f64)),
+            ("busy".into(), Json::str(busy)),
+            ("free".into(), Json::Arr(free)),
+            (
+                "pending_credits".into(),
+                Json::Arr(pending.into_iter().map(|c| Json::Num(c as f64)).collect()),
+            ),
+        ])
     }
 }
 

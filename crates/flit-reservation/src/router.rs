@@ -626,15 +626,33 @@ impl<S: TraceSink> Router for FrRouter<S> {
         out.zero_turnaround_departures = self.data.bypassed_flits();
         out.parked_arrivals = self.data.parked_arrivals();
         out.data_flits_sent = self.data.data_flits_sent();
-        out.bookings_in_flight = Port::ALL
-            .iter()
-            .map(|&p| (self.data.pending_departures(p) + self.data.parked(p)) as u64)
-            .sum();
+        out.bookings_in_flight = self.data.bookings_in_flight();
         out.masked_routes = self.route.masked_routes();
     }
 
     fn on_link_dead(&mut self, port: Port) {
         self.route.mask_dead(port);
+    }
+
+    fn bookings_in_flight(&self) -> u64 {
+        self.data.bookings_in_flight()
+    }
+
+    /// Full post-mortem dump: every pipeline stage's live state, keyed
+    /// by stage name (see DESIGN.md §12 for the schema). Reservation
+    /// tables unroll into time order, so `frfc-inspect` can print the
+    /// paper's Figure 4 slot occupancy directly from the dump.
+    fn state_snapshot(&self) -> noc_metrics::Json {
+        use noc_metrics::{Json, Snapshot};
+        Json::obj(vec![
+            ("family".into(), Json::str("fr")),
+            ("node".into(), Json::Num(self.node.raw() as f64)),
+            ("route".into(), self.route.snapshot()),
+            ("control".into(), self.control.snapshot()),
+            ("reservation".into(), self.reservation.snapshot()),
+            ("data".into(), self.data.snapshot()),
+            ("ni".into(), self.ni.snapshot()),
+        ])
     }
 
     /// Marks every control flit that was eligible this cycle but is still

@@ -26,6 +26,7 @@ use noc_engine::stats::RunningStats;
 use noc_engine::{Cycle, Rng};
 use noc_flow::pipeline::{ReservationGrant, ReservationRequest};
 use noc_flow::{BufferId, ControlFlit, ControlKind, DataFlit, LedFlit};
+use noc_metrics::Json;
 use noc_topology::{NodeId, Port, PortMap};
 use noc_traffic::{Packet, PacketId};
 use std::collections::VecDeque;
@@ -248,6 +249,78 @@ impl ControlStage {
     pub(crate) fn control_flits_sent(&self) -> u64 {
         self.control_flits_sent
     }
+
+    /// Dumps every control lane holding live state, plus credit and
+    /// downstream-VC-ownership accounting per output port.
+    pub(crate) fn snapshot(&self) -> Json {
+        let mut ports = Vec::new();
+        for &port in &Port::ALL {
+            let mut lanes = Vec::new();
+            for (vc, cvc) in self.inputs[port].iter().enumerate() {
+                if cvc.queue.is_empty() && cvc.route.is_none() && cvc.out_vc.is_none() {
+                    continue;
+                }
+                let queue: Vec<Json> = cvc
+                    .queue
+                    .iter()
+                    .map(|qc| Json::str(format!("{:?} arrived={}", qc.flit, qc.arrived.raw())))
+                    .collect();
+                lanes.push(Json::obj(vec![
+                    ("vc".into(), Json::Num(vc as f64)),
+                    (
+                        "route".into(),
+                        match cvc.route {
+                            Some(p) => Json::str(format!("{p:?}")),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "out_vc".into(),
+                        match cvc.out_vc {
+                            Some(v) => Json::Num(v as f64),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("queue".into(), Json::Arr(queue)),
+                ]));
+            }
+            if !lanes.is_empty() {
+                ports.push(Json::obj(vec![
+                    ("port".into(), Json::str(format!("{port:?}"))),
+                    ("lanes".into(), Json::Arr(lanes)),
+                ]));
+            }
+        }
+        let accounting: Vec<Json> = Port::ALL
+            .iter()
+            .map(|&port| {
+                Json::obj(vec![
+                    ("port".into(), Json::str(format!("{port:?}"))),
+                    (
+                        "credits".into(),
+                        Json::Arr(
+                            self.credits[port]
+                                .iter()
+                                .map(|&c| Json::Num(c as f64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "vc_owner".into(),
+                        Json::Arr(self.vc_owner[port].iter().map(|&o| Json::Bool(o)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("inputs".into(), Json::Arr(ports)),
+            ("accounting".into(), Json::Arr(accounting)),
+            (
+                "control_flits_sent".into(),
+                Json::Num(self.control_flits_sent as f64),
+            ),
+        ])
+    }
 }
 
 /// The reservation-match stage: the per-output reservation tables and
@@ -378,6 +451,32 @@ impl ReservationStage {
 
     pub(crate) fn dest_lead(&self) -> &RunningStats {
         &self.dest_lead
+    }
+
+    /// Dumps every output reservation table keyed by port, plus the
+    /// scheduling counters.
+    pub(crate) fn snapshot(&self) -> Json {
+        use noc_metrics::Snapshot;
+        let tables: Vec<Json> = Port::ALL
+            .iter()
+            .map(|&port| {
+                Json::obj(vec![
+                    ("port".into(), Json::str(format!("{port:?}"))),
+                    ("table".into(), self.tables[port].snapshot()),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("tables".into(), Json::Arr(tables)),
+            (
+                "scheduled_flits".into(),
+                Json::Num(self.scheduled_flits as f64),
+            ),
+            (
+                "reservation_misses".into(),
+                Json::Num(self.reservation_misses as f64),
+            ),
+        ])
     }
 }
 
@@ -542,14 +641,6 @@ impl DataPathStage {
         self.tables[port].is_quiet()
     }
 
-    pub(crate) fn pending_departures(&self, port: Port) -> usize {
-        self.tables[port].pending_departures()
-    }
-
-    pub(crate) fn parked(&self, port: Port) -> usize {
-        self.tables[port].parked()
-    }
-
     pub(crate) fn parked_arrivals(&self) -> u64 {
         self.parked_arrivals
     }
@@ -560,6 +651,52 @@ impl DataPathStage {
 
     pub(crate) fn data_flits_sent(&self) -> u64 {
         self.data_flits_sent
+    }
+
+    /// Total departures booked but not yet executed plus parked flits
+    /// across all input tables — the instantaneous bookings-in-flight
+    /// gauge (same definition as the metrics counter of that name).
+    pub(crate) fn bookings_in_flight(&self) -> u64 {
+        Port::ALL
+            .iter()
+            .map(|&p| (self.tables[p].pending_departures() + self.tables[p].parked()) as u64)
+            .sum()
+    }
+
+    /// Dumps every input reservation table keyed by port, any staged
+    /// (not-yet-buffered) arrivals, and the traversal counters.
+    pub(crate) fn snapshot(&self) -> Json {
+        use noc_metrics::Snapshot;
+        let tables: Vec<Json> = Port::ALL
+            .iter()
+            .map(|&port| {
+                Json::obj(vec![
+                    ("port".into(), Json::str(format!("{port:?}"))),
+                    ("table".into(), self.tables[port].snapshot()),
+                ])
+            })
+            .collect();
+        let pending: Vec<Json> = self
+            .pending
+            .iter()
+            .map(|(port, flit)| Json::str(format!("{port:?} {flit:?}")))
+            .collect();
+        Json::obj(vec![
+            ("tables".into(), Json::Arr(tables)),
+            ("pending_arrivals".into(), Json::Arr(pending)),
+            (
+                "parked_arrivals".into(),
+                Json::Num(self.parked_arrivals as f64),
+            ),
+            (
+                "bypassed_flits".into(),
+                Json::Num(self.bypassed_flits as f64),
+            ),
+            (
+                "data_flits_sent".into(),
+                Json::Num(self.data_flits_sent as f64),
+            ),
+        ])
     }
 }
 
@@ -758,5 +895,50 @@ impl FrNiStage {
     /// True when the NI holds no state that obligates future work.
     pub(crate) fn is_quiet(&self) -> bool {
         self.pending.is_empty() && self.staged.is_empty() && self.data_ready.is_empty()
+    }
+
+    /// Dumps the staging area, the injection reservation table and the
+    /// data flits awaiting their booked injection cycle (sorted by that
+    /// cycle — the internal order is a `swap_remove` artefact).
+    pub(crate) fn snapshot(&self) -> Json {
+        use noc_metrics::Snapshot;
+        let pending: Vec<Json> = self
+            .pending
+            .iter()
+            .map(|p| Json::str(format!("{p:?}")))
+            .collect();
+        let staged: Vec<Json> = self
+            .staged
+            .iter()
+            .map(|f| Json::str(format!("{f:?}")))
+            .collect();
+        let mut ready: Vec<(u64, String)> = self
+            .data_ready
+            .iter()
+            .map(|(at, flit)| (at.raw(), format!("{flit:?}")))
+            .collect();
+        ready.sort_unstable();
+        let data_ready: Vec<Json> = ready
+            .into_iter()
+            .map(|(at, flit)| {
+                Json::obj(vec![
+                    ("inject_at".into(), Json::Num(at as f64)),
+                    ("flit".into(), Json::str(flit)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            (
+                "current_vc".into(),
+                match self.current_vc {
+                    Some(v) => Json::Num(v as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("pending_packets".into(), Json::Arr(pending)),
+            ("staged_control".into(), Json::Arr(staged)),
+            ("data_ready".into(), Json::Arr(data_ready)),
+            ("inject_table".into(), self.inject_table.snapshot()),
+        ])
     }
 }

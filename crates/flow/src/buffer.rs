@@ -237,6 +237,41 @@ impl BufferPool {
             (written[w] & bit != 0).then(|| (BufferId::new(i as u8), f))
         })
     }
+
+    /// Slot indices reserved ahead of their flit (occupied, not yet
+    /// written) — the paper's allocate-one-cycle-early state.
+    pub fn reserved_empty(&self) -> impl Iterator<Item = BufferId> + '_ {
+        (0..self.capacity()).filter_map(move |i| {
+            let (w, bit) = mask_bit(i);
+            (self.occupied[w] & bit != 0 && self.written[w] & bit == 0)
+                .then(|| BufferId::new(i as u8))
+        })
+    }
+}
+
+impl noc_metrics::Snapshot for BufferPool {
+    fn snapshot(&self) -> noc_metrics::Json {
+        use noc_metrics::Json;
+        let flits: Vec<Json> = self
+            .iter()
+            .map(|(id, f)| {
+                Json::obj(vec![
+                    ("buffer".into(), Json::Num(id.index() as f64)),
+                    ("flit".into(), Json::str(format!("{f:?}"))),
+                ])
+            })
+            .collect();
+        let reserved: Vec<Json> = self
+            .reserved_empty()
+            .map(|id| Json::Num(id.index() as f64))
+            .collect();
+        Json::obj(vec![
+            ("capacity".into(), Json::Num(self.capacity() as f64)),
+            ("occupied".into(), Json::Num(self.occupied_count() as f64)),
+            ("reserved_empty".into(), Json::Arr(reserved)),
+            ("flits".into(), Json::Arr(flits)),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -157,6 +157,12 @@ impl<T> Link<T> {
         self.in_flight.len()
     }
 
+    /// Iterates over in-flight items in delivery order as
+    /// `(arrival_cycle, item)` pairs. Read-only; used by state snapshots.
+    pub fn iter_in_flight(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.in_flight.iter().map(|(at, item)| (*at, item))
+    }
+
     /// `true` when nothing is in flight.
     pub fn is_empty(&self) -> bool {
         self.in_flight.is_empty()

@@ -71,3 +71,14 @@ impl RouteCompute {
         self.masked_routes
     }
 }
+
+impl noc_metrics::Snapshot for RouteCompute {
+    fn snapshot(&self) -> noc_metrics::Json {
+        use noc_metrics::Json;
+        Json::obj(vec![
+            ("node".into(), Json::Num(self.node.raw() as f64)),
+            ("dead_mask".into(), Json::Num(self.dead_mask as f64)),
+            ("masked_routes".into(), Json::Num(self.masked_routes as f64)),
+        ])
+    }
+}

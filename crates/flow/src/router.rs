@@ -281,6 +281,23 @@ pub trait Router {
     fn on_link_dead(&mut self, port: Port) {
         let _ = port;
     }
+
+    /// Reservations currently booked but not yet departed (the
+    /// `bookings_in_flight` gauge of [`RouterCounters`]), exposed
+    /// directly so the network can track its high-water mark every
+    /// cycle without collecting the full counter struct. Disciplines
+    /// without reservation state report zero.
+    fn bookings_in_flight(&self) -> u64 {
+        0
+    }
+
+    /// Dumps the router's complete deterministic state for post-mortem
+    /// inspection (see [`noc_metrics::Snapshot`] for the contract). The
+    /// default reports `null`, which keeps test routers working; both
+    /// shipped router families override it.
+    fn state_snapshot(&self) -> noc_metrics::Json {
+        noc_metrics::Json::Null
+    }
 }
 
 #[cfg(test)]

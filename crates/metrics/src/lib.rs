@@ -57,11 +57,13 @@
 pub mod json;
 pub mod manifest;
 pub mod registry;
+pub mod snapshot;
 pub mod window;
 
 pub use json::{strip_nondeterministic, Json, JsonError};
 pub use manifest::{host_cpu_count, RunManifest, SCHEMA_VERSION};
 pub use registry::{MetricsRegistry, NullRecorder, Recorder, Series};
+pub use snapshot::{json_diff, state_digest, JsonDiff, Snapshot};
 pub use window::{WindowKind, WindowSeries};
 
 /// Writes a JSON document to `path` with a trailing newline, creating

@@ -184,6 +184,77 @@ mod tests {
     }
 
     #[test]
+    fn merge_add_with_empty_series_is_identity() {
+        // An empty other leaves the target untouched; an empty target
+        // absorbs the other wholesale (start re-anchors to the earlier
+        // epoch, values copy through).
+        let mut a = WindowSeries::new(4, 3, WindowKind::Sum);
+        a.add(3, 1.0);
+        a.add(5, 2.0);
+        let before = a.clone();
+        a.merge_add(&WindowSeries::new(4, 9, WindowKind::Sum));
+        assert_eq!(a, before, "merging an empty series must change nothing");
+
+        let mut empty = WindowSeries::new(4, 9, WindowKind::Sum);
+        empty.merge_add(&before);
+        assert_eq!(empty.start, 3);
+        // Re-anchoring zero-fills up to the empty target's old anchor (9),
+        // so the dense form carries a zero tail for windows 6..9.
+        assert_eq!(empty.values, vec![1.0, 0.0, 2.0, 0.0, 0.0, 0.0]);
+        assert_eq!(empty.total(), before.total());
+    }
+
+    #[test]
+    fn merge_add_with_misaligned_epochs_prepends_zeros() {
+        // The other series starts several epochs earlier: the target
+        // re-anchors, zero-filling the prefix it never observed, and the
+        // overlap still adds element-wise on absolute indices.
+        let mut a = WindowSeries::new(3, 10, WindowKind::Sum);
+        a.add(10, 5.0);
+        let mut b = WindowSeries::new(3, 6, WindowKind::Sum);
+        b.add(6, 1.0);
+        b.add(10, 2.0);
+        a.merge_add(&b);
+        assert_eq!(a.start, 6);
+        assert_eq!(a.values, vec![1.0, 0.0, 0.0, 0.0, 7.0]);
+        // Merge is order-independent on totals.
+        let mut c = WindowSeries::new(3, 6, WindowKind::Sum);
+        c.add(6, 1.0);
+        c.add(10, 2.0);
+        let mut d = WindowSeries::new(3, 10, WindowKind::Sum);
+        d.add(10, 5.0);
+        c.merge_add(&d);
+        assert_eq!(a, c, "merge must commute on the dense form");
+    }
+
+    #[test]
+    fn merge_add_folds_final_partial_window_past_the_tail() {
+        // A shard that ran longer contributes a final, partially-filled
+        // window beyond the target's tail: the target extends, keeps the
+        // zero-filled gap dense, and the window-sum == aggregate identity
+        // survives the merge.
+        let mut a = WindowSeries::new(2, 0, WindowKind::Sum);
+        a.add(0, 4.0);
+        a.add(1, 4.0);
+        let mut b = WindowSeries::new(2, 0, WindowKind::Sum);
+        b.add(0, 1.0);
+        b.add(3, 0.5); // final partial window: fewer events than a full epoch
+        let total_before = a.total() + b.total();
+        a.merge_add(&b);
+        assert_eq!(a.values, vec![5.0, 4.0, 0.0, 0.5]);
+        assert_eq!(a.total(), total_before);
+        assert_eq!(a.values.len(), 4, "tail window must extend the series");
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn merge_add_rejects_mismatched_kinds() {
+        let mut a = WindowSeries::new(4, 0, WindowKind::Sum);
+        let b = WindowSeries::new(4, 0, WindowKind::Gauge);
+        a.merge_add(&b);
+    }
+
+    #[test]
     #[should_panic(expected = "log2 mismatch")]
     fn merge_add_rejects_mismatched_grids() {
         let mut a = WindowSeries::new(4, 0, WindowKind::Sum);

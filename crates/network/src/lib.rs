@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blackbox;
 mod experiment;
 mod network;
 pub mod profile;
@@ -29,6 +30,10 @@ mod runner;
 mod shard;
 mod tracker;
 
+pub use blackbox::{
+    capture_at_cycle, replay_to_cycle, run_blackbox, BlackboxNet, BlackboxRun, ReplayReport,
+    ReplaySpec, Trigger,
+};
 pub use experiment::{
     base_latency, find_saturation, sweep_loads, Curve, FlowControl, LoadPoint, TelemetryRun,
 };

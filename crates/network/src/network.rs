@@ -100,6 +100,8 @@ struct PoolStat {
     occ_sum: f64,
     /// Cycles the pool was completely full.
     full_cycles: u64,
+    /// High-water mark of occupied buffers (flits, not a fraction).
+    occ_peak: usize,
 }
 
 /// Retained instrumentation state. Present in every network but only ever
@@ -121,6 +123,10 @@ struct Instruments {
     awake_sum: u64,
     /// Per-router, per-input-port occupancy accumulators.
     pools: Vec<PortMap<PoolStat>>,
+    /// High-water mark of network-wide reservations in flight (the sum of
+    /// [`Router::bookings_in_flight`] over all routers, sampled once per
+    /// cycle; stays zero for disciplines without reservation state).
+    bookings_peak: u64,
     /// Per-link flit commit counters: `link_flits[node][out port]`.
     link_flits: Vec<PortMap<LinkFlits>>,
     /// Control-wire bandwidth in flits/cycle (for utilization gauges).
@@ -578,6 +584,14 @@ pub struct Network<R: Router, S: TraceSink = NullSink, M: Recorder = NullRecorde
     /// Fault-injection and reliability layer; `None` (the overwhelmingly
     /// common case) means the fault path costs one branch per phase.
     faults: Option<Box<FaultState>>,
+    /// Progress watchdog threshold in cycles; `None` disables the check.
+    watchdog: Option<u64>,
+    /// Delivered-flit count at the last observed progress.
+    watchdog_delivered: u64,
+    /// Consecutive cycles with packets in flight but no flit delivered.
+    watchdog_stalled: u64,
+    /// Latched when the stall counter reaches the threshold.
+    watchdog_tripped: bool,
     sink: S,
     /// Metrics recorder; `NullRecorder` by default.
     metrics: M,
@@ -735,6 +749,10 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             error_rng: noc_engine::Rng::from_seed(0xE44),
             control_retries: 0,
             faults: None,
+            watchdog: None,
+            watchdog_delivered: 0,
+            watchdog_stalled: 0,
+            watchdog_tripped: false,
             sink,
             metrics,
             metrics_period: 64,
@@ -944,6 +962,163 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
             retransmit_buffered: f.reliability.buffered(),
             retransmit_peak: f.reliability.peak_buffered(),
         })
+    }
+
+    /// Arms (or, with `None`, disarms) the progress watchdog: at the end
+    /// of every cycle with packets in flight but no flit delivered, a
+    /// stall counter increments; once it reaches `cycles` the watchdog
+    /// latches [`Network::watchdog_tripped`]. Any delivered flit — or an
+    /// empty network — resets the counter. The check only *reads*
+    /// tracker state the routers never see, so arming it is
+    /// trace-neutral and cannot perturb the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)` (the watchdog would fire on the first quiet
+    /// cycle of any run, which is never what a caller means).
+    pub fn set_watchdog(&mut self, cycles: Option<u64>) {
+        assert!(cycles != Some(0), "watchdog threshold must be positive");
+        self.watchdog = cycles;
+        self.watchdog_delivered = self.tracker.delivered_flits();
+        self.watchdog_stalled = 0;
+        self.watchdog_tripped = false;
+    }
+
+    /// Whether the progress watchdog has fired. Latched until the next
+    /// [`Network::set_watchdog`].
+    pub fn watchdog_tripped(&self) -> bool {
+        self.watchdog_tripped
+    }
+
+    /// Consecutive no-progress cycles observed by the armed watchdog.
+    pub fn watchdog_stalled_cycles(&self) -> u64 {
+        self.watchdog_stalled
+    }
+
+    /// Dumps the complete deterministic simulator state — clock, link
+    /// arenas, per-router pipeline state, delivery tracker, source
+    /// backlogs and the fault layer — as one canonical
+    /// [`noc_metrics::Json`] document.
+    ///
+    /// The dump covers exactly the state that the deterministic stepping
+    /// contract reproduces: two runs of the same manifest paused at the
+    /// same cycle (any thread count, any shard plan) produce byte-equal
+    /// documents, which is what [`Network::state_digest`] fingerprints
+    /// and the `frfc-inspect replay` command verifies. Observer-side
+    /// state (metrics accumulators, probes, the watchdog, RNG internals)
+    /// is deliberately excluded: it varies with instrumentation choices
+    /// that must not change the simulator's identity.
+    pub fn state_snapshot(&self) -> noc_metrics::Json {
+        use noc_metrics::{Json, Snapshot};
+        let mut links = Vec::new();
+        for r in 0..self.slots.len() {
+            for &port in &Port::MESH {
+                let Some(idx) = self.inbound[r][port] else {
+                    continue;
+                };
+                let set = &self.links[idx as usize];
+                let wires: Vec<(&str, &Link<LinkEvent>)> = vec![
+                    ("data", &set.data),
+                    ("control", &set.control),
+                    ("credit", &set.credit),
+                ];
+                let mut doc = Vec::new();
+                for (name, wire) in wires {
+                    let events: Vec<Json> = wire
+                        .iter_in_flight()
+                        .map(|(at, e)| {
+                            Json::obj(vec![
+                                ("at".into(), Json::Num(at.raw() as f64)),
+                                ("event".into(), Json::Str(format!("{e:?}"))),
+                            ])
+                        })
+                        .collect();
+                    if !events.is_empty() {
+                        doc.push((name.to_string(), Json::Arr(events)));
+                    }
+                }
+                if !doc.is_empty() {
+                    doc.insert(0, ("to".into(), Json::Num(r as f64)));
+                    doc.insert(1, ("in_port".into(), Json::str(port_key(port))));
+                    links.push(Json::Obj(doc));
+                }
+            }
+        }
+        let backlog: Vec<Json> = self
+            .backlog
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(node, q)| {
+                Json::obj(vec![
+                    ("node".into(), Json::Num(node as f64)),
+                    (
+                        "packets".into(),
+                        Json::Arr(q.iter().map(|p| Json::Str(format!("{p:?}"))).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        let fault = match self.faults.as_ref() {
+            None => Json::Null,
+            Some(f) => Json::obj(vec![
+                ("counters".into(), Json::Str(format!("{:?}", f.counters))),
+                (
+                    "retransmit_buffered".into(),
+                    Json::Num(f.reliability.buffered() as f64),
+                ),
+                (
+                    "retransmit_peak".into(),
+                    Json::Num(f.reliability.peak_buffered() as f64),
+                ),
+                (
+                    "pending_dead".into(),
+                    Json::Arr(
+                        f.pending_dead
+                            .iter()
+                            .map(|d| Json::Str(format!("{d:?}")))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
+        let routers: Vec<Json> = self
+            .slots
+            .iter()
+            .map(|s| s.router.state_snapshot())
+            .collect();
+        Json::obj(vec![
+            ("schema_version".into(), Json::Num(1.0)),
+            ("cycle".into(), Json::Num(self.now.raw() as f64)),
+            (
+                "mesh".into(),
+                Json::obj(vec![
+                    ("width".into(), Json::Num(self.mesh.width() as f64)),
+                    ("height".into(), Json::Num(self.mesh.height() as f64)),
+                ]),
+            ),
+            (
+                "injection_stopped".into(),
+                Json::Bool(self.injection_stopped),
+            ),
+            ("measuring".into(), Json::Bool(self.measuring)),
+            (
+                "control_retries".into(),
+                Json::Num(self.control_retries as f64),
+            ),
+            ("links".into(), Json::Arr(links)),
+            ("backlog".into(), Json::Arr(backlog)),
+            ("tracker".into(), self.tracker.snapshot()),
+            ("fault".into(), fault),
+            ("routers".into(), Json::Arr(routers)),
+        ])
+    }
+
+    /// FNV-1a fingerprint of [`Network::state_snapshot`]'s canonical
+    /// rendering — the identity the blackbox replay check compares
+    /// bit-for-bit.
+    pub fn state_digest(&self) -> String {
+        noc_metrics::state_digest(&self.state_snapshot())
     }
 
     /// Turns the idle-skip wake-list on or off. Skipping is on by default
@@ -1335,6 +1510,21 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                 slot.router.emit_stall_provenance(now);
             }
         }
+        if let Some(limit) = self.watchdog {
+            // Progress watchdog: purely observational — it reads the
+            // delivery tracker (state no router ever sees), so arming it
+            // leaves traces and RNG trajectories bit-identical.
+            let delivered = self.tracker.delivered_flits();
+            if delivered != self.watchdog_delivered || self.tracker.in_flight() == 0 {
+                self.watchdog_delivered = delivered;
+                self.watchdog_stalled = 0;
+            } else {
+                self.watchdog_stalled += 1;
+                if self.watchdog_stalled >= limit {
+                    self.watchdog_tripped = true;
+                }
+            }
+        }
         self.now = now.next();
     }
 
@@ -1344,6 +1534,7 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
     /// cannot perturb the simulation.
     fn observe_metrics(&mut self, now: Cycle) {
         self.instruments.observed_cycles += 1;
+        let mut bookings = 0u64;
         for (i, slot) in self.slots.iter().enumerate() {
             let pools = &mut self.instruments.pools[i];
             for &port in &Port::ALL {
@@ -1354,11 +1545,14 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                 let occ = slot.router.occupied_data_buffers(port);
                 let stat = &mut pools[port];
                 stat.occ_sum += occ as f64 / cap as f64;
+                stat.occ_peak = stat.occ_peak.max(occ);
                 if occ >= cap {
                     stat.full_cycles += 1;
                 }
             }
+            bookings += slot.router.bookings_in_flight();
         }
+        self.instruments.bookings_peak = self.instruments.bookings_peak.max(bookings);
         let period = self.metrics_period;
         if period > 0 && now.raw().is_multiple_of(period) {
             let queued = self.mean_queued_flits();
@@ -1764,7 +1958,9 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                     / (link_cycles * instruments.control_bandwidth.max(1) as f64),
             );
 
-            // Per-pool occupancy gauges (ports that exist on this router).
+            // Per-pool occupancy gauges (ports that exist on this router),
+            // plus the per-pool and network-wide high-water marks.
+            let mut net_peak = 0usize;
             for (i, pools) in instruments.pools.iter().enumerate() {
                 for &port in &Port::ALL {
                     if caps[i][port] == 0 {
@@ -1780,8 +1976,17 @@ impl<R: Router, S: TraceSink, M: Recorder> Network<R, S, M> {
                         &format!("router.{i}.{port_name}.full_fraction"),
                         stat.full_cycles as f64 / cycles as f64,
                     );
+                    if stat.occ_peak > 0 {
+                        reg.counter_set(
+                            &format!("router.{i}.{port_name}.occupancy_peak"),
+                            stat.occ_peak as u64,
+                        );
+                    }
+                    net_peak = net_peak.max(stat.occ_peak);
                 }
             }
+            reg.counter_set("net.peak_buffer_occupancy", net_peak as u64);
+            reg.counter_set("total.bookings_in_flight_peak", instruments.bookings_peak);
 
             // Wall-clock self-profile: nondeterministic by nature, kept
             // under the `profile.` prefix so exports can segregate it.

@@ -219,6 +219,57 @@ impl DeliveryTracker {
     }
 }
 
+impl noc_metrics::Snapshot for DeliveryTracker {
+    /// Canonical dump of the tracker: in-flight packets sorted by id (the
+    /// underlying `HashMap` iterates in arbitrary order, which a
+    /// deterministic snapshot must never leak), completed count and the
+    /// delivery/latency aggregates.
+    fn snapshot(&self) -> noc_metrics::Json {
+        use noc_metrics::Json;
+        let mut inflight: Vec<(&PacketId, &Inflight)> = self.inflight.iter().collect();
+        inflight.sort_by_key(|(id, _)| id.raw());
+        let inflight: Vec<Json> = inflight
+            .into_iter()
+            .map(|(id, e)| {
+                Json::obj(vec![
+                    ("packet".into(), Json::Num(id.raw() as f64)),
+                    ("dest".into(), Json::Num(e.dest.raw() as f64)),
+                    ("created_at".into(), Json::Num(e.created_at.raw() as f64)),
+                    ("length".into(), Json::Num(e.length as f64)),
+                    ("seen_count".into(), Json::Num(e.seen_count as f64)),
+                    ("seen_bits".into(), Json::Str(format!("{:016x}", e.seen))),
+                    ("measured".into(), Json::Bool(e.measured)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("in_flight".into(), Json::Arr(inflight)),
+            ("completed".into(), Json::Num(self.completed.len() as f64)),
+            (
+                "delivered_flits".into(),
+                Json::Num(self.delivered_flits as f64),
+            ),
+            (
+                "delivered_packets".into(),
+                Json::Num(self.delivered_packets as f64),
+            ),
+            (
+                "measured_delivered".into(),
+                Json::Num(self.measured_delivered as f64),
+            ),
+            (
+                "measured_outstanding".into(),
+                Json::Num(self.measured_outstanding as f64),
+            ),
+            (
+                "latency_count".into(),
+                Json::Num(self.latency.count() as f64),
+            ),
+            ("latency_mean".into(), Json::Num(self.latency.mean())),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

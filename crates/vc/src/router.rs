@@ -480,6 +480,21 @@ impl<S: TraceSink> Router for VcRouter<S> {
         self.route.mask_dead(port);
     }
 
+    /// Full post-mortem dump: every pipeline stage's live state, keyed
+    /// by stage name (see DESIGN.md §12 for the schema).
+    fn state_snapshot(&self) -> noc_metrics::Json {
+        use noc_metrics::{Json, Snapshot};
+        Json::obj(vec![
+            ("family".into(), Json::str("vc")),
+            ("node".into(), Json::Num(self.node.raw() as f64)),
+            ("route".into(), self.route.snapshot()),
+            ("input".into(), self.input.snapshot()),
+            ("alloc".into(), self.alloc.snapshot()),
+            ("switch".into(), self.switch.snapshot()),
+            ("ni".into(), self.ni.snapshot()),
+        ])
+    }
+
     /// Classifies every front flit that was eligible this cycle but did
     /// not move. Mirrors the gating order of [`VcRouter::allocate_vcs`]
     /// and [`VcRouter::traverse_switch`]: a front with `arrived < now`

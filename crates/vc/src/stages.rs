@@ -19,6 +19,7 @@ use crate::{CreditMode, VcConfig};
 use noc_engine::{Cycle, Rng};
 use noc_flow::pipeline::{SwitchArbiter, SwitchBid, SwitchContender, VcAllocGrant, VcAllocRequest};
 use noc_flow::{DataFlit, VcTag};
+use noc_metrics::Json;
 use noc_topology::{Port, PortMap};
 use noc_traffic::PacketId;
 use std::collections::VecDeque;
@@ -212,6 +213,61 @@ impl VcInputStage {
             .iter()
             .all(|&p| self.lanes[p].iter().all(|vc| vc.queue.is_empty()))
     }
+
+    /// Dumps every lane that holds live state (queued flits or an
+    /// installed route/VC grant); inert lanes are omitted.
+    pub(crate) fn snapshot(&self) -> Json {
+        let mut ports = Vec::new();
+        for &port in &Port::ALL {
+            let mut lanes = Vec::new();
+            for (vc, l) in self.lanes[port].iter().enumerate() {
+                if l.queue.is_empty() && l.route.is_none() && l.out_vc.is_none() {
+                    continue;
+                }
+                let queue: Vec<Json> = l
+                    .queue
+                    .iter()
+                    .map(|q| {
+                        Json::str(format!(
+                            "{:?} {:?} arrived={}",
+                            q.tag,
+                            q.flit,
+                            q.arrived.raw()
+                        ))
+                    })
+                    .collect();
+                lanes.push(Json::obj(vec![
+                    ("vc".into(), Json::Num(vc as f64)),
+                    (
+                        "route".into(),
+                        match l.route {
+                            Some(p) => Json::str(format!("{p:?}")),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "out_vc".into(),
+                        match l.out_vc {
+                            Some(v) => Json::Num(v as f64),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "switch_ready_at".into(),
+                        Json::Num(l.switch_ready_at.raw() as f64),
+                    ),
+                    ("queue".into(), Json::Arr(queue)),
+                ]));
+            }
+            if !lanes.is_empty() {
+                ports.push(Json::obj(vec![
+                    ("port".into(), Json::str(format!("{port:?}"))),
+                    ("lanes".into(), Json::Arr(lanes)),
+                ]));
+            }
+        }
+        Json::Arr(ports)
+    }
 }
 
 /// The VC-allocation stage: ownership of every output port's downstream
@@ -260,6 +316,26 @@ impl VcAllocStage {
     /// Requests that found every downstream VC owned.
     pub(crate) fn conflicts(&self) -> u64 {
         self.conflicts
+    }
+
+    /// Dumps downstream-VC ownership per output port.
+    pub(crate) fn snapshot(&self) -> Json {
+        let owners: Vec<Json> = Port::ALL
+            .iter()
+            .map(|&port| {
+                Json::obj(vec![
+                    ("port".into(), Json::str(format!("{port:?}"))),
+                    (
+                        "owned".into(),
+                        Json::Arr(self.vc_owner[port].iter().map(|&o| Json::Bool(o)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("vc_owner".into(), Json::Arr(owners)),
+            ("conflicts".into(), Json::Num(self.conflicts as f64)),
+        ])
     }
 }
 
@@ -399,6 +475,30 @@ impl SwitchStage {
     pub(crate) fn data_flits_sent(&self) -> u64 {
         self.data_flits_sent
     }
+
+    /// Dumps credit and downstream-occupancy accounting per output port.
+    pub(crate) fn snapshot(&self) -> Json {
+        let nums = |v: &[usize]| Json::Arr(v.iter().map(|&n| Json::Num(n as f64)).collect());
+        let ports: Vec<Json> = Port::ALL
+            .iter()
+            .map(|&port| {
+                Json::obj(vec![
+                    ("port".into(), Json::str(format!("{port:?}"))),
+                    ("credits".into(), nums(&self.credits[port])),
+                    ("downstream_occ".into(), nums(&self.downstream_occ[port])),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("ports".into(), Json::Arr(ports)),
+            ("credit_stalls".into(), Json::Num(self.credit_stalls as f64)),
+            ("arb_retries".into(), Json::Num(self.arb_retries as f64)),
+            (
+                "data_flits_sent".into(),
+                Json::Num(self.data_flits_sent as f64),
+            ),
+        ])
+    }
 }
 
 /// The injection stage: the network interface's packet FIFO and the
@@ -448,5 +548,24 @@ impl NiStage {
     /// True if nothing is waiting to inject.
     pub(crate) fn is_empty(&self) -> bool {
         self.fifo.is_empty()
+    }
+
+    /// Dumps the injection FIFO and its packet binding.
+    pub(crate) fn snapshot(&self) -> Json {
+        let fifo: Vec<Json> = self
+            .fifo
+            .iter()
+            .map(|(tag, flit)| Json::str(format!("{tag:?} {flit:?}")))
+            .collect();
+        Json::obj(vec![
+            (
+                "current_vc".into(),
+                match self.current_vc {
+                    Some(v) => Json::Num(v as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("fifo".into(), Json::Arr(fifo)),
+        ])
     }
 }

@@ -49,7 +49,18 @@ OPTIONS:
                         (plus <P minus .json>.profile.json with the
                         runtime profile and Chrome trace)
     --window-log2 <N>   telemetry window = 2^N cycles [default: 9]
+    --flight-ring <N>   blackbox mode: arm a 2^N-event flight recorder
+    --watchdog <N>      blackbox mode: progress-watchdog threshold in
+                        cycles (fires on no-delivery-progress)
+    --dump-state-out <P> blackbox mode: write the crash/state sidecar
+                        (ring + full state dump + manifest) to <P>
     -h, --help          print this help
+
+Any of the last three flags switches to blackbox mode: a fixed
+inject-then-drain schedule with the flight recorder and watchdog armed,
+capturing a replayable crash sidecar on watchdog trip, panic or drain
+failure (inspect it with frfc-inspect). Blackbox mode supports
+--flow vc8|vc32|fr6|fr13 on the uniform pattern.
 ";
 
 #[derive(Debug)]
@@ -68,6 +79,16 @@ struct Args {
     seed: u64,
     telemetry_out: Option<std::path::PathBuf>,
     window_log2: u32,
+    flight_ring: Option<u32>,
+    watchdog: Option<u64>,
+    dump_state_out: Option<std::path::PathBuf>,
+}
+
+impl Args {
+    /// Any blackbox knob switches the driver into blackbox mode.
+    fn blackbox_mode(&self) -> bool {
+        self.flight_ring.is_some() || self.watchdog.is_some() || self.dump_state_out.is_some()
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -86,6 +107,9 @@ fn parse_args() -> Result<Args, String> {
         seed: 2000,
         telemetry_out: None,
         window_log2: 9,
+        flight_ring: None,
+        watchdog: None,
+        dump_state_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -167,6 +191,25 @@ fn parse_args() -> Result<Args, String> {
                     return Err("window log2 must be below 32".into());
                 }
             }
+            "--flight-ring" => {
+                let log2: u32 = value
+                    .parse()
+                    .map_err(|_| format!("bad ring log2 {value}"))?;
+                if log2 >= 24 {
+                    return Err("flight ring log2 must be below 24".into());
+                }
+                args.flight_ring = Some(log2);
+            }
+            "--watchdog" => {
+                let cycles: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad watchdog threshold {value}"))?;
+                if cycles == 0 {
+                    return Err("watchdog threshold must be positive".into());
+                }
+                args.watchdog = Some(cycles);
+            }
+            "--dump-state-out" => args.dump_state_out = Some(value.into()),
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
         i += 2;
@@ -251,6 +294,93 @@ fn simulate_telemetry<R: frfc::flow::Router + Send>(
         trace_path.display()
     );
     Ok((r, retries))
+}
+
+/// Blackbox mode: a fixed inject-then-drain schedule with the flight
+/// recorder and progress watchdog armed. Any abnormal ending (watchdog,
+/// panic, exhausted drain) captures a crash sidecar; with
+/// `--dump-state-out` a clean run also writes an unconditional state
+/// capture at its final cycle, which is the checkpoint write path.
+fn run_blackbox_mode(args: &Args) -> Result<(), String> {
+    use frfc::network::blackbox::{capture_at_cycle, run_blackbox, ReplaySpec, Trigger};
+    let config = match args.flow.as_str() {
+        "vc8" => "VC8",
+        "vc32" => "VC32",
+        "fr6" => "FR6",
+        "fr13" => "FR13",
+        other => {
+            return Err(format!(
+                "blackbox mode supports vc8|vc32|fr6|fr13, got {other}"
+            ))
+        }
+    };
+    if args.pattern != "uniform" {
+        return Err("blackbox mode supports only the uniform pattern".into());
+    }
+    let inject_cycles = match args.scale.as_str() {
+        "tiny" => 500,
+        "quick" => 2_000,
+        "paper" => 10_000,
+        other => return Err(format!("unknown scale {other}")),
+    };
+    let spec = ReplaySpec {
+        config: config.into(),
+        mesh_width: args.mesh.0,
+        mesh_height: args.mesh.1,
+        load: args.load,
+        packet_flits: args.length,
+        seed: args.seed,
+        inject_cycles,
+        drain_cap: 20 * inject_cycles,
+        ring_log2: args.flight_ring.unwrap_or(10),
+        watchdog: Some(args.watchdog.unwrap_or(2_000)),
+        fault: None,
+    };
+    let run = run_blackbox(&spec, 1)?;
+    println!(
+        "{config} blackbox on {}x{} mesh | {:.0}% load | seed {} | ring 2^{} | watchdog {}",
+        spec.mesh_width,
+        spec.mesh_height,
+        spec.load * 100.0,
+        spec.seed,
+        spec.ring_log2,
+        spec.watchdog.expect("armed above"),
+    );
+    println!(
+        "outcome   : {} after {} cycles ({} flits delivered) — {}",
+        run.trigger.label(),
+        run.cycles,
+        run.delivered_flits,
+        run.detail
+    );
+    let sidecar = match run.sidecar {
+        Some(doc) => Some(doc),
+        None => match &args.dump_state_out {
+            // Clean run: only capture when the caller asked for a dump.
+            Some(_) => Some(capture_at_cycle(&spec, run.cycles, 1)?),
+            None => None,
+        },
+    };
+    if let Some(doc) = sidecar {
+        let default_path = std::path::PathBuf::from(format!(
+            "results/state/frfc-sim-{}-{}.json",
+            config.to_lowercase(),
+            spec.seed
+        ));
+        let path = args.dump_state_out.clone().unwrap_or(default_path);
+        write_json_file(&path, &doc)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        let digest = doc
+            .get("state_digest")
+            .and_then(frfc::metrics::Json::as_str)
+            .unwrap_or("?");
+        println!("sidecar   : {} (state digest {digest})", path.display());
+        println!("inspect   : frfc-inspect show {}", path.display());
+    }
+    if run.trigger != Trigger::Completed {
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<(String, RunResult, u64), String> {
@@ -354,6 +484,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.blackbox_mode() {
+        if let Err(e) = run_blackbox_mode(&args) {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        return;
+    }
     let (label, r, retries) = match run(&args) {
         Ok(out) => out,
         Err(e) => {
